@@ -1,0 +1,240 @@
+// Package amac_bench regenerates every table and figure of the paper's
+// evaluation as testing.B benchmarks. Each benchmark runs the corresponding
+// experiment from internal/harness and reports the headline quantity as a
+// custom metric, so `go test -bench=. -benchmem` reproduces the paper's
+// results table end to end. See EXPERIMENTS.md for the paper-vs-measured
+// record produced by cmd/amacbench.
+package amac_bench
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"amac/internal/core"
+	"amac/internal/graph"
+	"amac/internal/harness"
+	"amac/internal/mac"
+	"amac/internal/sched"
+	"amac/internal/sim"
+	"amac/internal/topology"
+)
+
+func benchOpts(seed int64) harness.Options {
+	return harness.Options{Quick: true, Trials: 1, Seed: seed}
+}
+
+// reportRatio extracts the final-row measured/bound ratio column and
+// reports it as a benchmark metric.
+func reportRatio(b *testing.B, tab *harness.Table, col int) {
+	b.Helper()
+	if len(tab.Rows) == 0 {
+		b.Fatal("empty table")
+	}
+	last := tab.Rows[len(tab.Rows)-1]
+	v, err := strconv.ParseFloat(last[col], 64)
+	if err != nil {
+		b.Fatalf("parse ratio %q: %v", last[col], err)
+	}
+	b.ReportMetric(v, "measured/bound")
+}
+
+// BenchmarkFig1StdReliable regenerates the G'=G cell of Figure 1:
+// BMMB in O(D·Fprog + k·Fack) on reliable networks.
+func BenchmarkFig1StdReliable(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := harness.Fig1StdReliable(benchOpts(int64(i + 1)))
+		reportRatio(b, tab, 6)
+	}
+}
+
+// BenchmarkFig1StdRRestricted regenerates the r-restricted cell of Figure 1
+// (Theorem 3.2): BMMB in O(D·Fprog + r·k·Fack).
+func BenchmarkFig1StdRRestricted(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := harness.Fig1StdRRestricted(benchOpts(int64(i + 1)))
+		reportRatio(b, tab, 6)
+	}
+}
+
+// BenchmarkFig1StdArbitrary regenerates the arbitrary-G' cell of Figure 1
+// (Theorem 3.1): BMMB in O((D+k)·Fack).
+func BenchmarkFig1StdArbitrary(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := harness.Fig1StdArbitrary(benchOpts(int64(i + 1)))
+		reportRatio(b, tab, 5)
+	}
+}
+
+// BenchmarkFig2LowerBound regenerates the grey-zone lower bound (Theorem
+// 3.17) by executing the Figure 2 parallel-lines schedule and the Lemma
+// 3.18 star choke.
+func BenchmarkFig2LowerBound(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := harness.Fig2LowerBound(benchOpts(int64(i + 1)))
+		reportRatio(b, tab, 4)
+	}
+}
+
+// BenchmarkFig1EnhGreyZone regenerates the enhanced-model cell of Figure 1
+// (Theorem 4.1): FMMB in O((D log n + k log n + log³n)·Fprog).
+func BenchmarkFig1EnhGreyZone(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := harness.Fig1EnhGreyZone(benchOpts(int64(i + 1)))
+		reportRatio(b, tab, 6)
+	}
+}
+
+// BenchmarkAblationFackRatio regenerates the BMMB-vs-FMMB comparison as the
+// Fack/Fprog gap widens (the paper's case for the abort interface).
+func BenchmarkAblationFackRatio(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = harness.AblationFackRatio(benchOpts(int64(i + 1)))
+	}
+}
+
+// BenchmarkLemma318Choke isolates the star-choke execution of Lemma 3.18
+// at k = 16 and reports the completion time in Fack units.
+func BenchmarkLemma318Choke(b *testing.B) {
+	const k = 16
+	s := topology.NewStarChoke(k)
+	a := make(core.Assignment, s.N())
+	for i := 1; i < k; i++ {
+		v := s.Source(i)
+		a[v] = []core.Msg{{ID: i - 1, Origin: v}}
+	}
+	a[s.Hub()] = []core.Msg{{ID: k - 1, Origin: s.Hub()}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := core.Run(core.RunConfig{
+			Dual:             s.Dual,
+			Fack:             200,
+			Fprog:            10,
+			Scheduler:        &sched.Sync{},
+			Seed:             int64(i + 1),
+			Assignment:       a,
+			Automata:         core.NewBMMBFleet(s.N()),
+			HaltOnCompletion: true,
+		})
+		if !res.Solved {
+			b.Fatal("not solved")
+		}
+		b.ReportMetric(float64(res.CompletionTime)/200, "Fack-units")
+	}
+}
+
+// BenchmarkMISSubroutine measures the standalone MIS subroutine on a
+// grey-zone geometric network.
+func BenchmarkMISSubroutine(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := harness.MISExperiment(benchOpts(int64(i + 1)))
+		if len(tab.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkGatherSubroutine and BenchmarkSpreadSubroutine measure the FMMB
+// stages against their lemma budgets (Lemmas 4.6 and 4.8).
+func BenchmarkGatherSubroutine(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := harness.SubroutineExperiment(benchOpts(int64(i + 1)))
+		if len(tab.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkSpreadSubroutine reports the spread-stage rounds of the largest
+// k point of the subroutine experiment.
+func BenchmarkSpreadSubroutine(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := harness.SubroutineExperiment(benchOpts(int64(i + 100)))
+		last := tab.Rows[len(tab.Rows)-1]
+		v, err := strconv.ParseFloat(last[3], 64)
+		if err != nil {
+			b.Fatalf("parse %q: %v", last[3], err)
+		}
+		b.ReportMetric(v, "spread-rounds")
+	}
+}
+
+// BenchmarkBMMBvsFMMB reports raw completion times of the two algorithms on
+// the same grey-zone network at a realistic Fack/Fprog = 32.
+func BenchmarkBMMBvsFMMB(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	d := topology.ConnectedRandomGeometric(30, 3.8, 1.6, 0.5, rng, 200)
+	if d == nil {
+		b.Fatal("no connected instance")
+	}
+	const (
+		k     = 4
+		fprog = sim.Time(10)
+		fack  = sim.Time(320) // Fack/Fprog = 32
+	)
+	a := make(core.Assignment, d.N())
+	for i := 0; i < k; i++ {
+		v := i * d.N() / k
+		a[v] = append(a[v], core.Msg{ID: i, Origin: graph.NodeID(v)})
+	}
+	var bmmbT, fmmbT float64
+	for i := 0; i < b.N; i++ {
+		seed := int64(i + 1)
+		bres := core.Run(core.RunConfig{
+			Dual:             d,
+			Fack:             fack,
+			Fprog:            fprog,
+			Scheduler:        &sched.Sync{Rel: sched.Bernoulli{P: 0.5}},
+			Seed:             seed,
+			Assignment:       a,
+			Automata:         core.NewBMMBFleet(d.N()),
+			HaltOnCompletion: true,
+		})
+		cfg := core.FMMBConfig{N: d.N(), K: k, D: d.G.Diameter(), C: 1.6}
+		fres := core.Run(core.RunConfig{
+			Dual:             d,
+			Fack:             fack,
+			Fprog:            fprog,
+			Scheduler:        &sched.Slot{},
+			Mode:             mac.Enhanced,
+			Seed:             seed,
+			Assignment:       a,
+			Automata:         core.NewFMMBFleet(d.N(), cfg),
+			Horizon:          sim.Time(cfg.Rounds()+2) * fprog,
+			StepLimit:        1 << 62,
+			HaltOnCompletion: true,
+		})
+		if !bres.Solved || !fres.Solved {
+			b.Fatal("a run failed")
+		}
+		bmmbT += float64(bres.CompletionTime)
+		fmmbT += float64(fres.CompletionTime)
+	}
+	b.ReportMetric(bmmbT/float64(b.N), "bmmb-ticks")
+	b.ReportMetric(fmmbT/float64(b.N), "fmmb-ticks")
+}
+
+// BenchmarkEngineThroughput measures raw simulator throughput: BMMB
+// flooding one message over a 64-node line, events per second.
+func BenchmarkEngineThroughput(b *testing.B) {
+	d := topology.Line(64)
+	var steps uint64
+	for i := 0; i < b.N; i++ {
+		res := core.Run(core.RunConfig{
+			Dual:             d,
+			Fack:             200,
+			Fprog:            10,
+			Scheduler:        &sched.Sync{},
+			Seed:             int64(i + 1),
+			Assignment:       core.SingleSource(64, 0, 4),
+			Automata:         core.NewBMMBFleet(64),
+			HaltOnCompletion: true,
+		})
+		if !res.Solved {
+			b.Fatal("not solved")
+		}
+		steps += res.Steps
+	}
+	b.ReportMetric(float64(steps)/float64(b.N), "events/op")
+	_ = sim.Time(0)
+}

@@ -1,0 +1,70 @@
+// Command amacbench regenerates the paper's full evaluation: every cell of
+// the results table (Figure 1), the Figure 2 lower-bound construction, and
+// the per-subroutine lemma measurements, printed as ASCII tables with
+// measured-vs-bound ratios and shape verdicts. EXPERIMENTS.md is the
+// curated record of one such run.
+//
+// Usage:
+//
+//	amacbench [-quick] [-trials N] [-seed S] [-check] [-only id-substring]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"amac/internal/harness"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "use the reduced sweep sizes (as the benchmarks do)")
+	trials := flag.Int("trials", 3, "repetitions per data point")
+	seed := flag.Int64("seed", 1, "base random seed")
+	checkFlag := flag.Bool("check", false, "verify the abstract MAC layer guarantees on every run (slower)")
+	only := flag.String("only", "", "run only experiments whose id contains this substring")
+	flag.Parse()
+
+	opts := harness.Options{
+		Quick:  *quick,
+		Trials: *trials,
+		Seed:   *seed,
+		Check:  *checkFlag,
+	}
+
+	experiments := []struct {
+		id  string
+		run func(harness.Options) *harness.Table
+	}{
+		{"fig1-std-reliable", harness.Fig1StdReliable},
+		{"fig1-std-rrestricted", harness.Fig1StdRRestricted},
+		{"fig1-std-arbitrary", harness.Fig1StdArbitrary},
+		{"fig1-std-greyzone-lb", harness.Fig2LowerBound},
+		{"fig1-enh-greyzone", harness.Fig1EnhGreyZone},
+		{"ablation-bmmb-vs-fmmb", harness.AblationFackRatio},
+		{"mis-subroutine", harness.MISExperiment},
+		{"gather-spread-subroutines", harness.SubroutineExperiment},
+		{"ablation-message-complexity", harness.MessageComplexity},
+	}
+
+	fmt.Printf("# amacbench — reproduction of Ghaffari, Kantor, Lynch, Newport (PODC 2014)\n")
+	fmt.Printf("# options: quick=%v trials=%d seed=%d check=%v\n\n", *quick, *trials, *seed, *checkFlag)
+
+	ran := 0
+	for _, e := range experiments {
+		if *only != "" && !strings.Contains(e.id, *only) {
+			continue
+		}
+		start := time.Now()
+		tab := e.run(opts)
+		tab.Render(os.Stdout)
+		fmt.Printf("  (%s in %v)\n\n", e.id, time.Since(start).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "amacbench: no experiment matches -only=%q\n", *only)
+		os.Exit(1)
+	}
+}

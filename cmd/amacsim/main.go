@@ -1,0 +1,251 @@
+// Command amacsim runs a single multi-message broadcast execution on a
+// chosen network, algorithm and scheduler, and reports completion metrics
+// and (optionally) the model-compliance report and the event trace.
+//
+// Examples:
+//
+//	amacsim -topology line -n 32 -k 4 -alg bmmb -sched sync
+//	amacsim -topology rgg -n 50 -k 3 -alg fmmb
+//	amacsim -topology parallel-lines -n 16 -alg bmmb -sched adversary -trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"amac/internal/check"
+	"amac/internal/core"
+	"amac/internal/graph"
+	"amac/internal/mac"
+	"amac/internal/metrics"
+	"amac/internal/sched"
+	"amac/internal/sim"
+	"amac/internal/topology"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "amacsim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		topo    = flag.String("topology", "line", "line | ring | star | grid | tree | rgg | rline | noisy-line | parallel-lines | star-choke")
+		n       = flag.Int("n", 32, "number of nodes (grid uses the nearest square)")
+		k       = flag.Int("k", 2, "number of MMB messages")
+		r       = flag.Int("r", 2, "restriction radius for -topology rline")
+		algName = flag.String("alg", "bmmb", "bmmb | fmmb")
+		sname   = flag.String("sched", "", "sync | random | contention | slot | adversary (default: sync for bmmb, slot for fmmb)")
+		rel     = flag.Float64("rel", 0.5, "unreliable-link delivery probability for sync/random/contention")
+		span    = flag.Int64("span", 0, "online mode: spread arrivals over the first span ticks (bmmb only)")
+		fprog   = flag.Int64("fprog", 10, "progress bound in ticks")
+		fack    = flag.Int64("fack", 200, "acknowledgment bound in ticks")
+		seed    = flag.Int64("seed", 1, "random seed")
+		doCheck = flag.Bool("check", true, "verify the abstract MAC layer guarantees")
+		stats   = flag.Bool("stats", false, "print per-node and per-message metrics")
+		trace   = flag.Bool("trace", false, "dump the event trace")
+		cGrey   = flag.Float64("c", 1.6, "grey zone constant for -topology rgg")
+	)
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	var d *topology.Dual
+	var plc *topology.ParallelLinesC
+	switch *topo {
+	case "line":
+		d = topology.Line(*n)
+	case "ring":
+		d = topology.Ring(*n)
+	case "star":
+		d = topology.Star(*n)
+	case "grid":
+		side := 1
+		for (side+1)*(side+1) <= *n {
+			side++
+		}
+		d = topology.Grid(side, side)
+	case "tree":
+		d = topology.CompleteBinaryTree(*n)
+	case "rgg":
+		side := 0.72 * float64(*n) / float64(Log2i(*n)*Log2i(*n)+1)
+		if side < 2 {
+			side = 2
+		}
+		d = topology.ConnectedRandomGeometric(*n, side, *cGrey, 0.5, rng, 500)
+		if d == nil {
+			return fmt.Errorf("no connected random geometric instance for n=%d", *n)
+		}
+	case "rline":
+		d = topology.LineRRestricted(*n, *r, 0.6, rng)
+	case "noisy-line":
+		d = topology.ArbitraryNoise(topology.Line(*n).G, *n, rng, "noisy-line")
+	case "parallel-lines":
+		plc = topology.NewParallelLinesC(*n / 2)
+		d = plc.Dual
+	case "star-choke":
+		sc := topology.NewStarChoke(*k)
+		d = sc.Dual
+	default:
+		return fmt.Errorf("unknown topology %q", *topo)
+	}
+
+	// Workload.
+	var a core.Assignment
+	switch *topo {
+	case "parallel-lines":
+		a = make(core.Assignment, d.N())
+		a[plc.A(1)] = []core.Msg{{ID: 0, Origin: plc.A(1)}}
+		a[plc.B(1)] = []core.Msg{{ID: 1, Origin: plc.B(1)}}
+		*k = 2
+	case "star-choke":
+		sc := topology.NewStarChoke(*k)
+		a = make(core.Assignment, d.N())
+		for i := 1; i < *k; i++ {
+			v := sc.Source(i)
+			a[v] = []core.Msg{{ID: i - 1, Origin: v}}
+		}
+		a[sc.Hub()] = []core.Msg{{ID: *k - 1, Origin: sc.Hub()}}
+	default:
+		origins := make([]graph.NodeID, *k)
+		for i := range origins {
+			origins[i] = graph.NodeID(i * d.N() / *k)
+		}
+		a = core.Singleton(d.N(), origins)
+	}
+
+	// Algorithm + scheduler.
+	mode := mac.Standard
+	var autos []mac.Automaton
+	var horizon sim.Time
+	switch *algName {
+	case "bmmb":
+		autos = core.NewBMMBFleet(d.N())
+		if *sname == "" {
+			*sname = "sync"
+		}
+	case "fmmb":
+		cfg := core.FMMBConfig{N: d.N(), K: *k, D: d.G.Diameter(), C: *cGrey}
+		autos = core.NewFMMBFleet(d.N(), cfg)
+		mode = mac.Enhanced
+		horizon = sim.Time(cfg.Rounds()+2) * sim.Time(*fprog)
+		if *sname == "" {
+			*sname = "slot"
+		}
+	default:
+		return fmt.Errorf("unknown algorithm %q", *algName)
+	}
+
+	var s mac.Scheduler
+	switch *sname {
+	case "sync":
+		s = &sched.Sync{Rel: sched.Bernoulli{P: *rel}}
+	case "random":
+		s = &sched.Random{Rel: sched.Bernoulli{P: *rel}}
+	case "contention":
+		s = &sched.Contention{Rel: sched.Bernoulli{P: *rel}}
+	case "slot":
+		s = &sched.Slot{}
+	case "adversary":
+		if plc == nil {
+			return fmt.Errorf("-sched adversary requires -topology parallel-lines")
+		}
+		m0 := core.Msg{ID: 0, Origin: plc.A(1)}
+		m1 := core.Msg{ID: 1, Origin: plc.B(1)}
+		s = &sched.ParallelLines{
+			Net:  plc,
+			IsM0: func(p any) bool { return p == m0 },
+			IsM1: func(p any) bool { return p == m1 },
+		}
+	default:
+		return fmt.Errorf("unknown scheduler %q", *sname)
+	}
+
+	var workload *core.Workload
+	if *span > 0 {
+		if *algName != "bmmb" {
+			return fmt.Errorf("-span (online arrivals) requires -alg bmmb: FMMB's staged schedule expects time-zero arrivals")
+		}
+		workload = core.PoissonWorkload(d.N(), *k, sim.Time(*span), *seed)
+		a = make(core.Assignment, d.N())
+	}
+	res := core.Run(core.RunConfig{
+		Dual:             d,
+		Fack:             sim.Time(*fack),
+		Fprog:            sim.Time(*fprog),
+		Scheduler:        s,
+		Mode:             mode,
+		Seed:             *seed,
+		Assignment:       a,
+		Workload:         workload,
+		Automata:         autos,
+		Horizon:          horizon,
+		StepLimit:        1 << 62,
+		HaltOnCompletion: true,
+		Check:            *doCheck,
+	})
+
+	fmt.Printf("network    : %s (n=%d, D=%d, |E|=%d, |E'\\E|=%d)\n",
+		d.Name, d.N(), d.G.Diameter(), d.G.M(), len(d.UnreliableEdges()))
+	if workload != nil {
+		fmt.Printf("workload   : k=%d messages arriving online over the first %d ticks\n",
+			workload.K(), *span)
+	} else {
+		fmt.Printf("workload   : k=%d messages at time zero\n", a.K())
+	}
+	fmt.Printf("algorithm  : %s (%s model)\n", *algName, mode)
+	fmt.Printf("scheduler  : %s\n", s.Name())
+	fmt.Printf("bounds     : Fprog=%d Fack=%d ticks\n", *fprog, *fack)
+	fmt.Printf("solved     : %v (%d/%d deliveries)\n", res.Solved, res.Delivered, res.Required)
+	if res.Solved {
+		fmt.Printf("completion : %d ticks (= %.1f Fprog, %.2f Fack)\n",
+			int64(res.CompletionTime),
+			float64(res.CompletionTime)/float64(*fprog),
+			float64(res.CompletionTime)/float64(*fack))
+	}
+	fmt.Printf("broadcasts : %d instances over %d simulation events\n", res.Broadcasts, res.Steps)
+	if res.Report != nil {
+		printReport(res.Report)
+	}
+	if len(res.MMBViolations) > 0 {
+		fmt.Printf("MMB violations: %v\n", res.MMBViolations)
+	}
+	if *stats {
+		rep := metrics.Collect(d, res.Engine.Instances(), res.Engine.Trace())
+		fmt.Print(rep.String())
+	}
+	if *trace {
+		fmt.Print(res.Engine.Trace().String())
+	}
+	if !res.Solved {
+		return fmt.Errorf("MMB not solved within the horizon")
+	}
+	return nil
+}
+
+func printReport(rep *check.Report) {
+	if rep.OK() {
+		fmt.Println("model check: all guarantees hold (receive/ack correctness, termination, Fack bound, Fprog bound)")
+		return
+	}
+	fmt.Printf("model check: %d violations\n", len(rep.Violations))
+	for i, v := range rep.Violations {
+		if i == 5 {
+			fmt.Printf("  ... and %d more\n", len(rep.Violations)-5)
+			break
+		}
+		fmt.Printf("  %s\n", v.Error())
+	}
+}
+
+// Log2i returns ⌈log₂ n⌉ with a floor of 1, for sizing heuristics.
+func Log2i(n int) int {
+	l := core.Log2Ceil(n)
+	if l < 1 {
+		l = 1
+	}
+	return l
+}

@@ -1,0 +1,105 @@
+// Adversarial: a live run of the paper's lower-bound construction (Figure 2
+// and Lemmas 3.19/3.20). Two reliable lines A and B carry messages m0 and
+// m1; grey-zone cross links let the adversarial message scheduler keep each
+// line's frontier busy with the *other* line's message, so the useful
+// message advances only one hop per Fack — every MMB algorithm is forced to
+// Ω((D+k)·Fack) under the grey zone constraint (Theorem 3.17).
+//
+// The example narrates the frontier progress so you can watch the schedule
+// do its work, then verifies the execution still satisfies every abstract
+// MAC layer guarantee (the adversary plays strictly by the rules).
+//
+// Run with:
+//
+//	go run ./examples/adversarial
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"amac/internal/core"
+	"amac/internal/sched"
+	"amac/internal/sim"
+	"amac/internal/topology"
+)
+
+func main() {
+	const D = 10
+	const fprog, fack = sim.Time(10), sim.Time(200)
+
+	net := topology.NewParallelLinesC(D)
+	fmt.Printf("network C (Figure 2): two %d-node lines, %d reliable + %d unreliable edges\n",
+		D, net.G.M(), len(net.UnreliableEdges()))
+	fmt.Printf("grey zone constant realized by the embedding: c = %.2f\n\n", net.GreyZoneConstant())
+
+	m0 := core.Msg{ID: 0, Origin: net.A(1)}
+	m1 := core.Msg{ID: 1, Origin: net.B(1)}
+	assignment := make(core.Assignment, net.N())
+	assignment[net.A(1)] = []core.Msg{m0}
+	assignment[net.B(1)] = []core.Msg{m1}
+
+	adversary := &sched.ParallelLines{
+		Net:  net,
+		IsM0: func(p any) bool { return p == m0 },
+		IsM1: func(p any) bool { return p == m1 },
+	}
+
+	res := core.Run(core.RunConfig{
+		Dual:             net.Dual,
+		Fprog:            fprog,
+		Fack:             fack,
+		Scheduler:        adversary,
+		Seed:             1,
+		Assignment:       assignment,
+		Automata:         core.NewBMMBFleet(net.N()),
+		HaltOnCompletion: true,
+		Check:            true,
+	})
+
+	// Narrate m0's march down line A from the recorded trace.
+	fmt.Println("m0's frontier progress down line A (one hop per Fack — the adversary's work):")
+	for _, ev := range res.Engine.Trace().Filter(core.DeliverKind) {
+		if ev.Arg.(core.Msg) != m0 {
+			continue
+		}
+		node := ev.Node
+		if node < D { // line A node
+			fmt.Printf("  t=%5d  a%-2d delivers m0   (%.2f Fack)\n",
+				int64(ev.At), node+1, float64(ev.At)/float64(fack))
+		}
+	}
+
+	if !res.Solved {
+		fmt.Fprintf(os.Stderr, "adversarial: run did not complete (%d/%d)\n",
+			res.Delivered, res.Required)
+		os.Exit(1)
+	}
+	lower := sim.Time(D-1) * fack
+	fmt.Printf("\ncompletion: %d ticks; lower-bound formula (D−1)·Fack = %d ticks\n",
+		int64(res.CompletionTime), int64(lower))
+	if res.CompletionTime < lower {
+		fmt.Fprintln(os.Stderr, "adversarial: execution beat the lower bound — construction broken")
+		os.Exit(1)
+	}
+	if !res.Report.OK() {
+		fmt.Fprintf(os.Stderr, "adversarial: the adversary cheated: %v\n", res.Report.Violations[0])
+		os.Exit(1)
+	}
+	fmt.Println("the adversary stayed within all five model guarantees while forcing Ω(D·Fack).")
+	fmt.Println("compare: the same network under a benign scheduler —")
+
+	benign := core.Run(core.RunConfig{
+		Dual:             topology.NewParallelLinesC(D).Dual,
+		Fprog:            fprog,
+		Fack:             fack,
+		Scheduler:        &sched.Sync{AckDelay: fprog, Rel: sched.Bernoulli{P: 0.5}},
+		Seed:             1,
+		Assignment:       assignment,
+		Automata:         core.NewBMMBFleet(net.N()),
+		HaltOnCompletion: true,
+	})
+	fmt.Printf("  benign completion: %d ticks (%.1f× faster than the adversarial schedule)\n",
+		int64(benign.CompletionTime),
+		float64(res.CompletionTime)/float64(benign.CompletionTime))
+}

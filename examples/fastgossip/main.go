@@ -1,0 +1,102 @@
+// Fastgossip: BMMB on the standard abstract MAC layer versus FMMB on the
+// enhanced layer, on the same grey-zone network, as the Fack/Fprog gap
+// widens. BMMB pays k·Fack for queueing behind acknowledgments; FMMB never
+// waits for an ack (it aborts at every Fprog round boundary), so its
+// completion time is exactly flat in Fack — the paper's argument that MAC
+// layers should expose an abort interface (Section 5).
+//
+// Run with:
+//
+//	go run ./examples/fastgossip
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"text/tabwriter"
+
+	"amac/internal/core"
+	"amac/internal/graph"
+	"amac/internal/mac"
+	"amac/internal/sched"
+	"amac/internal/sim"
+	"amac/internal/topology"
+)
+
+func main() {
+	const (
+		n     = 30
+		k     = 6
+		fprog = sim.Time(10)
+		grey  = 1.6
+	)
+	rng := rand.New(rand.NewSource(99))
+	dual := topology.ConnectedRandomGeometric(n, 3.8, grey, 0.5, rng, 300)
+	if dual == nil {
+		fmt.Fprintln(os.Stderr, "fastgossip: no connected instance")
+		os.Exit(1)
+	}
+	origins := make([]graph.NodeID, k)
+	for i := range origins {
+		origins[i] = graph.NodeID(i * dual.N() / k)
+	}
+	assignment := core.Singleton(dual.N(), origins)
+
+	fmt.Printf("network: %s (D=%d), k=%d messages, Fprog=%d ticks\n\n",
+		dual.Name, dual.G.Diameter(), k, fprog)
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Fack/Fprog\tBMMB (standard layer)\tFMMB (enhanced layer)")
+	var bmmbFirst, bmmbLast float64
+	var fmmbFirst, fmmbLast float64
+	ratios := []int{2, 8, 32, 128, 512}
+	for i, ratio := range ratios {
+		fack := fprog * sim.Time(ratio)
+		bm := core.Run(core.RunConfig{
+			Dual:             dual,
+			Fprog:            fprog,
+			Fack:             fack,
+			Scheduler:        &sched.Sync{Rel: sched.Bernoulli{P: 0.5}},
+			Seed:             int64(ratio),
+			Assignment:       assignment,
+			Automata:         core.NewBMMBFleet(dual.N()),
+			HaltOnCompletion: true,
+		})
+		cfg := core.FMMBConfig{N: dual.N(), K: k, D: dual.G.Diameter(), C: grey}
+		fm := core.Run(core.RunConfig{
+			Dual:             dual,
+			Fprog:            fprog,
+			Fack:             fack,
+			Scheduler:        &sched.Slot{},
+			Mode:             mac.Enhanced,
+			Seed:             int64(ratio),
+			Assignment:       assignment,
+			Automata:         core.NewFMMBFleet(dual.N(), cfg),
+			Horizon:          sim.Time(cfg.Rounds()+2) * fprog,
+			StepLimit:        1 << 62,
+			HaltOnCompletion: true,
+		})
+		if !bm.Solved || !fm.Solved {
+			fmt.Fprintln(os.Stderr, "fastgossip: a run failed")
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "%d\t%d ticks\t%d ticks\n",
+			ratio, int64(bm.CompletionTime), int64(fm.CompletionTime))
+		if i == 0 {
+			bmmbFirst, fmmbFirst = float64(bm.CompletionTime), float64(fm.CompletionTime)
+		}
+		bmmbLast, fmmbLast = float64(bm.CompletionTime), float64(fm.CompletionTime)
+	}
+	w.Flush()
+
+	fmt.Printf("\nacross the sweep BMMB grew %.0f×, FMMB grew %.2f×.\n",
+		bmmbLast/bmmbFirst, fmmbLast/fmmbFirst)
+	if fmmbLast < bmmbLast {
+		fmt.Println("at the widest gap FMMB wins outright — no Fack term (Theorem 4.1).")
+	} else {
+		fmt.Println("FMMB's polylog constants still dominate at this network size, but its")
+		fmt.Println("completion is flat in Fack while BMMB's keeps growing: extend the sweep")
+		fmt.Println("and the crossover is inevitable (Theorem 4.1 has no Fack term).")
+	}
+}

@@ -1,0 +1,87 @@
+// Sensornet: a 6×8 grid sensor deployment in which every sensor on the
+// west edge detects an event and must disseminate its reading to the whole
+// field (multi-source MMB). Link unreliability is r-restricted: crosstalk
+// only reaches nodes within r grid hops, the regime where the paper proves
+// flooding stays fast (Theorem 3.2: O(D·Fprog + r·k·Fack)).
+//
+// The example sweeps r and prints measured completion against the theorem's
+// bound — the practical story of the paper: "straightforward flooding
+// strategies tend to work well in real networks" as long as unreliable
+// links are local.
+//
+// Run with:
+//
+//	go run ./examples/sensornet
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"text/tabwriter"
+
+	"amac/internal/core"
+	"amac/internal/graph"
+	"amac/internal/sched"
+	"amac/internal/sim"
+	"amac/internal/topology"
+)
+
+const (
+	rows, cols = 6, 8
+	fprog      = sim.Time(10)
+	fack       = sim.Time(200)
+)
+
+func main() {
+	base := topology.Grid(rows, cols)
+	n := base.N()
+
+	// Event: every sensor in the west column has one reading to report.
+	var origins []graph.NodeID
+	for r := 0; r < rows; r++ {
+		origins = append(origins, graph.NodeID(r*cols))
+	}
+	assignment := core.Singleton(n, origins)
+	k := assignment.K()
+	diameter := base.G.Diameter()
+
+	fmt.Printf("sensor field: %d×%d grid, n=%d, D=%d, k=%d west-edge readings\n\n",
+		rows, cols, n, diameter, k)
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "r\tunreliable links\tcompletion (ticks)\tThm 3.2 bound\tratio")
+	for _, r := range []int{1, 2, 3, 4} {
+		rng := rand.New(rand.NewSource(int64(r) * 101))
+		// Crosstalk: half of all node pairs within r grid hops.
+		dual := topology.RRestricted(base.G, r, 0.5, rng,
+			fmt.Sprintf("grid-crosstalk(r=%d)", r))
+		res := core.Run(core.RunConfig{
+			Dual:             dual,
+			Fprog:            fprog,
+			Fack:             fack,
+			Scheduler:        &sched.Contention{Rel: sched.Bernoulli{P: 0.5}},
+			Seed:             int64(r),
+			Assignment:       assignment,
+			Automata:         core.NewBMMBFleet(n),
+			HaltOnCompletion: true,
+			Check:            true,
+		})
+		if !res.Solved {
+			fmt.Fprintf(os.Stderr, "sensornet: r=%d run failed (%d/%d)\n",
+				r, res.Delivered, res.Required)
+			os.Exit(1)
+		}
+		if !res.Report.OK() {
+			fmt.Fprintf(os.Stderr, "sensornet: model violation: %v\n", res.Report.Violations[0])
+			os.Exit(1)
+		}
+		bound := sim.Time(diameter)*fprog + sim.Time(r*k)*fack
+		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%.3f\n",
+			r, len(dual.UnreliableEdges()), int64(res.CompletionTime), int64(bound),
+			float64(res.CompletionTime)/float64(bound))
+	}
+	w.Flush()
+	fmt.Println("\nflooding stays comfortably inside O(D·Fprog + r·k·Fack) at every r —")
+	fmt.Println("locality of unreliability, not its quantity, is what keeps BMMB fast.")
+}

@@ -1,0 +1,229 @@
+package check
+
+import (
+	"testing"
+
+	"amac/internal/mac"
+	"amac/internal/sim"
+	"amac/internal/topology"
+)
+
+func inst(id int, sender mac.NodeID, start sim.Time) *mac.Instance {
+	return &mac.Instance{
+		ID:        mac.InstanceID(id),
+		Sender:    sender,
+		Start:     start,
+		Delivered: map[mac.NodeID]sim.Time{},
+	}
+}
+
+func params() Params {
+	return Params{Fack: 100, Fprog: 10, End: 1000}
+}
+
+func TestCleanExecutionPasses(t *testing.T) {
+	d := topology.Line(3)
+	b := inst(0, 1, 0)
+	b.Delivered[0] = 5
+	b.Delivered[2] = 7
+	b.Term = mac.Acked
+	b.TermAt = 9
+	r := All(d, []*mac.Instance{b}, params())
+	if !r.OK() {
+		t.Fatalf("clean execution flagged: %v", r.Violations)
+	}
+}
+
+func TestReceiveCorrectnessNonEdge(t *testing.T) {
+	d := topology.Line(3) // no edge 0-2
+	b := inst(0, 0, 0)
+	b.Delivered[2] = 5 // illegal: 2 is not a G' neighbor of 0
+	b.Delivered[1] = 5
+	b.Term = mac.Acked
+	b.TermAt = 6
+	r := &Report{}
+	ReceiveCorrectness(r, d, []*mac.Instance{b}, params())
+	if r.OK() {
+		t.Fatal("non-edge delivery not flagged")
+	}
+}
+
+func TestReceiveCorrectnessAfterAck(t *testing.T) {
+	d := topology.Line(3)
+	b := inst(0, 1, 0)
+	b.Delivered[0] = 5
+	b.Delivered[2] = 20 // after the ack below
+	b.Term = mac.Acked
+	b.TermAt = 10
+	r := &Report{}
+	ReceiveCorrectness(r, d, []*mac.Instance{b}, params())
+	if r.OK() {
+		t.Fatal("post-ack delivery not flagged")
+	}
+}
+
+func TestReceiveCorrectnessAbortEpsilon(t *testing.T) {
+	d := topology.Line(2)
+	b := inst(0, 0, 0)
+	b.Term = mac.Aborted
+	b.TermAt = 10
+	b.Delivered[1] = 12
+	p := params()
+	p.EpsAbort = 5
+	r := &Report{}
+	ReceiveCorrectness(r, d, []*mac.Instance{b}, p)
+	if !r.OK() {
+		t.Fatalf("delivery within eps flagged: %v", r.Violations)
+	}
+	b.Delivered[1] = 16 // beyond eps
+	r = &Report{}
+	ReceiveCorrectness(r, d, []*mac.Instance{b}, p)
+	if r.OK() {
+		t.Fatal("delivery beyond eps not flagged")
+	}
+}
+
+func TestAckCorrectnessMissingNeighbor(t *testing.T) {
+	d := topology.Line(3)
+	b := inst(0, 1, 0)
+	b.Delivered[0] = 5 // neighbor 2 never receives
+	b.Term = mac.Acked
+	b.TermAt = 9
+	r := &Report{}
+	AckCorrectness(r, d, []*mac.Instance{b}, params())
+	if r.OK() {
+		t.Fatal("ack with missing neighbor not flagged")
+	}
+}
+
+func TestTermination(t *testing.T) {
+	b := inst(0, 0, 0) // never terminated, Fack window long past
+	r := &Report{}
+	Termination(r, []*mac.Instance{b}, params())
+	if r.OK() {
+		t.Fatal("unterminated instance not flagged")
+	}
+	// An instance whose Fack window extends past End is exempt.
+	b2 := inst(1, 0, 950)
+	r = &Report{}
+	Termination(r, []*mac.Instance{b2}, params())
+	if !r.OK() {
+		t.Fatalf("fresh instance flagged: %v", r.Violations)
+	}
+}
+
+func TestAckBound(t *testing.T) {
+	b := inst(0, 0, 0)
+	b.Term = mac.Acked
+	b.TermAt = 150 // > Fack = 100
+	r := &Report{}
+	AckBound(r, []*mac.Instance{b}, params())
+	if r.OK() {
+		t.Fatal("late ack not flagged")
+	}
+}
+
+func TestProgressBoundViolation(t *testing.T) {
+	// Node 1 broadcasts for [0, 100]; neighbor 0 receives nothing at all.
+	d := topology.Line(3)
+	b := inst(0, 1, 0)
+	b.Delivered[2] = 5 // other neighbor got it; 0 starved
+	b.Term = mac.Acked
+	b.TermAt = 100
+	// Make the record ack-correct by pretending 0 received late... no: we
+	// want a progress violation with an otherwise well-formed record, so
+	// use an aborted instance (no ack correctness requirement).
+	b.Term = mac.Aborted
+	r := &Report{}
+	ProgressBound(r, d, []*mac.Instance{b}, params())
+	if r.OK() {
+		t.Fatal("starved receiver not flagged")
+	}
+}
+
+func TestProgressBoundEarlyReceiveCovers(t *testing.T) {
+	// The paper's semantics (Lemma 3.10): one receive whose instance stays
+	// alive covers all later windows inside the span.
+	d := topology.Line(2)
+	b := inst(0, 0, 0)
+	b.Delivered[1] = 8 // within Fprog of start; instance alive to 100
+	b.Term = mac.Acked
+	b.TermAt = 100
+	r := &Report{}
+	ProgressBound(r, d, []*mac.Instance{b}, params())
+	if !r.OK() {
+		t.Fatalf("covered span flagged: %v", r.Violations)
+	}
+}
+
+func TestProgressBoundLateFirstReceive(t *testing.T) {
+	// First receive after more than Fprog from the span start: the initial
+	// window is uncovered.
+	d := topology.Line(2)
+	b := inst(0, 0, 0)
+	b.Delivered[1] = 25 // Fprog = 10: window [0, 25] uncovered
+	b.Term = mac.Acked
+	b.TermAt = 100
+	r := &Report{}
+	ProgressBound(r, d, []*mac.Instance{b}, params())
+	if r.OK() {
+		t.Fatal("late first receive not flagged")
+	}
+}
+
+func TestProgressBoundDeadInstanceDoesNotCover(t *testing.T) {
+	// A receive from an instance that terminated before the window starts
+	// does not cover the window (contend excludes it).
+	d := topology.Line(3)
+	// Instance X from node 1: delivered to 0 early, terminated at t=10.
+	x := inst(0, 1, 0)
+	x.Delivered[0] = 5
+	x.Delivered[2] = 5
+	x.Term = mac.Acked
+	x.TermAt = 10
+	// Instance Y from node 1: spans [20, 120], never delivered to 0
+	// (aborted so ack correctness doesn't apply), 2 covered.
+	y := inst(1, 1, 20)
+	y.Delivered[2] = 25
+	y.Term = mac.Aborted
+	y.TermAt = 120
+	r := &Report{}
+	ProgressBound(r, d, []*mac.Instance{x, y}, params())
+	if r.OK() {
+		t.Fatal("node 0 starved during Y's span; X's old receive must not cover it")
+	}
+}
+
+func TestProgressBoundCrossInstanceCoverage(t *testing.T) {
+	// Node 0 never receives X but receives Y mid-span; Y's receive covers
+	// X's windows while Y is alive.
+	d := topology.Line(3)
+	x := inst(0, 1, 0) // spans [0, 100], never delivered to 0
+	x.Delivered[2] = 5
+	x.Term = mac.Aborted
+	x.TermAt = 100
+	y := inst(1, 1, 0) // delivered to 0 at 9, alive to 100
+	y.Delivered[0] = 9
+	y.Delivered[2] = 9
+	y.Term = mac.Acked
+	y.TermAt = 100
+	r := &Report{}
+	ProgressBound(r, d, []*mac.Instance{x, y}, params())
+	if !r.OK() {
+		t.Fatalf("cross-instance coverage not honored: %v", r.Violations)
+	}
+}
+
+func TestReportErr(t *testing.T) {
+	r := &Report{}
+	if r.Err() != nil {
+		t.Fatal("empty report has error")
+	}
+	r.add("x", "boom %d", 7)
+	if r.Err() == nil || r.OK() {
+		t.Fatal("violation not reported")
+	}
+	if r.Violations[0].Error() == "" {
+		t.Fatal("empty error text")
+	}
+}

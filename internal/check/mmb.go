@@ -1,0 +1,74 @@
+package check
+
+import (
+	"amac/internal/sim"
+)
+
+// MMBParams describes what the MMB checker needs to know about the
+// execution: which trace kinds encode the problem's external interface.
+// The defaults match the core package ("arrive" and "deliver").
+type MMBParams struct {
+	ArriveKind  string
+	DeliverKind string
+}
+
+func (p MMBParams) withDefaults() MMBParams {
+	if p.ArriveKind == "" {
+		p.ArriveKind = "arrive"
+	}
+	if p.DeliverKind == "" {
+		p.DeliverKind = "deliver"
+	}
+	return p
+}
+
+// MMB verifies the MMB problem conditions of Section 3.2.2 on a trace:
+//
+//   - MMB-well-formedness: at most one arrive event per message;
+//   - condition (b): at most one deliver(m) per process, and every deliver
+//     is preceded by an arrive of the same message.
+//
+// Condition (a) — every message eventually delivered everywhere — is a
+// liveness property tied to the workload's components; the runner checks
+// it via completion accounting (Result.Solved), so it is not re-derived
+// here.
+func MMB(r *Report, events []sim.TraceEvent, p MMBParams) {
+	p = p.withDefaults()
+	arrived := make(map[any]sim.Time)
+	delivered := make(map[deliverKey]sim.Time)
+	for _, ev := range events {
+		switch ev.Kind {
+		case p.ArriveKind:
+			if prev, dup := arrived[ev.Arg]; dup {
+				r.add("MMB well-formedness",
+					"message %v arrived twice (first %v, again %v at node %d)",
+					ev.Arg, prev, ev.At, ev.Node)
+				continue
+			}
+			arrived[ev.Arg] = ev.At
+		case p.DeliverKind:
+			key := deliverKey{node: ev.Node, msg: ev.Arg}
+			if prev, dup := delivered[key]; dup {
+				r.add("MMB delivery uniqueness",
+					"node %d delivered %v twice (first %v, again %v)",
+					ev.Node, ev.Arg, prev, ev.At)
+				continue
+			}
+			delivered[key] = ev.At
+			at, ok := arrived[ev.Arg]
+			if !ok {
+				r.add("MMB delivery causality",
+					"node %d delivered %v before any arrive", ev.Node, ev.Arg)
+			} else if ev.At < at {
+				r.add("MMB delivery causality",
+					"node %d delivered %v at %v, before its arrive at %v",
+					ev.Node, ev.Arg, ev.At, at)
+			}
+		}
+	}
+}
+
+type deliverKey struct {
+	node int
+	msg  any
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"amac/internal/mac"
+)
+
+// BMMB is the Basic Multi-Message Broadcast protocol of Section 3: every
+// process keeps a FIFO queue bcastq and a set rcvd, both initially empty.
+// On first learning a message — from the environment (arrive) or the MAC
+// layer (rcv) — the process delivers it, appends it to bcastq and records
+// it in rcvd; duplicates are discarded. Whenever the process is not waiting
+// for an acknowledgment and bcastq is non-empty, it immediately broadcasts
+// the head of the queue; the head is removed when its ack returns.
+//
+// BMMB runs unchanged in the standard abstract MAC layer: it uses no
+// timers, no aborts and no knowledge of Fack/Fprog.
+type BMMB struct {
+	bcastq []Msg
+	rcvd   map[Msg]bool
+}
+
+var (
+	_ mac.Automaton = (*BMMB)(nil)
+	_ mac.Arriver   = (*BMMB)(nil)
+)
+
+// NewBMMB returns a fresh BMMB process.
+func NewBMMB() *BMMB {
+	return &BMMB{rcvd: make(map[Msg]bool)}
+}
+
+// Queue returns the current queue contents (a copy), for tests and debug
+// inspection.
+func (b *BMMB) Queue() []Msg { return append([]Msg(nil), b.bcastq...) }
+
+// Received reports whether m has been received (the rcvd set).
+func (b *BMMB) Received(m Msg) bool { return b.rcvd[m] }
+
+// Wakeup implements mac.Automaton. BMMB is purely message-driven.
+func (b *BMMB) Wakeup(ctx mac.Context) {}
+
+// Arrive implements mac.Arriver: the environment injects a message.
+func (b *BMMB) Arrive(ctx mac.Context, payload any) {
+	b.learn(ctx, payload.(Msg))
+}
+
+// Recv implements mac.Automaton.
+func (b *BMMB) Recv(ctx mac.Context, m mac.Message) {
+	b.learn(ctx, m.Payload.(Msg))
+}
+
+// learn processes the first sighting of a message: deliver, record, queue,
+// and start broadcasting if idle.
+func (b *BMMB) learn(ctx mac.Context, m Msg) {
+	if b.rcvd[m] {
+		return
+	}
+	b.rcvd[m] = true
+	ctx.Emit(DeliverKind, m)
+	b.bcastq = append(b.bcastq, m)
+	b.maybeSend(ctx)
+}
+
+// Acked implements mac.Automaton: the head of the queue completed.
+func (b *BMMB) Acked(ctx mac.Context, m mac.Message) {
+	if len(b.bcastq) == 0 || b.bcastq[0] != m.Payload.(Msg) {
+		panic("core: BMMB ack does not match queue head")
+	}
+	b.bcastq = b.bcastq[1:]
+	b.maybeSend(ctx)
+}
+
+func (b *BMMB) maybeSend(ctx mac.Context) {
+	if !ctx.Pending() && len(b.bcastq) > 0 {
+		ctx.Bcast(b.bcastq[0])
+	}
+}
+
+// NewBMMBFleet returns one BMMB automaton per node, as the runner expects.
+func NewBMMBFleet(n int) []mac.Automaton {
+	out := make([]mac.Automaton, n)
+	for i := range out {
+		out[i] = NewBMMB()
+	}
+	return out
+}

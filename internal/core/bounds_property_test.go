@@ -1,0 +1,117 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"amac/internal/graph"
+	"amac/internal/sched"
+	"amac/internal/sim"
+	"amac/internal/topology"
+)
+
+// Property (Theorem 3.2): for random line networks with random r-restricted
+// G′, random workloads and random scheduler timing, BMMB completes within
+// O(D·Fprog + r·k·Fack) — checked with leading constant 2 to absorb the
+// +Fack tail of the formal statement (Theorem 3.16's t₁ plus the final
+// acknowledgment window).
+func TestBMMBTheorem32Property(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 6 + rng.Intn(25)
+		r := 1 + rng.Intn(4)
+		k := 1 + rng.Intn(6)
+		d := topology.LineRRestricted(n, r, rng.Float64(), rng)
+		origins := make([]graph.NodeID, k)
+		for i := range origins {
+			origins[i] = graph.NodeID(rng.Intn(n))
+		}
+		a := make(Assignment, n)
+		for i, v := range origins {
+			a[v] = append(a[v], Msg{ID: i, Origin: v})
+		}
+		res := Run(RunConfig{
+			Dual:             d,
+			Fack:             testFack,
+			Fprog:            testFprog,
+			Scheduler:        &sched.Random{Rel: sched.Bernoulli{P: rng.Float64()}},
+			Seed:             seed,
+			Assignment:       a,
+			Automata:         NewBMMBFleet(n),
+			HaltOnCompletion: true,
+		})
+		if !res.Solved {
+			return false
+		}
+		bound := 2 * (sim.Time(n-1)*testFprog + sim.Time(r*k+1)*testFack)
+		return res.CompletionTime <= bound
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property (Theorem 3.1): for arbitrary G′ (random long-range noise), BMMB
+// completes within O((D+k)·Fack), constant 2.
+func TestBMMBTheorem31Property(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 6 + rng.Intn(25)
+		k := 1 + rng.Intn(6)
+		d := topology.ArbitraryNoise(topology.Line(n).G, rng.Intn(2*n), rng, "prop")
+		origins := make([]graph.NodeID, k)
+		for i := range origins {
+			origins[i] = graph.NodeID(rng.Intn(n))
+		}
+		a := make(Assignment, n)
+		for i, v := range origins {
+			a[v] = append(a[v], Msg{ID: i, Origin: v})
+		}
+		res := Run(RunConfig{
+			Dual:             d,
+			Fack:             testFack,
+			Fprog:            testFprog,
+			Scheduler:        &sched.Contention{Rel: sched.Bernoulli{P: rng.Float64()}},
+			Seed:             seed,
+			Assignment:       a,
+			Automata:         NewBMMBFleet(n),
+			HaltOnCompletion: true,
+		})
+		if !res.Solved {
+			return false
+		}
+		bound := 2 * sim.Time(n+k) * testFack
+		return res.CompletionTime <= bound
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: BMMB's completion time is monotone-ish in k on a fixed network
+// under the deterministic Sync scheduler — more messages never finish
+// sooner (the FIFO pipeline only lengthens).
+func TestBMMBMonotoneInK(t *testing.T) {
+	d := topology.Line(16)
+	prev := sim.Time(0)
+	for k := 1; k <= 8; k++ {
+		res := Run(RunConfig{
+			Dual:             d,
+			Fack:             testFack,
+			Fprog:            testFprog,
+			Scheduler:        &sched.Sync{},
+			Seed:             1,
+			Assignment:       SingleSource(16, 0, k),
+			Automata:         NewBMMBFleet(16),
+			HaltOnCompletion: true,
+		})
+		if !res.Solved {
+			t.Fatalf("k=%d not solved", k)
+		}
+		if res.CompletionTime < prev {
+			t.Fatalf("completion decreased: k=%d took %v < %v", k, res.CompletionTime, prev)
+		}
+		prev = res.CompletionTime
+	}
+}

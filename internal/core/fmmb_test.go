@@ -1,0 +1,194 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"amac/internal/graph"
+	"amac/internal/mac"
+	"amac/internal/sched"
+	"amac/internal/sim"
+	"amac/internal/topology"
+)
+
+// runFMMB executes FMMB on the dual in the enhanced model with the slot
+// scheduler, with model checking enabled.
+func runFMMB(t *testing.T, d *topology.Dual, c float64, a Assignment, seed int64) *Result {
+	t.Helper()
+	cfg := FMMBConfig{N: d.N(), K: a.K(), D: d.G.Diameter(), C: c}
+	res := Run(RunConfig{
+		Dual:             d,
+		Fack:             testFack,
+		Fprog:            testFprog,
+		Scheduler:        &sched.Slot{},
+		Mode:             mac.Enhanced,
+		Seed:             seed,
+		Assignment:       a,
+		Automata:         NewFMMBFleet(d.N(), cfg),
+		Horizon:          sim.Time(cfg.Rounds()+2) * testFprog,
+		StepLimit:        1 << 62,
+		HaltOnCompletion: true,
+		Check:            true,
+	})
+	if len(res.MMBViolations) != 0 {
+		t.Fatalf("MMB violations: %v", res.MMBViolations)
+	}
+	if res.Report != nil && !res.Report.OK() {
+		t.Fatalf("model violation: %v", res.Report.Violations[0])
+	}
+	return res
+}
+
+func TestFMMBSingleMessageLine(t *testing.T) {
+	d := topology.Line(10)
+	res := runFMMB(t, d, 1.0, SingleSource(10, 0, 1), 21)
+	if !res.Solved {
+		t.Fatalf("not solved: %d/%d delivered by %v", res.Delivered, res.Required, res.End)
+	}
+}
+
+func TestFMMBMultiMessageGrid(t *testing.T) {
+	d := topology.Grid(4, 4)
+	a := Singleton(16, []graph.NodeID{0, 5, 10, 15})
+	res := runFMMB(t, d, 1.0, a, 22)
+	if !res.Solved {
+		t.Fatalf("not solved: %d/%d delivered by %v", res.Delivered, res.Required, res.End)
+	}
+}
+
+func TestFMMBGreyZoneGeometric(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	c := 1.6
+	d := topology.ConnectedRandomGeometric(40, 4.5, c, 0.5, rng, 100)
+	if d == nil {
+		t.Fatal("no connected instance")
+	}
+	a := Singleton(d.N(), []graph.NodeID{0, graph.NodeID(d.N() / 2)})
+	res := runFMMB(t, d, c, a, 23)
+	if !res.Solved {
+		t.Fatalf("not solved: %d/%d delivered by %v", res.Delivered, res.Required, res.End)
+	}
+}
+
+func TestFMMBManyMessagesOneSource(t *testing.T) {
+	d := topology.Grid(3, 5)
+	res := runFMMB(t, d, 1.0, SingleSource(15, 7, 6), 24)
+	if !res.Solved {
+		t.Fatalf("not solved: %d/%d delivered by %v", res.Delivered, res.Required, res.End)
+	}
+}
+
+func TestFMMBSeedSweep(t *testing.T) {
+	// The w.h.p. guarantee across seeds on a small network.
+	d := topology.Grid(3, 4)
+	for seed := int64(0); seed < 8; seed++ {
+		a := Singleton(12, []graph.NodeID{0, 11})
+		res := runFMMB(t, d, 1.0, a, seed)
+		if !res.Solved {
+			t.Fatalf("seed %d: not solved: %d/%d by %v",
+				seed, res.Delivered, res.Required, res.End)
+		}
+	}
+}
+
+func TestFMMBNoFackDependence(t *testing.T) {
+	// FMMB's completion time is measured in Fprog rounds and must not
+	// change when Fack grows: the algorithm aborts every broadcast at
+	// round boundaries and never waits for acknowledgments.
+	d := topology.Grid(3, 4)
+	a := Singleton(12, []graph.NodeID{0, 6})
+	run := func(fack sim.Time) sim.Time {
+		cfg := FMMBConfig{N: d.N(), K: a.K(), D: d.G.Diameter(), C: 1.0}
+		res := Run(RunConfig{
+			Dual:             d,
+			Fack:             fack,
+			Fprog:            testFprog,
+			Scheduler:        &sched.Slot{},
+			Mode:             mac.Enhanced,
+			Seed:             77,
+			Assignment:       a,
+			Automata:         NewFMMBFleet(d.N(), cfg),
+			Horizon:          sim.Time(cfg.Rounds()+2) * testFprog,
+			StepLimit:        1 << 62,
+			HaltOnCompletion: true,
+		})
+		if !res.Solved {
+			t.Fatalf("Fack=%v: not solved", fack)
+		}
+		return res.CompletionTime
+	}
+	base := run(2 * testFprog)
+	for _, fack := range []sim.Time{8 * testFprog, 64 * testFprog, 512 * testFprog} {
+		if got := run(fack); got != base {
+			t.Fatalf("completion depends on Fack: %v at Fack=%v vs %v", got, fack, base)
+		}
+	}
+}
+
+func TestFMMBGatherHandsMessagesToMIS(t *testing.T) {
+	// After the gather stage, every message must be held by some MIS node
+	// (Lemma 4.6). Observe by running to completion and inspecting
+	// automata state.
+	d := topology.Grid(4, 4)
+	a := Singleton(16, []graph.NodeID{1, 6, 12})
+	cfg := FMMBConfig{N: 16, K: 3, D: d.G.Diameter(), C: 1.0}
+	autos := NewFMMBFleet(16, cfg)
+	res := Run(RunConfig{
+		Dual:             d,
+		Fack:             testFack,
+		Fprog:            testFprog,
+		Scheduler:        &sched.Slot{},
+		Mode:             mac.Enhanced,
+		Seed:             55,
+		Assignment:       a,
+		Automata:         autos,
+		Horizon:          sim.Time(cfg.Rounds()+2) * testFprog,
+		StepLimit:        1 << 62,
+		HaltOnCompletion: false, // run the full schedule
+	})
+	if !res.Solved {
+		t.Fatalf("not solved: %d/%d", res.Delivered, res.Required)
+	}
+	for _, m := range a.Messages() {
+		held := false
+		for _, auto := range autos {
+			f := auto.(*FMMB)
+			if f.InMIS() && f.Holds(m) {
+				held = true
+				break
+			}
+		}
+		if !held {
+			t.Fatalf("message %v not held by any MIS node", m)
+		}
+	}
+}
+
+func TestFMMBOverlayDiameterBound(t *testing.T) {
+	// Section 4.4 relies on D_H ≤ D for the overlay H over the MIS with
+	// 3-hop edges; verify on the MIS the subroutine actually constructs.
+	rng := rand.New(rand.NewSource(77))
+	d := topology.ConnectedRandomGeometric(45, 4.6, 1.6, 0.5, rng, 100)
+	if d == nil {
+		t.Fatal("no connected instance")
+	}
+	mis, _ := runMIS(t, d, 1.6, 5)
+	if !d.G.IsMaximalIndependent(mis) {
+		t.Fatal("invalid MIS")
+	}
+	h, _ := d.G.Overlay(mis, 3)
+	if !h.IsConnected() {
+		t.Fatal("overlay H disconnected for a connected G")
+	}
+	if dh, dg := h.Diameter(), d.G.Diameter(); dh > dg {
+		t.Fatalf("D_H = %d exceeds D = %d", dh, dg)
+	}
+}
+
+func TestFMMBConfigRounds(t *testing.T) {
+	cfg := FMMBConfig{N: 32, K: 4, D: 8, C: 1.5}.withDefaults()
+	want := cfg.MIS.Rounds() + 3*cfg.GatherPeriods + cfg.SpreadPhases*cfg.SpreadPeriods*3
+	if got := cfg.Rounds(); got != want {
+		t.Fatalf("Rounds = %d, want %d", got, want)
+	}
+}

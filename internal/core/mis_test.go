@@ -1,0 +1,138 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"amac/internal/check"
+	"amac/internal/graph"
+	"amac/internal/mac"
+	"amac/internal/sched"
+	"amac/internal/sim"
+	"amac/internal/topology"
+)
+
+// runMIS executes the standalone MIS subroutine on the dual and returns the
+// resulting MIS set along with the engine for inspection.
+func runMIS(t *testing.T, d *topology.Dual, c float64, seed int64) ([]graph.NodeID, *mac.Engine) {
+	t.Helper()
+	cfg := MISConfig{N: d.N(), C: c}
+	autos := NewMISFleet(d.N(), cfg)
+	eng := mac.NewEngine(mac.Config{
+		Dual:      d,
+		Fack:      testFack,
+		Fprog:     testFprog,
+		Scheduler: &sched.Slot{},
+		Mode:      mac.Enhanced,
+		Seed:      seed,
+	}, autos)
+	eng.Start()
+	eng.Sim().SetHorizon(sim.Time(cfg.Rounds()+2) * testFprog)
+	eng.Run()
+
+	var mis []graph.NodeID
+	for i, a := range autos {
+		if a.(*MISNode).InMIS() {
+			mis = append(mis, graph.NodeID(i))
+		}
+	}
+	rep := check.All(d, eng.Instances(), check.Params{
+		Fack: testFack, Fprog: testFprog, End: eng.Sim().Now(),
+	})
+	if !rep.OK() {
+		t.Fatalf("model violation during MIS: %v", rep.Violations[0])
+	}
+	return mis, eng
+}
+
+func TestMISOnLine(t *testing.T) {
+	d := topology.Line(12)
+	mis, _ := runMIS(t, d, 1.0, 42)
+	if !d.G.IsMaximalIndependent(mis) {
+		t.Fatalf("MIS %v is not a maximal independent set", mis)
+	}
+	// A line of 12 needs at least 4 MIS members (domination number).
+	if len(mis) < 4 {
+		t.Fatalf("MIS too small: %v", mis)
+	}
+}
+
+func TestMISOnGrid(t *testing.T) {
+	d := topology.Grid(5, 5)
+	mis, _ := runMIS(t, d, 1.0, 7)
+	if !d.G.IsMaximalIndependent(mis) {
+		t.Fatalf("MIS %v not maximal independent on grid", mis)
+	}
+}
+
+func TestMISOnGreyZoneGeometric(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	c := 1.6
+	d := topology.ConnectedRandomGeometric(50, 5, c, 0.6, rng, 100)
+	if d == nil {
+		t.Fatal("no connected instance")
+	}
+	mis, _ := runMIS(t, d, c, 13)
+	if !d.G.IsMaximalIndependent(mis) {
+		t.Fatalf("MIS %v not maximal independent", mis)
+	}
+	// Lemma 4.2 flavor: MIS members are 1-separated in the embedding.
+	if !d.Embed.IsPacked(mis, 1.0) {
+		t.Fatal("MIS not geometrically packed")
+	}
+}
+
+func TestMISSeedsSweep(t *testing.T) {
+	// The w.h.p. guarantee should hold across many seeds on a modest
+	// network; a failure here indicates broken subroutine logic, not bad
+	// luck.
+	d := topology.Grid(4, 6)
+	for seed := int64(0); seed < 12; seed++ {
+		mis, _ := runMIS(t, d, 1.0, seed)
+		if !d.G.IsMaximalIndependent(mis) {
+			t.Fatalf("seed %d: MIS %v invalid", seed, mis)
+		}
+	}
+}
+
+func TestMISSingleton(t *testing.T) {
+	// A single isolated node must elect itself.
+	g := graph.New(1)
+	d := topology.Reliable(g, "one")
+	mis, _ := runMIS(t, d, 1.0, 1)
+	if len(mis) != 1 || mis[0] != 0 {
+		t.Fatalf("MIS = %v, want [0]", mis)
+	}
+}
+
+func TestMISStarElectsQuickly(t *testing.T) {
+	d := topology.Star(16)
+	mis, _ := runMIS(t, d, 1.0, 3)
+	if !d.G.IsMaximalIndependent(mis) {
+		t.Fatalf("MIS %v invalid on star", mis)
+	}
+	// Either the hub alone, or all leaves.
+	if len(mis) != 1 && len(mis) != 15 {
+		t.Fatalf("star MIS size = %d, want 1 or 15", len(mis))
+	}
+}
+
+func TestMISRoundsFormula(t *testing.T) {
+	cfg := MISConfig{N: 64, C: 2}.withDefaults()
+	want := cfg.Phases * (cfg.ElectionRounds + cfg.AnnounceRounds)
+	if got := cfg.Rounds(); got != want {
+		t.Fatalf("Rounds = %d, want %d", got, want)
+	}
+	if (MISConfig{N: 1, C: 1}).Rounds() <= 0 {
+		t.Fatal("degenerate config has non-positive rounds")
+	}
+}
+
+func TestLog2Ceil(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 1024: 10}
+	for n, want := range cases {
+		if got := Log2Ceil(n); got != want {
+			t.Fatalf("Log2Ceil(%d) = %d, want %d", n, got, want)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"sort"
+
+	"amac/internal/graph"
+	"amac/internal/sim"
+)
+
+// Arrival is one timed environment injection for the online (dynamic)
+// variant of MMB mentioned in the paper (footnote 4) and studied in [30]:
+// messages arrive during the execution rather than all at time zero. BMMB
+// handles this regime unchanged — its guarantees are per-message.
+type Arrival struct {
+	At   sim.Time
+	Node graph.NodeID
+	Msg  Msg
+}
+
+// Workload is a set of timed arrivals. The zero value is empty; build with
+// Add or the generators below.
+type Workload struct {
+	arrivals []Arrival
+}
+
+// Add appends one arrival.
+func (w *Workload) Add(at sim.Time, node graph.NodeID, m Msg) {
+	w.arrivals = append(w.arrivals, Arrival{At: at, Node: node, Msg: m})
+}
+
+// K returns the number of messages.
+func (w *Workload) K() int { return len(w.arrivals) }
+
+// Arrivals returns the arrivals sorted by time (stable on insertion order).
+func (w *Workload) Arrivals() []Arrival {
+	out := append([]Arrival(nil), w.arrivals...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// MaxAt returns the latest arrival time (0 when empty).
+func (w *Workload) MaxAt() sim.Time {
+	var max sim.Time
+	for _, a := range w.arrivals {
+		if a.At > max {
+			max = a.At
+		}
+	}
+	return max
+}
+
+// FromAssignment converts a time-zero assignment into a workload.
+func FromAssignment(a Assignment) *Workload {
+	w := &Workload{}
+	for v, msgs := range a {
+		for _, m := range msgs {
+			w.Add(0, graph.NodeID(v), m)
+		}
+	}
+	return w
+}
+
+// PoissonWorkload spreads k messages over the first `span` ticks at
+// uniformly random times and nodes, drawn from rng-like integer hashing of
+// the seed so workloads are reproducible without threading a *rand.Rand.
+func PoissonWorkload(n, k int, span sim.Time, seed int64) *Workload {
+	w := &Workload{}
+	state := uint64(seed)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+	next := func() uint64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return state
+	}
+	for i := 0; i < k; i++ {
+		at := sim.Time(0)
+		if span > 0 {
+			at = sim.Time(next() % uint64(span))
+		}
+		node := graph.NodeID(next() % uint64(n))
+		w.Add(at, node, Msg{ID: i, Origin: node})
+	}
+	return w
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"testing"
+
+	"amac/internal/graph"
+	"amac/internal/sched"
+	"amac/internal/sim"
+	"amac/internal/topology"
+)
+
+func TestWorkloadBasics(t *testing.T) {
+	w := &Workload{}
+	w.Add(50, 2, Msg{ID: 1, Origin: 2})
+	w.Add(10, 0, Msg{ID: 0, Origin: 0})
+	if w.K() != 2 {
+		t.Fatalf("K = %d", w.K())
+	}
+	ars := w.Arrivals()
+	if ars[0].At != 10 || ars[1].At != 50 {
+		t.Fatalf("arrivals not time-sorted: %v", ars)
+	}
+	if w.MaxAt() != 50 {
+		t.Fatalf("MaxAt = %v", w.MaxAt())
+	}
+}
+
+func TestFromAssignmentMatchesAssignmentRun(t *testing.T) {
+	d := topology.Line(8)
+	a := SingleSource(8, 0, 3)
+	viaAssign := Run(RunConfig{
+		Dual: d, Fack: testFack, Fprog: testFprog,
+		Scheduler: &sched.Sync{}, Seed: 1,
+		Assignment: a, Automata: NewBMMBFleet(8),
+		HaltOnCompletion: true,
+	})
+	viaWorkload := Run(RunConfig{
+		Dual: d, Fack: testFack, Fprog: testFprog,
+		Scheduler: &sched.Sync{}, Seed: 1,
+		Assignment: make(Assignment, 8), Workload: FromAssignment(a),
+		Automata:         NewBMMBFleet(8),
+		HaltOnCompletion: true,
+	})
+	if viaAssign.CompletionTime != viaWorkload.CompletionTime {
+		t.Fatalf("assignment %v != workload %v",
+			viaAssign.CompletionTime, viaWorkload.CompletionTime)
+	}
+}
+
+func TestOnlineBMMBStaggeredArrivals(t *testing.T) {
+	// Messages arrive while earlier ones are still in flight; BMMB must
+	// deliver all of them (the online MMB variant, paper footnote 4).
+	d := topology.Line(12)
+	w := &Workload{}
+	w.Add(0, 0, Msg{ID: 0, Origin: 0})
+	w.Add(150, 11, Msg{ID: 1, Origin: 11})
+	w.Add(400, 5, Msg{ID: 2, Origin: 5})
+	w.Add(401, 5, Msg{ID: 3, Origin: 5})
+	res := Run(RunConfig{
+		Dual: d, Fack: testFack, Fprog: testFprog,
+		Scheduler: &sched.Contention{}, Seed: 9,
+		Workload: w, Automata: NewBMMBFleet(12),
+		HaltOnCompletion: true, Check: true,
+	})
+	if !res.Solved {
+		t.Fatalf("online run unsolved: %d/%d", res.Delivered, res.Required)
+	}
+	if res.Report != nil && !res.Report.OK() {
+		t.Fatalf("model violation: %v", res.Report.Violations[0])
+	}
+	if len(res.MMBViolations) != 0 {
+		t.Fatalf("MMB violations: %v", res.MMBViolations)
+	}
+	// A message injected at t cannot complete before t.
+	if res.CompletionTime < 401 {
+		t.Fatalf("completion %v before the last arrival", res.CompletionTime)
+	}
+}
+
+func TestOnlinePoissonWorkload(t *testing.T) {
+	w := PoissonWorkload(20, 10, 1000, 7)
+	if w.K() != 10 {
+		t.Fatalf("K = %d", w.K())
+	}
+	for _, ar := range w.Arrivals() {
+		if ar.At < 0 || ar.At >= 1000 {
+			t.Fatalf("arrival time %v outside span", ar.At)
+		}
+		if int(ar.Node) < 0 || int(ar.Node) >= 20 {
+			t.Fatalf("arrival node %v out of range", ar.Node)
+		}
+		if ar.Msg.Origin != ar.Node {
+			t.Fatal("origin mismatch")
+		}
+	}
+	// Reproducible.
+	w2 := PoissonWorkload(20, 10, 1000, 7)
+	for i, ar := range w.Arrivals() {
+		if w2.Arrivals()[i] != ar {
+			t.Fatal("PoissonWorkload not reproducible")
+		}
+	}
+	// Different seeds differ.
+	w3 := PoissonWorkload(20, 10, 1000, 8)
+	same := true
+	for i, ar := range w.Arrivals() {
+		if w3.Arrivals()[i] != ar {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical workloads")
+	}
+}
+
+func TestOnlineBMMBPoissonEndToEnd(t *testing.T) {
+	d := topology.Grid(4, 5)
+	w := PoissonWorkload(d.N(), 8, 2000, 3)
+	res := Run(RunConfig{
+		Dual: d, Fack: testFack, Fprog: testFprog,
+		Scheduler: &sched.Contention{Rel: sched.Bernoulli{P: 0.5}}, Seed: 3,
+		Workload: w, Automata: NewBMMBFleet(d.N()),
+		HaltOnCompletion: true, Check: true,
+	})
+	if !res.Solved {
+		t.Fatalf("unsolved: %d/%d by %v", res.Delivered, res.Required, res.End)
+	}
+	if res.Report != nil && !res.Report.OK() {
+		t.Fatalf("model violation: %v", res.Report.Violations[0])
+	}
+}
+
+func TestOnlineArrivalValidation(t *testing.T) {
+	d := topology.Line(4)
+	w := &Workload{}
+	w.Add(0, 1, Msg{ID: 0, Origin: 2}) // origin mismatch
+	defer func() {
+		if recover() == nil {
+			t.Fatal("origin mismatch did not panic")
+		}
+	}()
+	Run(RunConfig{
+		Dual: d, Fack: testFack, Fprog: testFprog,
+		Scheduler: &sched.Sync{}, Workload: w,
+		Automata: NewBMMBFleet(4),
+	})
+}
+
+func TestSingletonAndSingleSource(t *testing.T) {
+	a := SingleSource(5, 2, 3)
+	if a.K() != 3 || len(a[2]) != 3 {
+		t.Fatalf("SingleSource wrong: %v", a)
+	}
+	for i, m := range a[2] {
+		if m.ID != i || m.Origin != 2 {
+			t.Fatalf("msg %v", m)
+		}
+	}
+	s := Singleton(5, []graph.NodeID{4, 0})
+	if s.K() != 2 || len(s[4]) != 1 || len(s[0]) != 1 {
+		t.Fatalf("Singleton wrong: %v", s)
+	}
+	msgs := s.Messages()
+	if len(msgs) != 2 {
+		t.Fatalf("Messages = %v", msgs)
+	}
+	_ = sim.Time(0)
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"amac/internal/graph"
+	"amac/internal/mac"
+	"amac/internal/sched"
+	"amac/internal/topology"
+)
+
+// These tests sweep seeds broadly: the algorithms' guarantees are w.h.p.,
+// so systematic failures indicate logic bugs rather than bad luck.
+
+func runQuiet(d *topology.Dual, c float64, a Assignment, seed int64) *Result {
+	cfg := FMMBConfig{N: d.N(), K: a.K(), D: d.G.Diameter(), C: c}
+	return Run(RunConfig{
+		Dual:             d,
+		Fack:             testFack,
+		Fprog:            testFprog,
+		Scheduler:        &sched.Slot{},
+		Mode:             mac.Enhanced,
+		Seed:             seed,
+		Assignment:       a,
+		Automata:         NewFMMBFleet(d.N(), cfg),
+		StepLimit:        1 << 62,
+		HaltOnCompletion: true,
+	})
+}
+
+func TestFMMBWideSeedSweepGrid(t *testing.T) {
+	fails := 0
+	for seed := int64(0); seed < 40; seed++ {
+		d := topology.Grid(3, 4)
+		a := Singleton(12, []graph.NodeID{0, 11})
+		if res := runQuiet(d, 1.0, a, seed); !res.Solved {
+			fails++
+			t.Logf("seed %d: %d/%d delivered", seed, res.Delivered, res.Required)
+		}
+	}
+	if fails != 0 {
+		t.Fatalf("%d/40 grid runs failed", fails)
+	}
+}
+
+func TestFMMBWideSeedSweepGeometric(t *testing.T) {
+	fails, runs := 0, 0
+	for seed := int64(100); seed < 120; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		d := topology.ConnectedRandomGeometric(36, 4.2, 1.6, 0.5, rng, 100)
+		if d == nil {
+			continue
+		}
+		runs++
+		a := Singleton(d.N(), []graph.NodeID{0, graph.NodeID(d.N() / 2), graph.NodeID(d.N() - 1)})
+		if res := runQuiet(d, 1.6, a, seed); !res.Solved {
+			fails++
+			t.Logf("seed %d: %d/%d delivered", seed, res.Delivered, res.Required)
+		}
+	}
+	if runs == 0 {
+		t.Fatal("no connected instances generated")
+	}
+	if fails != 0 {
+		t.Fatalf("%d/%d geometric runs failed", fails, runs)
+	}
+}
+
+func TestBMMBWideSeedSweepContention(t *testing.T) {
+	// BMMB is deterministic, but the contention scheduler draws random
+	// tie-breaks; the protocol must solve MMB under every draw.
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		d := topology.LineRRestricted(16, 3, 0.5, rng)
+		a := Singleton(16, []graph.NodeID{0, 8, 15})
+		res := Run(RunConfig{
+			Dual:             d,
+			Fack:             testFack,
+			Fprog:            testFprog,
+			Scheduler:        &sched.Contention{Rel: sched.Bernoulli{P: 0.5}},
+			Seed:             seed,
+			Assignment:       a,
+			Automata:         NewBMMBFleet(16),
+			HaltOnCompletion: true,
+			Check:            true,
+		})
+		if !res.Solved {
+			t.Fatalf("seed %d: not solved (%d/%d)", seed, res.Delivered, res.Required)
+		}
+		if res.Report != nil && !res.Report.OK() {
+			t.Fatalf("seed %d: model violation: %v", seed, res.Report.Violations[0])
+		}
+	}
+}

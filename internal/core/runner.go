@@ -1,0 +1,232 @@
+package core
+
+import (
+	"fmt"
+
+	"amac/internal/check"
+	"amac/internal/graph"
+	"amac/internal/mac"
+	"amac/internal/sim"
+	"amac/internal/topology"
+)
+
+// RunConfig describes one MMB execution.
+type RunConfig struct {
+	// Dual is the network. Required.
+	Dual *topology.Dual
+	// Fack and Fprog are the model constants in ticks.
+	Fack, Fprog sim.Time
+	// Scheduler supplies the model's non-determinism. Required.
+	Scheduler mac.Scheduler
+	// Mode selects Standard (default) or Enhanced.
+	Mode mac.Mode
+	// Seed drives all randomness.
+	Seed int64
+	// Assignment maps nodes to their time-zero injected messages. Either
+	// Assignment (length N) or Workload must be set.
+	Assignment Assignment
+	// Workload optionally supplies timed arrivals for the online MMB
+	// variant (paper footnote 4). When set, Assignment is ignored.
+	Workload *Workload
+	// Automata supplies one node program per node. Required, length N.
+	Automata []mac.Automaton
+	// Horizon bounds the execution length; 0 selects a generous default
+	// derived from the trivial O(D·k·Fack) upper bound.
+	Horizon sim.Time
+	// StepLimit bounds the number of simulation events; 0 selects a
+	// default proportional to the horizon and network size.
+	StepLimit uint64
+	// HaltOnCompletion stops the run at the moment the last required
+	// delivery happens (the runner observes completion; the algorithms
+	// themselves never learn k, matching the problem statement).
+	HaltOnCompletion bool
+	// Check runs the model-guarantee checkers after the run.
+	Check bool
+	// EpsAbort forwards to the engine.
+	EpsAbort sim.Time
+}
+
+// Result reports one MMB execution.
+type Result struct {
+	// Solved is true when every message reached every node of its
+	// origin's connected component in G.
+	Solved bool
+	// CompletionTime is the time of the last required delivery (valid
+	// only when Solved).
+	CompletionTime sim.Time
+	// End is the time the simulation stopped.
+	End sim.Time
+	// Delivered counts deliver events observed (unique per node/message).
+	Delivered int
+	// Required counts the deliveries needed for completion.
+	Required int
+	// Broadcasts counts MAC broadcast instances used.
+	Broadcasts int
+	// Steps counts simulation events processed.
+	Steps uint64
+	// Report holds the model-compliance report (nil unless Check).
+	Report *check.Report
+	// MMBViolations lists violations of the MMB problem's own
+	// correctness conditions (duplicate or unsolicited delivers).
+	MMBViolations []string
+	// Engine exposes the underlying engine for post-run inspection.
+	Engine *mac.Engine
+}
+
+// Run executes the configured MMB instance to completion (or horizon) and
+// returns the result.
+func Run(cfg RunConfig) *Result {
+	if cfg.Dual == nil {
+		panic("core: nil dual")
+	}
+	n := cfg.Dual.N()
+	if cfg.Workload == nil {
+		if len(cfg.Assignment) != n {
+			panic(fmt.Sprintf("core: assignment covers %d of %d nodes", len(cfg.Assignment), n))
+		}
+		cfg.Workload = FromAssignment(cfg.Assignment)
+	}
+	if len(cfg.Automata) != n {
+		panic(fmt.Sprintf("core: %d automata for %d nodes", len(cfg.Automata), n))
+	}
+	k := cfg.Workload.K()
+	if k == 0 {
+		panic("core: empty workload (MMB requires k >= 1)")
+	}
+	for _, ar := range cfg.Workload.Arrivals() {
+		if int(ar.Node) < 0 || int(ar.Node) >= n {
+			panic(fmt.Sprintf("core: arrival at node %d outside [0,%d)", ar.Node, n))
+		}
+		if ar.Msg.Origin != ar.Node {
+			panic(fmt.Sprintf("core: arrival of %v at node %d contradicts its origin", ar.Msg, ar.Node))
+		}
+	}
+	d := cfg.Dual.G.Diameter()
+	if cfg.Horizon == 0 {
+		// Trivial upper bound O(D·k·Fack) with headroom, plus slack for
+		// FMMB's polylog terms on small networks, shifted by the last
+		// arrival for online workloads.
+		cfg.Horizon = cfg.Workload.MaxAt() +
+			sim.Time(4*(d+1)*(k+1))*cfg.Fack + 4096*cfg.Fprog
+	}
+	if cfg.StepLimit == 0 {
+		cfg.StepLimit = uint64(n+1) * uint64(cfg.Horizon/cfg.Fprog+1) * 64
+	}
+
+	eng := mac.NewEngine(mac.Config{
+		Dual:      cfg.Dual,
+		Fack:      cfg.Fack,
+		Fprog:     cfg.Fprog,
+		Scheduler: cfg.Scheduler,
+		Mode:      cfg.Mode,
+		Seed:      cfg.Seed,
+		EpsAbort:  cfg.EpsAbort,
+	}, cfg.Automata)
+
+	// Required deliveries: every message must reach every node in its
+	// origin's G-component.
+	compOf := make([]int, n)
+	for ci, comp := range cfg.Dual.G.Components() {
+		for _, v := range comp {
+			compOf[v] = ci
+		}
+	}
+	compSize := make(map[int]int)
+	for _, ci := range compOf {
+		compSize[ci]++
+	}
+	required := 0
+	for _, ar := range cfg.Workload.Arrivals() {
+		required += compSize[compOf[ar.Msg.Origin]]
+	}
+
+	res := &Result{Required: required, Engine: eng}
+	seen := make(map[deliverKey]bool, required)
+	arrived := make(map[Msg]bool, k)
+	eng.Watch(func(ev sim.TraceEvent) {
+		switch ev.Kind {
+		case "arrive":
+			arrived[ev.Arg.(Msg)] = true
+		case DeliverKind:
+			m, ok := ev.Arg.(Msg)
+			if !ok {
+				return
+			}
+			key := deliverKey{node: mac.NodeID(ev.Node), msg: m}
+			if seen[key] {
+				res.MMBViolations = append(res.MMBViolations,
+					fmt.Sprintf("duplicate deliver of %v at node %d", m, ev.Node))
+				return
+			}
+			if !arrived[m] {
+				res.MMBViolations = append(res.MMBViolations,
+					fmt.Sprintf("deliver of %v at node %d before any arrive", m, ev.Node))
+			}
+			seen[key] = true
+			// Count only deliveries required by the problem (same
+			// component as the origin); cross-component leakage through
+			// G'-edges is legal but not required.
+			if compOf[key.node] == compOf[m.Origin] {
+				res.Delivered++
+				if res.Delivered == required {
+					res.Solved = true
+					res.CompletionTime = ev.At
+					if cfg.HaltOnCompletion {
+						eng.Halt()
+					}
+				}
+			}
+		}
+	})
+
+	eng.Start()
+	for _, ar := range cfg.Workload.Arrivals() {
+		eng.Arrive(ar.Node, ar.Msg, ar.At)
+	}
+	eng.Sim().SetHorizon(cfg.Horizon)
+	eng.Sim().SetStepLimit(cfg.StepLimit)
+	eng.Run()
+
+	res.End = eng.Sim().Now()
+	res.Steps = eng.Sim().Steps()
+	res.Broadcasts = len(eng.Instances())
+	if cfg.Check {
+		res.Report = check.All(cfg.Dual, eng.Instances(), check.Params{
+			Fack:     cfg.Fack,
+			Fprog:    cfg.Fprog,
+			EpsAbort: cfg.EpsAbort,
+			End:      res.End,
+		})
+		// Defense in depth: re-derive the MMB problem conditions from the
+		// trace with the generic checker (the watcher above catches them
+		// online; this validates the full recorded history).
+		check.MMB(res.Report, eng.Trace().Events(), check.MMBParams{
+			DeliverKind: DeliverKind,
+		})
+	}
+	return res
+}
+
+type deliverKey struct {
+	node mac.NodeID
+	msg  Msg
+}
+
+// SingleSource builds an assignment with k messages all injected at origin.
+func SingleSource(n int, origin graph.NodeID, k int) Assignment {
+	a := make(Assignment, n)
+	for i := 0; i < k; i++ {
+		a[origin] = append(a[origin], Msg{ID: i, Origin: origin})
+	}
+	return a
+}
+
+// Singleton builds a singleton assignment (no node starts with more than
+// one message) over the given origins, in order.
+func Singleton(n int, origins []graph.NodeID) Assignment {
+	a := make(Assignment, n)
+	for i, v := range origins {
+		a[v] = append(a[v], Msg{ID: i, Origin: v})
+	}
+	return a
+}

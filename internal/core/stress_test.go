@@ -1,0 +1,140 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"amac/internal/graph"
+	"amac/internal/sched"
+	"amac/internal/sim"
+	"amac/internal/topology"
+)
+
+// TestBMMBSpitefulGreyTraffic stresses Theorem 3.1's bound under a
+// "spiteful" configuration: unreliable links fire instantly (GreyDelay=1)
+// and universally (Rel=Always) over long-range edges, flooding every queue
+// with messages from far away as early as possible, while acks take the
+// full Fack. This is the mechanism the paper identifies as breaking the
+// G'=G analysis — old messages arriving unexpectedly from far away — and
+// BMMB must still finish within O((D+k)·Fack).
+func TestBMMBSpitefulGreyTraffic(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 24
+		d := topology.ArbitraryNoise(topology.Line(n).G, 2*n, rng, "spite-line")
+		k := 6
+		origins := make([]graph.NodeID, k)
+		for i := range origins {
+			origins[i] = graph.NodeID(i * n / k)
+		}
+		res := Run(RunConfig{
+			Dual:             d,
+			Fack:             testFack,
+			Fprog:            testFprog,
+			Scheduler:        &sched.Sync{GreyDelay: 1, Rel: sched.Always{}},
+			Seed:             seed,
+			Assignment:       Singleton(n, origins),
+			Automata:         NewBMMBFleet(n),
+			HaltOnCompletion: true,
+			Check:            true,
+		})
+		if !res.Solved {
+			t.Fatalf("seed %d: not solved (%d/%d)", seed, res.Delivered, res.Required)
+		}
+		if res.Report != nil && !res.Report.OK() {
+			t.Fatalf("seed %d: %v", seed, res.Report.Violations[0])
+		}
+		// Theorem 3.1 with a generous constant.
+		bound := 3 * sim.Time(n-1+k) * testFack
+		if res.CompletionTime > bound {
+			t.Fatalf("seed %d: completion %v exceeds 3·(D+k)·Fack = %v",
+				seed, res.CompletionTime, bound)
+		}
+	}
+}
+
+// TestBMMBFlakyLinksEndToEnd runs BMMB over bursty links (the Flaky
+// policy): correctness must be unaffected since BMMB never relies on
+// unreliable deliveries.
+func TestBMMBFlakyLinksEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	d := topology.LineRRestricted(20, 4, 0.7, rng)
+	res := Run(RunConfig{
+		Dual:             d,
+		Fack:             testFack,
+		Fprog:            testFprog,
+		Scheduler:        &sched.Contention{Rel: &sched.Flaky{MeanUp: 60, MeanDown: 120}},
+		Seed:             12,
+		Assignment:       Singleton(20, []graph.NodeID{0, 10, 19}),
+		Automata:         NewBMMBFleet(20),
+		HaltOnCompletion: true,
+		Check:            true,
+	})
+	if !res.Solved {
+		t.Fatalf("not solved: %d/%d", res.Delivered, res.Required)
+	}
+	if res.Report != nil && !res.Report.OK() {
+		t.Fatalf("model violation: %v", res.Report.Violations[0])
+	}
+}
+
+// TestBMMBSingleNodeNetwork is the degenerate boundary: one node, one
+// message, no neighbors. The problem is solved at arrival; the lone
+// broadcast still terminates.
+func TestBMMBSingleNodeNetwork(t *testing.T) {
+	g := graph.New(1)
+	d := topology.Reliable(g, "singleton")
+	res := Run(RunConfig{
+		Dual:             d,
+		Fack:             testFack,
+		Fprog:            testFprog,
+		Scheduler:        &sched.Contention{},
+		Seed:             1,
+		Assignment:       SingleSource(1, 0, 1),
+		Automata:         NewBMMBFleet(1),
+		HaltOnCompletion: false,
+		Check:            true,
+	})
+	if !res.Solved || res.CompletionTime != 0 {
+		t.Fatalf("solved=%v at %v", res.Solved, res.CompletionTime)
+	}
+	if res.Report != nil && !res.Report.OK() {
+		t.Fatalf("model violation: %v", res.Report.Violations[0])
+	}
+}
+
+// TestBMMBLargeScale is a smoke test at a scale an order beyond the other
+// tests: 256 nodes, 16 messages, random scheduler with grey traffic.
+func TestBMMBLargeScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-scale run")
+	}
+	rng := rand.New(rand.NewSource(7))
+	d := topology.LineRRestricted(256, 4, 0.1, rng)
+	k := 16
+	origins := make([]graph.NodeID, k)
+	for i := range origins {
+		origins[i] = graph.NodeID(i * 256 / k)
+	}
+	res := Run(RunConfig{
+		Dual:             d,
+		Fack:             testFack,
+		Fprog:            testFprog,
+		Scheduler:        &sched.Random{Rel: sched.Bernoulli{P: 0.3}},
+		Seed:             7,
+		Assignment:       Singleton(256, origins),
+		Automata:         NewBMMBFleet(256),
+		HaltOnCompletion: true,
+		Check:            true,
+	})
+	if !res.Solved {
+		t.Fatalf("not solved: %d/%d by %v", res.Delivered, res.Required, res.End)
+	}
+	if res.Report != nil && !res.Report.OK() {
+		t.Fatalf("model violation: %v", res.Report.Violations[0])
+	}
+	bound := sim.Time(255)*testFprog + 4*sim.Time(k)*testFack
+	if res.CompletionTime > 3*bound {
+		t.Fatalf("completion %v far above Theorem 3.2 expectation %v", res.CompletionTime, bound)
+	}
+}

@@ -1,0 +1,144 @@
+package graph
+
+import "sort"
+
+// Unreachable is the distance reported for nodes in a different connected
+// component.
+const Unreachable = -1
+
+// BFS returns the hop distance from src to every node; Unreachable for nodes
+// in other components.
+func (g *Graph) BFS(src NodeID) []int {
+	g.check(src)
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	dist[src] = 0
+	queue := make([]NodeID, 0, g.n)
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if dist[v] == Unreachable {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// Dist returns the hop distance dG(u, v), or Unreachable when disconnected.
+func (g *Graph) Dist(u, v NodeID) int {
+	return g.BFS(u)[v]
+}
+
+// Eccentricity returns the maximum finite BFS distance from src (distance to
+// the farthest node in src's component).
+func (g *Graph) Eccentricity(src NodeID) int {
+	max := 0
+	for _, d := range g.BFS(src) {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Diameter returns the maximum eccentricity over all nodes, considering only
+// intra-component distances. For an empty graph it returns 0.
+func (g *Graph) Diameter() int {
+	max := 0
+	for u := 0; u < g.n; u++ {
+		if e := g.Eccentricity(NodeID(u)); e > max {
+			max = e
+		}
+	}
+	return max
+}
+
+// Components returns the connected components as slices of node IDs, each
+// sorted, ordered by smallest member.
+func (g *Graph) Components() [][]NodeID {
+	seen := make([]bool, g.n)
+	var comps [][]NodeID
+	for s := 0; s < g.n; s++ {
+		if seen[s] {
+			continue
+		}
+		var comp []NodeID
+		queue := []NodeID{NodeID(s)}
+		seen[s] = true
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			comp = append(comp, u)
+			for _, v := range g.adj[u] {
+				if !seen[v] {
+					seen[v] = true
+					queue = append(queue, v)
+				}
+			}
+		}
+		sortNodeIDs(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// IsConnected reports whether g has exactly one connected component (true
+// for the empty and single-node graphs).
+func (g *Graph) IsConnected() bool {
+	return g.n <= 1 || len(g.Components()) == 1
+}
+
+// Ball returns all nodes within r hops of center (including center), sorted.
+// It matches the paper's N_G^r(j) notation.
+func (g *Graph) Ball(center NodeID, r int) []NodeID {
+	g.check(center)
+	dist := map[NodeID]int{center: 0}
+	queue := []NodeID{center}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		if dist[u] == r {
+			continue
+		}
+		for _, v := range g.adj[u] {
+			if _, ok := dist[v]; !ok {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	out := make([]NodeID, 0, len(dist))
+	for v := range dist {
+		out = append(out, v)
+	}
+	sortNodeIDs(out)
+	return out
+}
+
+// Power returns Gʳ: the graph on the same nodes with an edge between every
+// pair at hop distance in [1, r] in g (Section 3.2 of the paper; no
+// self-loops).
+func (g *Graph) Power(r int) *Graph {
+	if r < 1 {
+		panic("graph: power exponent must be >= 1")
+	}
+	p := New(g.n)
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.Ball(NodeID(u), r) {
+			if v != NodeID(u) {
+				p.AddEdge(NodeID(u), v)
+			}
+		}
+	}
+	return p
+}
+
+func sortNodeIDs(s []NodeID) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}

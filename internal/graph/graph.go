@@ -1,0 +1,198 @@
+// Package graph provides the undirected-graph machinery the paper's model is
+// built on: adjacency graphs over dense integer node IDs, BFS distances,
+// diameter, connected components, graph powers Gʳ (Section 3.2 of the
+// paper), and independence checks used by the MIS subroutine analysis.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node. Node IDs are dense integers in [0, N).
+type NodeID int
+
+// Graph is an undirected simple graph over nodes 0..n-1 stored as sorted
+// adjacency lists. The zero value is an empty graph with no nodes; use New.
+type Graph struct {
+	n   int
+	adj [][]NodeID
+}
+
+// New returns an empty graph with n nodes and no edges.
+func New(n int) *Graph {
+	if n < 0 {
+		panic("graph: negative node count")
+	}
+	return &Graph{n: n, adj: make([][]NodeID, n)}
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Graph) M() int {
+	total := 0
+	for _, nbrs := range g.adj {
+		total += len(nbrs)
+	}
+	return total / 2
+}
+
+func (g *Graph) check(v NodeID) {
+	if v < 0 || int(v) >= g.n {
+		panic(fmt.Sprintf("graph: node %d out of range [0,%d)", v, g.n))
+	}
+}
+
+// AddEdge inserts the undirected edge (u, v). Self-loops are rejected;
+// duplicate insertions are idempotent.
+func (g *Graph) AddEdge(u, v NodeID) {
+	g.check(u)
+	g.check(v)
+	if u == v {
+		panic("graph: self-loop")
+	}
+	g.insertArc(u, v)
+	g.insertArc(v, u)
+}
+
+func (g *Graph) insertArc(u, v NodeID) {
+	nbrs := g.adj[u]
+	i := sort.Search(len(nbrs), func(i int) bool { return nbrs[i] >= v })
+	if i < len(nbrs) && nbrs[i] == v {
+		return
+	}
+	nbrs = append(nbrs, 0)
+	copy(nbrs[i+1:], nbrs[i:])
+	nbrs[i] = v
+	g.adj[u] = nbrs
+}
+
+// HasEdge reports whether (u, v) is an edge.
+func (g *Graph) HasEdge(u, v NodeID) bool {
+	g.check(u)
+	g.check(v)
+	nbrs := g.adj[u]
+	i := sort.Search(len(nbrs), func(i int) bool { return nbrs[i] >= v })
+	return i < len(nbrs) && nbrs[i] == v
+}
+
+// Neighbors returns u's adjacency list in increasing order. The returned
+// slice is owned by the graph; callers must not mutate it.
+func (g *Graph) Neighbors(u NodeID) []NodeID {
+	g.check(u)
+	return g.adj[u]
+}
+
+// Degree returns the number of neighbors of u.
+func (g *Graph) Degree(u NodeID) int {
+	g.check(u)
+	return len(g.adj[u])
+}
+
+// MaxDegree returns the maximum degree over all nodes (0 for empty graphs).
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for _, nbrs := range g.adj {
+		if len(nbrs) > max {
+			max = len(nbrs)
+		}
+	}
+	return max
+}
+
+// Edges returns every edge once, as pairs (u, v) with u < v, in
+// lexicographic order.
+func (g *Graph) Edges() [][2]NodeID {
+	out := make([][2]NodeID, 0, g.M())
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.adj[u] {
+			if NodeID(u) < v {
+				out = append(out, [2]NodeID{NodeID(u), v})
+			}
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := New(g.n)
+	for u := range g.adj {
+		c.adj[u] = append([]NodeID(nil), g.adj[u]...)
+	}
+	return c
+}
+
+// Union returns a new graph with n nodes containing the edges of both g and
+// h. Both graphs must have the same node count.
+func Union(g, h *Graph) *Graph {
+	if g.n != h.n {
+		panic("graph: union of graphs with different node counts")
+	}
+	u := g.Clone()
+	for _, e := range h.Edges() {
+		u.AddEdge(e[0], e[1])
+	}
+	return u
+}
+
+// IsSubgraphOf reports whether every edge of g is also an edge of h (the
+// paper's G ⊆ G′ requirement).
+func (g *Graph) IsSubgraphOf(h *Graph) bool {
+	if g.n != h.n {
+		return false
+	}
+	for _, e := range g.Edges() {
+		if !h.HasEdge(e[0], e[1]) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsIndependent reports whether no two nodes in set are adjacent in g
+// (G-independence, Section 4 of the paper).
+func (g *Graph) IsIndependent(set []NodeID) bool {
+	in := make(map[NodeID]bool, len(set))
+	for _, v := range set {
+		in[v] = true
+	}
+	for _, v := range set {
+		for _, u := range g.adj[v] {
+			if in[u] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsMaximalIndependent reports whether set is a maximal independent set of
+// g: independent, and every node is in set or adjacent to a member.
+func (g *Graph) IsMaximalIndependent(set []NodeID) bool {
+	if !g.IsIndependent(set) {
+		return false
+	}
+	in := make(map[NodeID]bool, len(set))
+	for _, v := range set {
+		in[v] = true
+	}
+	for u := 0; u < g.n; u++ {
+		if in[NodeID(u)] {
+			continue
+		}
+		covered := false
+		for _, v := range g.adj[u] {
+			if in[v] {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,119 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func quickOpts() Options {
+	return Options{Quick: true, Trials: 2, Seed: 3}
+}
+
+// requireHolds fails unless every shape verdict in the table says HOLDS and
+// none says VIOLATED.
+func requireHolds(t *testing.T, tab *Table) {
+	t.Helper()
+	if len(tab.Rows) == 0 {
+		t.Fatalf("%s: empty table", tab.ID)
+	}
+	sawVerdict := false
+	for _, n := range tab.Notes {
+		if strings.Contains(n, "VIOLATED") {
+			t.Fatalf("%s: %s\n%s", tab.ID, n, tab.String())
+		}
+		if strings.Contains(n, "HOLDS") {
+			sawVerdict = true
+		}
+	}
+	if !sawVerdict {
+		t.Fatalf("%s: no verdict note\n%s", tab.ID, tab.String())
+	}
+}
+
+func TestFig1StdReliable(t *testing.T) {
+	requireHolds(t, Fig1StdReliable(quickOpts()))
+}
+
+func TestFig1StdRRestricted(t *testing.T) {
+	requireHolds(t, Fig1StdRRestricted(quickOpts()))
+}
+
+func TestFig1StdArbitrary(t *testing.T) {
+	requireHolds(t, Fig1StdArbitrary(quickOpts()))
+}
+
+func TestFig2LowerBound(t *testing.T) {
+	requireHolds(t, Fig2LowerBound(quickOpts()))
+}
+
+func TestFig1EnhGreyZone(t *testing.T) {
+	requireHolds(t, Fig1EnhGreyZone(quickOpts()))
+}
+
+func TestAblationFackRatio(t *testing.T) {
+	requireHolds(t, AblationFackRatio(quickOpts()))
+}
+
+func TestMISExperiment(t *testing.T) {
+	tab := MISExperiment(quickOpts())
+	if len(tab.Rows) == 0 {
+		t.Fatal("empty MIS table")
+	}
+	for _, n := range tab.Notes {
+		if strings.Contains(n, "VIOLATED") {
+			t.Fatalf("MIS experiment: %s", n)
+		}
+	}
+	for _, row := range tab.Rows {
+		if row[3] != "true" {
+			t.Fatalf("invalid MIS at n=%s", row[0])
+		}
+	}
+}
+
+func TestSubroutineExperiment(t *testing.T) {
+	tab := SubroutineExperiment(quickOpts())
+	if len(tab.Rows) == 0 {
+		t.Fatal("empty subroutine table")
+	}
+}
+
+func TestMessageComplexity(t *testing.T) {
+	tab := MessageComplexity(quickOpts())
+	if len(tab.Rows) == 0 {
+		t.Fatal("empty complexity table")
+	}
+	for _, row := range tab.Rows {
+		// The flooding invariant: BMMB broadcasts = n·k exactly.
+		if row[3] != "1.00" {
+			t.Fatalf("BMMB broadcast ratio %s != 1.00 (row %v)", row[3], row)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{
+		ID:         "x",
+		Title:      "demo",
+		PaperClaim: "O(1)",
+		Columns:    []string{"a", "bb"},
+	}
+	tab.AddRow("1", "2")
+	tab.AddNote("hello %d", 5)
+	s := tab.String()
+	for _, want := range []string{"## x — demo", "paper: O(1)", "a", "bb", "note: hello 5"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTableRowMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("row/column mismatch did not panic")
+		}
+	}()
+	tab := &Table{Columns: []string{"a"}}
+	tab.AddRow("1", "2")
+}

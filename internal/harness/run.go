@@ -1,0 +1,112 @@
+package harness
+
+import (
+	"fmt"
+
+	"amac/internal/core"
+	"amac/internal/mac"
+	"amac/internal/sched"
+	"amac/internal/sim"
+	"amac/internal/topology"
+)
+
+// Options configures the experiment harness.
+type Options struct {
+	// Fprog and Fack are the model constants; zero selects 10 and 200
+	// ticks (ratio 20, honoring Fprog ≪ Fack).
+	Fprog, Fack sim.Time
+	// Seed is the base random seed; trial t of an experiment uses
+	// Seed + t.
+	Seed int64
+	// Trials is the number of repetitions averaged per data point; zero
+	// selects 3.
+	Trials int
+	// Quick shrinks sweeps for use inside testing.B benchmarks.
+	Quick bool
+	// Check verifies model guarantees on every run (slower).
+	Check bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Fprog == 0 {
+		o.Fprog = 10
+	}
+	if o.Fack == 0 {
+		o.Fack = 200
+	}
+	if o.Trials == 0 {
+		o.Trials = 3
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// bmmbRun executes BMMB once and returns the result, panicking on a failed
+// run: experiments are calibrated so every run must solve the instance.
+func bmmbRun(o Options, d *topology.Dual, s mac.Scheduler, a core.Assignment, seed int64) *core.Result {
+	res := core.Run(core.RunConfig{
+		Dual:             d,
+		Fack:             o.Fack,
+		Fprog:            o.Fprog,
+		Scheduler:        s,
+		Seed:             seed,
+		Assignment:       a,
+		Automata:         core.NewBMMBFleet(d.N()),
+		HaltOnCompletion: true,
+		Check:            o.Check,
+	})
+	if !res.Solved {
+		panic(fmt.Sprintf("harness: BMMB failed on %s (%d/%d delivered by %v)",
+			d.Name, res.Delivered, res.Required, res.End))
+	}
+	if res.Report != nil && !res.Report.OK() {
+		panic(fmt.Sprintf("harness: model violation on %s: %v", d.Name, res.Report.Violations[0]))
+	}
+	return res
+}
+
+// fmmbRun executes FMMB once in the enhanced model.
+func fmmbRun(o Options, d *topology.Dual, c float64, a core.Assignment, seed int64, halt bool) (*core.Result, core.FMMBConfig) {
+	cfg := core.FMMBConfig{N: d.N(), K: a.K(), D: d.G.Diameter(), C: c}
+	res := core.Run(core.RunConfig{
+		Dual:             d,
+		Fack:             o.Fack,
+		Fprog:            o.Fprog,
+		Scheduler:        &sched.Slot{},
+		Mode:             mac.Enhanced,
+		Seed:             seed,
+		Assignment:       a,
+		Automata:         core.NewFMMBFleet(d.N(), cfg),
+		Horizon:          sim.Time(cfg.Rounds()+2) * o.Fprog,
+		StepLimit:        1 << 62,
+		HaltOnCompletion: halt,
+		Check:            o.Check,
+	})
+	if !res.Solved {
+		panic(fmt.Sprintf("harness: FMMB failed on %s seed %d (%d/%d delivered by %v)",
+			d.Name, seed, res.Delivered, res.Required, res.End))
+	}
+	if res.Report != nil && !res.Report.OK() {
+		panic(fmt.Sprintf("harness: model violation on %s: %v", d.Name, res.Report.Violations[0]))
+	}
+	return res, cfg
+}
+
+// meanCompletion averages completion time over trials, varying the seed.
+func meanCompletion(o Options, run func(seed int64) sim.Time) float64 {
+	var sum float64
+	for tr := 0; tr < o.Trials; tr++ {
+		sum += float64(run(o.Seed + int64(tr)))
+	}
+	return sum / float64(o.Trials)
+}
+
+// ticksStr formats a tick count.
+func ticksStr(v float64) string { return fmt.Sprintf("%.0f", v) }
+
+// ratioStr formats a measured/bound ratio.
+func ratioStr(measured, bound float64) string {
+	return fmt.Sprintf("%.3f", measured/bound)
+}

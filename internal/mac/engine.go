@@ -1,0 +1,380 @@
+package mac
+
+import (
+	"fmt"
+	"math/rand"
+
+	"amac/internal/sim"
+	"amac/internal/topology"
+)
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Dual is the network (G, G′). Required.
+	Dual *topology.Dual
+	// Fack is the acknowledgment bound in ticks. Must be ≥ Fprog.
+	Fack sim.Time
+	// Fprog is the progress bound in ticks. Must be ≥ 2 (schedulers need
+	// at least one tick of slack inside a progress window).
+	Fprog sim.Time
+	// Scheduler supplies the model's non-determinism. Required.
+	Scheduler Scheduler
+	// Mode selects Standard or Enhanced. Defaults to Standard.
+	Mode Mode
+	// Seed drives all randomness (engine, per-node streams, scheduler).
+	Seed int64
+	// EpsAbort bounds how long after an abort a rcv caused by the aborted
+	// instance may still occur (the paper's ε_abort). Defaults to 0.
+	EpsAbort sim.Time
+	// TraceCap bounds trace memory; 0 keeps everything.
+	TraceCap int
+}
+
+// Scheduler is the source of the model's non-determinism: it decides when
+// each G-neighbor receives a broadcast, whether and when each G′\G
+// neighbor receives it, and when the acknowledgment fires — subject to the
+// model guarantees, which the engine enforces at delivery time and package
+// check re-verifies from the recorded instances.
+type Scheduler interface {
+	// Name identifies the scheduler in reports.
+	Name() string
+	// Attach binds the scheduler to an engine before the run starts.
+	Attach(api API)
+	// OnBcast is invoked at the instant a node initiates a broadcast.
+	OnBcast(b *Instance)
+	// OnAbort is invoked when a sender aborts an instance (enhanced mode).
+	OnAbort(b *Instance)
+}
+
+// API is the engine surface exposed to schedulers.
+type API interface {
+	// Now returns current virtual time.
+	Now() sim.Time
+	// Fack returns the acknowledgment bound.
+	Fack() sim.Time
+	// Fprog returns the progress bound.
+	Fprog() sim.Time
+	// Dual returns the network.
+	Dual() *topology.Dual
+	// Rand returns the scheduler's deterministic random stream.
+	Rand() *rand.Rand
+	// At schedules fn at absolute virtual time t.
+	At(t sim.Time, fn func()) sim.Handle
+	// Deliver performs a rcv event for instance b at node to, now.
+	// It enforces receive correctness and panics on violations (a
+	// scheduler bug, not a model behavior).
+	Deliver(b *Instance, to NodeID)
+	// Ack performs the ack event for instance b, now. It enforces
+	// acknowledgment correctness (all G-neighbors already received) and
+	// the acknowledgment bound.
+	Ack(b *Instance)
+}
+
+// Engine composes a dual network, one automaton per node, and a scheduler
+// into an executable abstract MAC layer system.
+type Engine struct {
+	cfg       Config
+	sim       *sim.Engine
+	nodes     []*nodeState
+	trace     sim.Trace
+	insts     []*Instance
+	nextID    InstanceID
+	schedRand *rand.Rand
+	watchers  []func(sim.TraceEvent)
+}
+
+type nodeState struct {
+	eng       *Engine
+	id        NodeID
+	automaton Automaton
+	pending   *Instance
+	rng       *rand.Rand
+}
+
+var _ EnhancedContext = (*nodeState)(nil)
+
+// NewEngine validates cfg, instantiates per-node state with the given
+// automata (one per node of the dual, in node order) and returns the ready
+// engine. It panics on configuration errors: these are programming
+// mistakes, not runtime conditions.
+func NewEngine(cfg Config, automata []Automaton) *Engine {
+	if cfg.Dual == nil {
+		panic("mac: nil dual")
+	}
+	if err := cfg.Dual.Validate(); err != nil {
+		panic(fmt.Sprintf("mac: invalid dual: %v", err))
+	}
+	if cfg.Scheduler == nil {
+		panic("mac: nil scheduler")
+	}
+	if cfg.Fprog < 2 {
+		panic("mac: Fprog must be >= 2 ticks")
+	}
+	if cfg.Fack < cfg.Fprog {
+		panic("mac: Fack must be >= Fprog")
+	}
+	if cfg.Mode == 0 {
+		cfg.Mode = Standard
+	}
+	if len(automata) != cfg.Dual.N() {
+		panic(fmt.Sprintf("mac: %d automata for %d nodes", len(automata), cfg.Dual.N()))
+	}
+	e := &Engine{
+		cfg: cfg,
+		sim: sim.NewEngine(cfg.Seed),
+	}
+	if cfg.TraceCap > 0 {
+		e.trace.SetCap(cfg.TraceCap)
+	}
+	e.schedRand = e.sim.Fork(-1)
+	e.nodes = make([]*nodeState, cfg.Dual.N())
+	for i := range e.nodes {
+		e.nodes[i] = &nodeState{
+			eng:       e,
+			id:        NodeID(i),
+			automaton: automata[i],
+			rng:       e.sim.Fork(int64(i)),
+		}
+	}
+	cfg.Scheduler.Attach(e)
+	return e
+}
+
+// Sim exposes the underlying simulation engine (tests and runners use it
+// for horizons and step limits).
+func (e *Engine) Sim() *sim.Engine { return e.sim }
+
+// Mode returns the configured model variant.
+func (e *Engine) Mode() Mode { return e.cfg.Mode }
+
+// Trace returns the execution trace.
+func (e *Engine) Trace() *sim.Trace { return &e.trace }
+
+// Instances returns every broadcast instance recorded so far, in creation
+// order. The slice and records are owned by the engine.
+func (e *Engine) Instances() []*Instance { return e.insts }
+
+// Watch registers fn to observe every trace event as it is appended.
+func (e *Engine) Watch(fn func(sim.TraceEvent)) {
+	e.watchers = append(e.watchers, fn)
+}
+
+func (e *Engine) emit(kind string, node NodeID, arg any) {
+	ev := sim.TraceEvent{At: e.sim.Now(), Kind: kind, Node: int(node), Arg: arg}
+	e.trace.Append(ev)
+	for _, w := range e.watchers {
+		w(ev)
+	}
+}
+
+// Start schedules the wake-up event for every node at time zero. It must be
+// called exactly once, before Run.
+func (e *Engine) Start() {
+	for _, ns := range e.nodes {
+		ns := ns
+		e.sim.At(0, func() { ns.automaton.Wakeup(ns) })
+	}
+}
+
+// Arrive schedules an environment input (the MMB arrive event) for node v
+// at time t. The automaton must implement Arriver.
+func (e *Engine) Arrive(v NodeID, payload any, t sim.Time) {
+	ns := e.node(v)
+	ar, ok := ns.automaton.(Arriver)
+	if !ok {
+		panic(fmt.Sprintf("mac: node %d automaton does not accept arrive events", v))
+	}
+	e.sim.At(t, func() {
+		e.emit("arrive", v, payload)
+		ar.Arrive(ns, payload)
+	})
+}
+
+// Run executes the system until the event queue drains, the horizon is
+// reached, or Halt is called.
+func (e *Engine) Run() { _ = e.sim.Run() }
+
+// Halt stops the run after the current event.
+func (e *Engine) Halt() { e.sim.Halt() }
+
+func (e *Engine) node(v NodeID) *nodeState {
+	if int(v) < 0 || int(v) >= len(e.nodes) {
+		panic(fmt.Sprintf("mac: node %d out of range", v))
+	}
+	return e.nodes[v]
+}
+
+// --- API (scheduler surface) ---
+
+// Now returns the current virtual time.
+func (e *Engine) Now() sim.Time { return e.sim.Now() }
+
+// Fack returns the acknowledgment bound.
+func (e *Engine) Fack() sim.Time { return e.cfg.Fack }
+
+// Fprog returns the progress bound.
+func (e *Engine) Fprog() sim.Time { return e.cfg.Fprog }
+
+// Dual returns the network.
+func (e *Engine) Dual() *topology.Dual { return e.cfg.Dual }
+
+// Rand returns the scheduler's random stream.
+func (e *Engine) Rand() *rand.Rand { return e.schedRand }
+
+// At schedules fn at absolute time t on the simulation clock.
+func (e *Engine) At(t sim.Time, fn func()) sim.Handle { return e.sim.At(t, fn) }
+
+// Deliver performs the rcv event for b at node to. The engine enforces
+// receive correctness (Section 3.2.1): the receiver must be a G′ neighbor
+// of the sender, must not have received this instance already, the
+// instance must not be acked, and deliveries after an abort must fall
+// within EpsAbort.
+func (e *Engine) Deliver(b *Instance, to NodeID) {
+	if to == b.Sender {
+		panic(fmt.Sprintf("mac: delivery of instance %d to its own sender", b.ID))
+	}
+	if !e.cfg.Dual.GPrime.HasEdge(b.Sender, to) {
+		panic(fmt.Sprintf("mac: delivery %d→%d without a G' edge", b.Sender, to))
+	}
+	if _, dup := b.Delivered[to]; dup {
+		panic(fmt.Sprintf("mac: duplicate delivery of instance %d to %d", b.ID, to))
+	}
+	now := e.sim.Now()
+	switch b.Term {
+	case Acked:
+		panic(fmt.Sprintf("mac: delivery of instance %d after its ack", b.ID))
+	case Aborted:
+		if now > b.TermAt+e.cfg.EpsAbort {
+			panic(fmt.Sprintf("mac: delivery of instance %d %v after abort (eps=%v)",
+				b.ID, now-b.TermAt, e.cfg.EpsAbort))
+		}
+	}
+	b.Delivered[to] = now
+	e.emit("rcv", to, b.ID)
+	ns := e.node(to)
+	ns.automaton.Recv(ns, Message{Instance: b.ID, Sender: b.Sender, Payload: b.Payload})
+}
+
+// Ack performs the acknowledgment for b. The engine enforces
+// acknowledgment correctness (every G-neighbor of the sender has received
+// b) and the acknowledgment bound (now ≤ start + Fack).
+func (e *Engine) Ack(b *Instance) {
+	if b.Term != Active {
+		panic(fmt.Sprintf("mac: double termination of instance %d", b.ID))
+	}
+	now := e.sim.Now()
+	if now > b.Start+e.cfg.Fack {
+		panic(fmt.Sprintf("mac: ack of instance %d at %v violates Fack bound (start %v, Fack %v)",
+			b.ID, now, b.Start, e.cfg.Fack))
+	}
+	for _, v := range e.cfg.Dual.G.Neighbors(b.Sender) {
+		if _, ok := b.Delivered[v]; !ok {
+			panic(fmt.Sprintf("mac: ack of instance %d before G-neighbor %d received", b.ID, v))
+		}
+	}
+	b.Term = Acked
+	b.TermAt = now
+	ns := e.node(b.Sender)
+	if ns.pending != b {
+		panic(fmt.Sprintf("mac: ack for instance %d which is not pending at %d", b.ID, b.Sender))
+	}
+	ns.pending = nil
+	e.emit("ack", b.Sender, b.ID)
+	ns.automaton.Acked(ns, Message{Instance: b.ID, Sender: b.Sender, Payload: b.Payload})
+}
+
+// --- nodeState: the Context / EnhancedContext implementation ---
+
+// ID returns the node's identifier.
+func (ns *nodeState) ID() NodeID { return ns.id }
+
+// N returns the network size.
+func (ns *nodeState) N() int { return ns.eng.cfg.Dual.N() }
+
+// Bcast initiates an acknowledged local broadcast of payload.
+func (ns *nodeState) Bcast(payload any) {
+	if ns.pending != nil {
+		panic(fmt.Sprintf("mac: node %d bcast while instance %d pending (user well-formedness)",
+			ns.id, ns.pending.ID))
+	}
+	e := ns.eng
+	b := &Instance{
+		ID:        e.nextID,
+		Sender:    ns.id,
+		Payload:   payload,
+		Start:     e.sim.Now(),
+		Delivered: make(map[NodeID]sim.Time, e.cfg.Dual.GPrime.Degree(ns.id)),
+	}
+	e.nextID++
+	e.insts = append(e.insts, b)
+	ns.pending = b
+	e.emit("bcast", ns.id, b.ID)
+	e.cfg.Scheduler.OnBcast(b)
+}
+
+// Pending reports whether a broadcast awaits termination.
+func (ns *nodeState) Pending() bool { return ns.pending != nil }
+
+// GNeighbors returns the node's reliable neighbors.
+func (ns *nodeState) GNeighbors() []NodeID {
+	return ns.eng.cfg.Dual.G.Neighbors(ns.id)
+}
+
+// GPrimeNeighbors returns the node's G′ neighbors.
+func (ns *nodeState) GPrimeNeighbors() []NodeID {
+	return ns.eng.cfg.Dual.GPrime.Neighbors(ns.id)
+}
+
+// Rand returns the node's private random stream.
+func (ns *nodeState) Rand() *rand.Rand { return ns.rng }
+
+// Emit appends an algorithm-level trace event attributed to this node.
+func (ns *nodeState) Emit(kind string, arg any) { ns.eng.emit(kind, ns.id, arg) }
+
+func (ns *nodeState) requireEnhanced(op string) {
+	if ns.eng.cfg.Mode != Enhanced {
+		panic(fmt.Sprintf("mac: %s requires the enhanced abstract MAC layer", op))
+	}
+}
+
+// Now returns the current time (enhanced mode only).
+func (ns *nodeState) Now() sim.Time {
+	ns.requireEnhanced("Now")
+	return ns.eng.sim.Now()
+}
+
+// Fack returns the acknowledgment bound (enhanced mode only).
+func (ns *nodeState) Fack() sim.Time {
+	ns.requireEnhanced("Fack")
+	return ns.eng.cfg.Fack
+}
+
+// Fprog returns the progress bound (enhanced mode only).
+func (ns *nodeState) Fprog() sim.Time {
+	ns.requireEnhanced("Fprog")
+	return ns.eng.cfg.Fprog
+}
+
+// SetTimer schedules a Timer callback (enhanced mode only).
+func (ns *nodeState) SetTimer(d sim.Duration, tag any) sim.Handle {
+	ns.requireEnhanced("SetTimer")
+	th, ok := ns.automaton.(TimerHandler)
+	if !ok {
+		panic(fmt.Sprintf("mac: node %d sets a timer but does not implement TimerHandler", ns.id))
+	}
+	return ns.eng.sim.After(d, func() { th.Timer(ns, tag) })
+}
+
+// Abort aborts the pending broadcast (enhanced mode only); no-op if none.
+func (ns *nodeState) Abort() {
+	ns.requireEnhanced("Abort")
+	b := ns.pending
+	if b == nil {
+		return
+	}
+	b.Term = Aborted
+	b.TermAt = ns.eng.sim.Now()
+	ns.pending = nil
+	ns.eng.emit("abort", ns.id, b.ID)
+	ns.eng.cfg.Scheduler.OnAbort(b)
+}

@@ -1,0 +1,157 @@
+// Package mac implements the paper's abstract MAC layer models (Section 2):
+// an acknowledged local broadcast service over a dual graph (G, G′) with
+// per-execution timing constants Fack and Fprog, in both the standard
+// variant (event-driven automata with no clock access) and the enhanced
+// variant (timers, knowledge of Fack/Fprog, and an abort interface).
+//
+// Non-determinism — which G′\G neighbors receive each message, the order of
+// receive events, and all timing within the bounds — is delegated to a
+// pluggable Scheduler (package sched provides benign, contention-based and
+// adversarial implementations). The engine records every broadcast instance
+// so package check can verify the model guarantees (receive correctness,
+// acknowledgment correctness, termination, and both time bounds) after a
+// run.
+package mac
+
+import (
+	"fmt"
+	"math/rand"
+
+	"amac/internal/graph"
+	"amac/internal/sim"
+)
+
+// NodeID aliases graph.NodeID; nodes are dense integers in [0, n).
+type NodeID = graph.NodeID
+
+// InstanceID uniquely identifies one broadcast instance (one bcast event
+// and all rcv/ack/abort events caused by it). The paper assumes all local
+// broadcast messages are unique; instance IDs realize that assumption.
+type InstanceID int64
+
+// Message is what a receiver sees: the payload together with the sending
+// node and the instance that carried it.
+type Message struct {
+	Instance InstanceID
+	Sender   NodeID
+	Payload  any
+}
+
+// Mode selects which abstract MAC layer variant the engine exposes.
+type Mode int
+
+const (
+	// Standard is the standard abstract MAC layer: event-driven automata,
+	// no clock access, no abort.
+	Standard Mode = iota + 1
+	// Enhanced adds time (timers), knowledge of Fack and Fprog, and the
+	// abort interface (Section 4).
+	Enhanced
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case Standard:
+		return "standard"
+	case Enhanced:
+		return "enhanced"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Context is the interface the standard abstract MAC layer presents to a
+// node automaton. All methods must be called only from within automaton
+// callbacks (the engine is single-threaded).
+type Context interface {
+	// ID returns the node's unique identifier.
+	ID() NodeID
+	// N returns the network size n (nodes know n, as required by the
+	// paper's w.h.p. guarantees).
+	N() int
+	// Bcast initiates an acknowledged local broadcast. User
+	// well-formedness (Section 3.2.1) requires no broadcast be pending;
+	// violating that panics.
+	Bcast(payload any)
+	// Pending reports whether a broadcast awaits its ack/abort.
+	Pending() bool
+	// GNeighbors returns the node's reliable neighbors (sorted). Nodes can
+	// distinguish G from G′ neighbors, as justified in Section 2.
+	GNeighbors() []NodeID
+	// GPrimeNeighbors returns the node's G′ neighbors (sorted).
+	GPrimeNeighbors() []NodeID
+	// Rand returns this node's deterministic private random stream.
+	Rand() *rand.Rand
+	// Emit appends an algorithm-level event to the execution trace.
+	Emit(kind string, arg any)
+}
+
+// EnhancedContext extends Context with the extra powers of the enhanced
+// abstract MAC layer. Calling these in Standard mode panics.
+type EnhancedContext interface {
+	Context
+	// Now returns the current virtual time.
+	Now() sim.Time
+	// Fack returns the execution's acknowledgment bound.
+	Fack() sim.Time
+	// Fprog returns the execution's progress bound.
+	Fprog() sim.Time
+	// SetTimer schedules a Timer callback d ticks from now carrying tag.
+	SetTimer(d sim.Duration, tag any) sim.Handle
+	// Abort aborts the pending broadcast; no-op if none is pending.
+	Abort()
+}
+
+// Automaton is a node program for the standard layer. Implementations
+// receive an EnhancedContext when the engine runs in Enhanced mode (the
+// static type is Context; type-assert or use the helpers in this package).
+type Automaton interface {
+	// Wakeup fires once per node at time zero, before any other event.
+	Wakeup(ctx Context)
+	// Recv delivers a message from the MAC layer.
+	Recv(ctx Context, m Message)
+	// Acked reports completion of the node's current broadcast.
+	Acked(ctx Context, m Message)
+}
+
+// Arriver is implemented by automata that accept environment inputs
+// (the MMB arrive(m) event).
+type Arriver interface {
+	Arrive(ctx Context, payload any)
+}
+
+// TimerHandler is implemented by enhanced-model automata that set timers.
+type TimerHandler interface {
+	Timer(ctx EnhancedContext, tag any)
+}
+
+// Status classifies a broadcast instance's terminating event.
+type Status int
+
+const (
+	// Active means the instance has not yet been acked or aborted.
+	Active Status = iota
+	// Acked means the instance terminated with an acknowledgment.
+	Acked
+	// Aborted means the sender aborted the instance.
+	Aborted
+)
+
+// Instance records one broadcast instance: the bcast event and everything
+// the cause function maps to it. Checkers consume these records.
+type Instance struct {
+	ID      InstanceID
+	Sender  NodeID
+	Payload any
+	Start   sim.Time
+	// Delivered maps each receiver to its rcv time.
+	Delivered map[NodeID]sim.Time
+	// TermAt is the time of the terminating event (ack or abort);
+	// meaningful only when Term != Active.
+	TermAt sim.Time
+	Term   Status
+}
+
+// Terminated reports whether the instance has been acked or aborted.
+func (b *Instance) Terminated() bool { return b.Term != Active }

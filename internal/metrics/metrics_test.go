@@ -1,0 +1,167 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"amac/internal/core"
+	"amac/internal/graph"
+	"amac/internal/mac"
+	"amac/internal/sched"
+	"amac/internal/sim"
+	"amac/internal/topology"
+)
+
+func runSample(t *testing.T) (*core.Result, *topology.Dual) {
+	t.Helper()
+	d := topology.LineRRestricted(10, 2, 1.0, nil)
+	res := core.Run(core.RunConfig{
+		Dual:             d,
+		Fack:             200,
+		Fprog:            10,
+		Scheduler:        &sched.Sync{Rel: sched.Always{}},
+		Seed:             1,
+		Assignment:       core.SingleSource(10, 0, 3),
+		Automata:         core.NewBMMBFleet(10),
+		HaltOnCompletion: false, // run to quiescence so every instance acks
+	})
+	if !res.Solved {
+		t.Fatal("sample run unsolved")
+	}
+	return res, d
+}
+
+func TestCollectCounts(t *testing.T) {
+	res, d := runSample(t)
+	rep := Collect(d, res.Engine.Instances(), res.Engine.Trace())
+
+	if rep.TotalInstances != res.Broadcasts {
+		t.Fatalf("instances %d != broadcasts %d", rep.TotalInstances, res.Broadcasts)
+	}
+	if rep.TotalBroadcasts() != rep.TotalInstances {
+		t.Fatalf("per-node sum %d != total %d", rep.TotalBroadcasts(), rep.TotalInstances)
+	}
+	// BMMB on a connected reliable-ish network: every node broadcasts each
+	// of the 3 messages exactly once.
+	for i, ns := range rep.Nodes {
+		if ns.Broadcasts != 3 {
+			t.Fatalf("node %d broadcast %d times, want 3", i, ns.Broadcasts)
+		}
+		if ns.Acks != 3 || ns.Aborts != 0 {
+			t.Fatalf("node %d acks=%d aborts=%d", i, ns.Acks, ns.Aborts)
+		}
+	}
+	if rep.Aborted != 0 {
+		t.Fatalf("aborted = %d", rep.Aborted)
+	}
+	// With Rel=Always over a 2-restricted line, grey deliveries must
+	// appear.
+	if rep.GreyDeliveries == 0 {
+		t.Fatal("no grey-zone deliveries recorded")
+	}
+	if rep.ReliableDeliveries == 0 {
+		t.Fatal("no reliable deliveries recorded")
+	}
+}
+
+func TestCollectAckLatencies(t *testing.T) {
+	res, d := runSample(t)
+	rep := Collect(d, res.Engine.Instances(), res.Engine.Trace())
+	// Sync scheduler acks at exactly Fack.
+	if rep.MaxAckLatency() != 200 || rep.MedianAckLatency() != 200 {
+		t.Fatalf("ack latencies: median %v max %v, want 200",
+			rep.MedianAckLatency(), rep.MaxAckLatency())
+	}
+}
+
+func TestCollectMessageLatencies(t *testing.T) {
+	res, d := runSample(t)
+	rep := Collect(d, res.Engine.Instances(), res.Engine.Trace())
+	if len(rep.Msgs) != 3 {
+		t.Fatalf("msgs = %d, want 3", len(rep.Msgs))
+	}
+	for key, ms := range rep.Msgs {
+		m := key.(core.Msg)
+		if ms.Deliveries != 10 {
+			t.Fatalf("%v delivered %d times, want 10", m, ms.Deliveries)
+		}
+		if ms.ArriveAt != 0 {
+			t.Fatalf("%v arrived at %v", m, ms.ArriveAt)
+		}
+		if ms.Latency() <= 0 {
+			t.Fatalf("%v latency %v", m, ms.Latency())
+		}
+		if ms.FirstDeliver > ms.LastDeliver {
+			t.Fatalf("%v first %v after last %v", m, ms.FirstDeliver, ms.LastDeliver)
+		}
+	}
+}
+
+func TestCollectAborts(t *testing.T) {
+	// FMMB aborts collided broadcasts; the report must count them.
+	d := topology.Grid(3, 3)
+	cfg := core.FMMBConfig{N: 9, K: 2, D: d.G.Diameter(), C: 1.0}
+	res := core.Run(core.RunConfig{
+		Dual:             d,
+		Fack:             200,
+		Fprog:            10,
+		Scheduler:        &sched.Slot{},
+		Mode:             mac.Enhanced,
+		Seed:             4,
+		Assignment:       core.Singleton(9, []graph.NodeID{0, 8}),
+		Automata:         core.NewFMMBFleet(9, cfg),
+		Horizon:          sim.Time(cfg.Rounds()+2) * 10,
+		StepLimit:        1 << 62,
+		HaltOnCompletion: true,
+	})
+	if !res.Solved {
+		t.Fatal("FMMB run unsolved")
+	}
+	rep := Collect(d, res.Engine.Instances(), res.Engine.Trace())
+	if rep.Aborted == 0 {
+		t.Fatal("FMMB run recorded no aborts — collisions must abort")
+	}
+	if rep.Aborted >= rep.TotalInstances {
+		t.Fatal("everything aborted — nothing succeeded")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	res, d := runSample(t)
+	rep := Collect(d, res.Engine.Instances(), res.Engine.Trace())
+	s := rep.String()
+	for _, want := range []string{"instances:", "deliveries:", "ack latency:", "busiest node:", "worst message latency:"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("summary missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestBusiestNode(t *testing.T) {
+	// On a star choke, the hub relays everything: it must be among the
+	// busiest broadcast counts... every node broadcasts k messages under
+	// BMMB, so instead check receives: the hub receives from all leaves.
+	s := topology.NewStarChoke(6)
+	a := make(core.Assignment, s.N())
+	for i := 1; i < 6; i++ {
+		v := s.Source(i)
+		a[v] = []core.Msg{{ID: i - 1, Origin: v}}
+	}
+	a[s.Hub()] = []core.Msg{{ID: 5, Origin: s.Hub()}}
+	res := core.Run(core.RunConfig{
+		Dual: s.Dual, Fack: 200, Fprog: 10,
+		Scheduler: &sched.Sync{}, Seed: 2,
+		Assignment: a, Automata: core.NewBMMBFleet(s.N()),
+	})
+	if !res.Solved {
+		t.Fatal("unsolved")
+	}
+	rep := Collect(s.Dual, res.Engine.Instances(), res.Engine.Trace())
+	hub := int(s.Hub())
+	for i, ns := range rep.Nodes {
+		if i != hub && ns.Receives > rep.Nodes[hub].Receives {
+			t.Fatalf("node %d received more (%d) than the hub (%d)",
+				i, ns.Receives, rep.Nodes[hub].Receives)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package sched
+
+import (
+	"amac/internal/mac"
+	"amac/internal/sim"
+)
+
+// Contention models a congested MAC: each receiver accepts at most one
+// message per Fprog window (a "slot"), choosing among pending candidates by
+// earliest deadline first. Reliable deliveries carry a hard deadline of
+// bcast + Fack and are force-delivered when a slot can no longer wait, so
+// the acknowledgment bound always holds; unreliable deliveries are
+// best-effort and dropped when their instance terminates first.
+//
+// This scheduler makes the Fprog ≪ Fack separation emerge organically: a
+// node surrounded by many concurrent broadcasters receives *something*
+// every Fprog (progress bound) while any *specific* message may take the
+// full Fack (acknowledgment bound) — the star example from the paper's
+// introduction, footnote 2.
+type Contention struct {
+	// Rel selects which unreliable links fire; nil means Never.
+	Rel Reliability
+
+	api mac.API
+	rcv []receiverState
+}
+
+type candidate struct {
+	inst     *mac.Instance
+	deadline sim.Time
+	required bool
+}
+
+type receiverState struct {
+	pending   []candidate
+	scheduled bool
+	nextAt    sim.Time // when the scheduled processing fires
+}
+
+var _ mac.Scheduler = (*Contention)(nil)
+
+// Name implements mac.Scheduler.
+func (c *Contention) Name() string {
+	rel := "never"
+	if c.Rel != nil {
+		rel = c.Rel.Name()
+	}
+	return "contention(rel=" + rel + ")"
+}
+
+// Attach implements mac.Scheduler.
+func (c *Contention) Attach(api mac.API) {
+	c.api = api
+	c.rcv = make([]receiverState, api.Dual().N())
+}
+
+// OnBcast implements mac.Scheduler.
+func (c *Contention) OnBcast(b *mac.Instance) {
+	deadline := b.Start + c.api.Fack()
+	for _, j := range c.api.Dual().G.Neighbors(b.Sender) {
+		c.enqueue(j, candidate{inst: b, deadline: deadline, required: true})
+	}
+	for _, j := range greyTargets(c.api, b, c.Rel) {
+		c.enqueue(j, candidate{inst: b, deadline: deadline, required: false})
+	}
+	if c.api.Dual().G.Degree(b.Sender) == 0 {
+		// No reliable neighbors to wait for: ack after one progress window.
+		c.api.At(b.Start+c.api.Fprog(), func() {
+			if b.Term == mac.Active {
+				c.api.Ack(b)
+			}
+		})
+	}
+}
+
+// OnAbort implements mac.Scheduler. Terminated instances are dropped lazily
+// at processing time.
+func (c *Contention) OnAbort(*mac.Instance) {}
+
+func (c *Contention) enqueue(j mac.NodeID, cand candidate) {
+	rs := &c.rcv[j]
+	rs.pending = append(rs.pending, cand)
+	now := c.api.Now()
+	// A fresh delivery takes one progress window; if the receiver already
+	// has a processing slot booked sooner, the cadence serves everyone.
+	want := now + c.api.Fprog()
+	if !rs.scheduled || rs.nextAt > want {
+		c.schedule(j, want)
+	}
+}
+
+func (c *Contention) schedule(j mac.NodeID, at sim.Time) {
+	rs := &c.rcv[j]
+	rs.scheduled = true
+	rs.nextAt = at
+	c.api.At(at, func() {
+		if rs.nextAt == at && rs.scheduled {
+			rs.scheduled = false
+			c.process(j)
+		}
+	})
+}
+
+// process runs one receive slot for j: drop dead candidates, deliver the
+// earliest-deadline candidate, then force-deliver any required candidate
+// that cannot survive another slot.
+func (c *Contention) process(j mac.NodeID) {
+	rs := &c.rcv[j]
+	now := c.api.Now()
+
+	live := rs.pending[:0]
+	for _, cand := range rs.pending {
+		if cand.inst.Terminated() {
+			continue // unreliable candidate whose instance finished; drop
+		}
+		live = append(live, cand)
+	}
+	rs.pending = live
+	if len(rs.pending) == 0 {
+		return
+	}
+
+	best := 0
+	for i, cand := range rs.pending {
+		if cand.deadline < rs.pending[best].deadline ||
+			(cand.deadline == rs.pending[best].deadline && cand.required && !rs.pending[best].required) {
+			best = i
+		}
+	}
+	c.deliver(j, best)
+
+	// Force-deliver reliable candidates that would miss their deadline if
+	// they waited one more slot (deadline enforcement beats slot capacity:
+	// the model's Fack bound is unconditional).
+	for i := 0; i < len(rs.pending); {
+		cand := rs.pending[i]
+		if cand.required && cand.deadline <= now+c.api.Fprog() {
+			c.deliver(j, i)
+			continue
+		}
+		i++
+	}
+
+	if len(rs.pending) > 0 {
+		c.schedule(j, now+c.api.Fprog())
+	}
+}
+
+// deliver performs the rcv for pending[i] and removes it, acking the
+// instance when its last reliable delivery completes.
+func (c *Contention) deliver(j mac.NodeID, i int) {
+	rs := &c.rcv[j]
+	cand := rs.pending[i]
+	rs.pending = append(rs.pending[:i], rs.pending[i+1:]...)
+	c.api.Deliver(cand.inst, j)
+	if cand.required && c.allReliableDelivered(cand.inst) {
+		c.api.Ack(cand.inst)
+	}
+}
+
+func (c *Contention) allReliableDelivered(b *mac.Instance) bool {
+	for _, v := range c.api.Dual().G.Neighbors(b.Sender) {
+		if _, ok := b.Delivered[v]; !ok {
+			return false
+		}
+	}
+	return true
+}

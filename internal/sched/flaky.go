@@ -1,0 +1,82 @@
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+
+	"amac/internal/mac"
+	"amac/internal/sim"
+)
+
+// Flaky is a stateful reliability policy modeling bursty interference: each
+// unreliable edge alternates between an "up" phase, during which it behaves
+// reliably, and a "down" phase, during which it drops everything. Phase
+// lengths are geometric with the configured means, and each edge evolves
+// independently — so a message can find a link up that was down moments
+// earlier, exactly the temporal unreliability the dual-graph model
+// abstracts (cf. the "dynamic fault model" of Clementi et al. the paper
+// cites as the low-level ancestor of dual graphs).
+//
+// Flaky consults virtual time through the instances it sees; it must be
+// used within a single execution.
+type Flaky struct {
+	// MeanUp and MeanDown are the expected phase lengths in ticks.
+	// Zero values select 5·Fprog-ish defaults of 50 and 50.
+	MeanUp, MeanDown sim.Time
+
+	edges map[[2]mac.NodeID]*edgeState
+}
+
+type edgeState struct {
+	up    bool
+	until sim.Time
+}
+
+var _ Reliability = (*Flaky)(nil)
+
+// Name implements Reliability.
+func (f *Flaky) Name() string {
+	return fmt.Sprintf("flaky(up=%d,down=%d)", f.meanUp(), f.meanDown())
+}
+
+func (f *Flaky) meanUp() sim.Time {
+	if f.MeanUp <= 0 {
+		return 50
+	}
+	return f.MeanUp
+}
+
+func (f *Flaky) meanDown() sim.Time {
+	if f.MeanDown <= 0 {
+		return 50
+	}
+	return f.MeanDown
+}
+
+// Deliver implements Reliability: the link fires iff the edge is in an up
+// phase at the instance's start time.
+func (f *Flaky) Deliver(rng *rand.Rand, b *mac.Instance, to mac.NodeID) bool {
+	if f.edges == nil {
+		f.edges = make(map[[2]mac.NodeID]*edgeState)
+	}
+	key := [2]mac.NodeID{b.Sender, to}
+	if key[0] > key[1] {
+		key[0], key[1] = key[1], key[0]
+	}
+	es, ok := f.edges[key]
+	if !ok {
+		es = &edgeState{up: rng.Intn(2) == 0}
+		f.edges[key] = es
+	}
+	// Advance the phase chain to the instance's start time.
+	for es.until <= b.Start {
+		mean := f.meanDown()
+		if !es.up { // next phase is up
+			mean = f.meanUp()
+		}
+		es.up = !es.up
+		// Geometric-ish phase length: uniform in [1, 2·mean].
+		es.until += 1 + sim.Time(rng.Int63n(int64(2*mean)))
+	}
+	return es.up
+}

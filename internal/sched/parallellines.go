@@ -1,0 +1,144 @@
+package sched
+
+import (
+	"amac/internal/mac"
+	"amac/internal/topology"
+)
+
+// ParallelLines is the adversarial schedule of Lemmas 3.19/3.20, specialized
+// to BMMB-style flooding on the Figure 2 network C: message m0 starts at a₁,
+// message m1 at b₁, and the scheduler forces each message's progress down
+// its own line to cost a full Fack per hop, for a total of Ω(D·Fack).
+//
+// Strategy, per the paper: the broadcast of the frontier node aᵢ carrying m0
+// is stretched to the full acknowledgment bound. During the stretch, the
+// only delivery that satisfies the progress bound for the next node aᵢ₊₁ is
+// the *cross* delivery of m1 from the opposite frontier bᵢ over the G′ edge
+// (bᵢ, aᵢ₊₁) — so aᵢ₊₁ stays busy with m1 while m0 is withheld until the
+// last legal moment. Every non-frontier broadcast is delivered to its
+// reliable neighbors and acknowledged instantaneously, which floods the
+// *other* line's message for free but never advances a message down its own
+// line faster than one hop per Fack. The two frontiers stay in lock-step by
+// construction, so each stretch is covered by its twin.
+//
+// The scheduler recognizes the tracked messages via the IsM0/IsM1
+// predicates over broadcast payloads, keeping it independent of the
+// algorithm's payload type.
+type ParallelLines struct {
+	// Net is the Figure 2 network the execution runs on. Required.
+	Net *topology.ParallelLinesC
+	// IsM0 recognizes payloads carrying the message that starts on line A.
+	IsM0 func(payload any) bool
+	// IsM1 recognizes payloads carrying the message that starts on line B.
+	IsM1 func(payload any) bool
+
+	api    mac.API
+	aFront int // highest 1-based index on line A that has received m0
+	bFront int // highest 1-based index on line B that has received m1
+}
+
+var _ mac.Scheduler = (*ParallelLines)(nil)
+
+// Name implements mac.Scheduler.
+func (p *ParallelLines) Name() string { return "parallel-lines-adversary" }
+
+// Attach implements mac.Scheduler.
+func (p *ParallelLines) Attach(api mac.API) {
+	if p.Net == nil || p.IsM0 == nil || p.IsM1 == nil {
+		panic("sched: ParallelLines requires Net, IsM0 and IsM1")
+	}
+	p.api = api
+	p.aFront = 1
+	p.bFront = 1
+}
+
+// lineIndex classifies a node: line 'a' or 'b' plus the 1-based index.
+func (p *ParallelLines) lineIndex(v mac.NodeID) (line byte, idx int) {
+	d := p.Net.D
+	if int(v) < d {
+		return 'a', int(v) + 1
+	}
+	return 'b', int(v) - d + 1
+}
+
+// OnBcast implements mac.Scheduler.
+func (p *ParallelLines) OnBcast(b *mac.Instance) {
+	line, idx := p.lineIndex(b.Sender)
+	switch {
+	case p.IsM0(b.Payload) && line == 'a' && idx == p.aFront && idx < p.Net.D:
+		p.stretch(b, line, idx)
+	case p.IsM1(b.Payload) && line == 'b' && idx == p.bFront && idx < p.Net.D:
+		p.stretch(b, line, idx)
+	default:
+		p.instant(b)
+	}
+}
+
+// OnAbort implements mac.Scheduler. BMMB never aborts; stretched deliveries
+// self-cancel through the Term checks.
+func (p *ParallelLines) OnAbort(*mac.Instance) {}
+
+// instant delivers to all reliable neighbors and acks, with no time
+// passing — the round-robin "everything else is free" rule of Lemma 3.19.
+func (p *ParallelLines) instant(b *mac.Instance) {
+	for _, j := range p.api.Dual().G.Neighbors(b.Sender) {
+		p.api.Deliver(b, j)
+	}
+	p.api.Ack(b)
+}
+
+// stretch runs the frontier schedule for instance b at line position idx:
+// the previous node on the line and the diagonal node on the opposite line
+// receive after Fprog; the next node on the line receives only at the Fack
+// deadline, immediately followed by the ack. Advancing the frontier index
+// before that final delivery lets the receiver's immediate re-broadcast be
+// classified as the new frontier.
+func (p *ParallelLines) stretch(b *mac.Instance, line byte, idx int) {
+	api := p.api
+	now := api.Now()
+	var prev, next, diag mac.NodeID
+	havePrev := idx > 1
+	if line == 'a' {
+		if havePrev {
+			prev = p.Net.A(idx - 1)
+		}
+		next = p.Net.A(idx + 1)
+		diag = p.Net.B(idx + 1)
+	} else {
+		if havePrev {
+			prev = p.Net.B(idx - 1)
+		}
+		next = p.Net.B(idx + 1)
+		diag = p.Net.A(idx + 1)
+	}
+
+	deliver := func(to mac.NodeID) func() {
+		return func() {
+			if b.Term == mac.Active {
+				if _, done := b.Delivered[to]; !done {
+					api.Deliver(b, to)
+				}
+			}
+		}
+	}
+	if havePrev {
+		api.At(now+api.Fprog(), deliver(prev))
+	}
+	api.At(now+api.Fprog(), deliver(diag))
+	api.At(now+api.Fack(), func() {
+		if b.Term != mac.Active {
+			return
+		}
+		// Advance the frontier first so the receiver's re-broadcast is
+		// recognized as the new frontier instance.
+		if line == 'a' {
+			p.aFront = idx + 1
+		} else {
+			p.bFront = idx + 1
+		}
+		if _, done := b.Delivered[next]; !done {
+			api.Deliver(b, next)
+		}
+		api.Ack(b)
+	})
+}

@@ -1,0 +1,74 @@
+package sched
+
+import (
+	"amac/internal/mac"
+	"amac/internal/sim"
+)
+
+// Random draws all timing uniformly inside the model bounds: each
+// G-neighbor receives after a uniform delay in [1, Fprog], each selected
+// unreliable neighbor after a uniform delay in [1, ackDelay], and the ack
+// fires after a uniform delay in [maxReceiveDelay, Fack]. It exercises the
+// model's timing freedom; upper-bound experiments must hold under it.
+type Random struct {
+	// Rel selects which unreliable links fire; nil means Never.
+	Rel Reliability
+
+	api mac.API
+}
+
+var _ mac.Scheduler = (*Random)(nil)
+
+// Name implements mac.Scheduler.
+func (r *Random) Name() string {
+	rel := "never"
+	if r.Rel != nil {
+		rel = r.Rel.Name()
+	}
+	return "random(rel=" + rel + ")"
+}
+
+// Attach implements mac.Scheduler.
+func (r *Random) Attach(api mac.API) { r.api = api }
+
+// OnBcast implements mac.Scheduler.
+func (r *Random) OnBcast(b *mac.Instance) {
+	api := r.api
+	rng := api.Rand()
+	now := api.Now()
+
+	uniform := func(lo, hi sim.Time) sim.Time {
+		if hi <= lo {
+			return lo
+		}
+		return lo + sim.Time(rng.Int63n(int64(hi-lo+1)))
+	}
+
+	maxRecv := sim.Time(1)
+	deliver := func(to mac.NodeID) func() {
+		return func() {
+			if b.Term == mac.Active {
+				api.Deliver(b, to)
+			}
+		}
+	}
+	for _, j := range api.Dual().G.Neighbors(b.Sender) {
+		d := uniform(1, api.Fprog())
+		if d > maxRecv {
+			maxRecv = d
+		}
+		api.At(now+d, deliver(j))
+	}
+	ackDelay := uniform(maxRecv, api.Fack())
+	for _, j := range greyTargets(api, b, r.Rel) {
+		api.At(now+uniform(1, ackDelay), deliver(j))
+	}
+	api.At(now+ackDelay, func() {
+		if b.Term == mac.Active {
+			api.Ack(b)
+		}
+	})
+}
+
+// OnAbort implements mac.Scheduler.
+func (r *Random) OnAbort(*mac.Instance) {}

@@ -1,0 +1,91 @@
+package sched
+
+import (
+	"amac/internal/mac"
+	"amac/internal/sim"
+)
+
+// Sync is the deterministic benign scheduler: every G-neighbor receives a
+// broadcast exactly RecvDelay after it starts, selected unreliable
+// neighbors receive it GreyDelay after it starts, and the ack fires
+// AckDelay after it starts. Defaults (zero values) are RecvDelay = Fprog,
+// GreyDelay = RecvDelay, AckDelay = Fack — i.e. receives as late as the
+// progress bound allows and acks as late as the acknowledgment bound
+// allows, which is the worst legal behavior for pipelined flooding and
+// exactly the regime the paper's upper bounds are stated against.
+type Sync struct {
+	// RecvDelay is the bcast→rcv latency on reliable edges. Must be in
+	// [1, Fprog]; 0 selects Fprog.
+	RecvDelay sim.Time
+	// GreyDelay is the bcast→rcv latency on unreliable edges. Must be in
+	// [1, AckDelay]; 0 selects RecvDelay.
+	GreyDelay sim.Time
+	// AckDelay is the bcast→ack latency. Must be in [RecvDelay, Fack];
+	// 0 selects Fack.
+	AckDelay sim.Time
+	// Rel selects which unreliable links fire; nil means Never.
+	Rel Reliability
+
+	api mac.API
+}
+
+var _ mac.Scheduler = (*Sync)(nil)
+
+// Name implements mac.Scheduler.
+func (s *Sync) Name() string {
+	rel := "never"
+	if s.Rel != nil {
+		rel = s.Rel.Name()
+	}
+	return "sync(rel=" + rel + ")"
+}
+
+// Attach implements mac.Scheduler, resolving defaulted delays.
+func (s *Sync) Attach(api mac.API) {
+	s.api = api
+	if s.RecvDelay == 0 {
+		s.RecvDelay = api.Fprog()
+	}
+	if s.AckDelay == 0 {
+		s.AckDelay = api.Fack()
+	}
+	if s.GreyDelay == 0 {
+		s.GreyDelay = s.RecvDelay
+	}
+	switch {
+	case s.RecvDelay < 1 || s.RecvDelay > api.Fprog():
+		panic("sched: Sync.RecvDelay outside [1, Fprog]")
+	case s.AckDelay < s.RecvDelay || s.AckDelay > api.Fack():
+		panic("sched: Sync.AckDelay outside [RecvDelay, Fack]")
+	case s.GreyDelay < 1 || s.GreyDelay > s.AckDelay:
+		panic("sched: Sync.GreyDelay outside [1, AckDelay]")
+	}
+}
+
+// OnBcast implements mac.Scheduler.
+func (s *Sync) OnBcast(b *mac.Instance) {
+	api := s.api
+	now := api.Now()
+	deliver := func(to mac.NodeID) func() {
+		return func() {
+			if b.Term == mac.Active {
+				api.Deliver(b, to)
+			}
+		}
+	}
+	for _, j := range api.Dual().G.Neighbors(b.Sender) {
+		api.At(now+s.RecvDelay, deliver(j))
+	}
+	for _, j := range greyTargets(api, b, s.Rel) {
+		api.At(now+s.GreyDelay, deliver(j))
+	}
+	api.At(now+s.AckDelay, func() {
+		if b.Term == mac.Active {
+			api.Ack(b)
+		}
+	})
+}
+
+// OnAbort implements mac.Scheduler. Pending deliveries self-cancel via the
+// Term check.
+func (s *Sync) OnAbort(*mac.Instance) {}

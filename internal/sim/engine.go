@@ -1,0 +1,192 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// ErrHalted is returned by Run when the simulation is stopped early via Halt.
+var ErrHalted = errors.New("sim: halted")
+
+// Engine is a single-threaded discrete-event simulator. Callbacks scheduled
+// with At/After run in non-decreasing virtual-time order; ties fire in
+// scheduling order. The Engine is not safe for concurrent use: the intended
+// pattern is that all state lives inside callbacks, exactly like a timed
+// automaton execution.
+type Engine struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	rng     *rand.Rand
+	seed    int64
+	halted  bool
+	stepped uint64
+	limit   uint64 // safety valve: max events processed, 0 = unlimited
+	horizon Time   // events strictly after the horizon are not executed
+}
+
+// NewEngine returns an engine whose random stream is seeded with seed.
+// Identical seeds and identical scheduling sequences yield identical
+// executions.
+func NewEngine(seed int64) *Engine {
+	return &Engine{
+		rng:     rand.New(rand.NewSource(seed)),
+		seed:    seed,
+		horizon: Infinity,
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Seed returns the seed the engine was created with.
+func (e *Engine) Seed() int64 { return e.seed }
+
+// Rand returns the engine's deterministic random stream. Algorithms and
+// schedulers must draw all randomness from here (or from streams derived via
+// Fork) so executions replay exactly.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Fork derives an independent deterministic random stream, keyed by id, from
+// the engine seed. Per-node streams keep executions reproducible even when
+// the set or order of nodes' random draws changes.
+func (e *Engine) Fork(id int64) *rand.Rand {
+	// SplitMix-style mixing of (seed, id) into a new seed.
+	z := uint64(e.seed) ^ (uint64(id)+0x9e3779b97f4a7c15)*0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return rand.New(rand.NewSource(int64(z)))
+}
+
+// Steps reports how many events have been executed so far.
+func (e *Engine) Steps() uint64 { return e.stepped }
+
+// SetStepLimit bounds the number of events Run will execute; 0 means
+// unlimited. It is a safety valve for tests of potentially divergent
+// protocols.
+func (e *Engine) SetStepLimit(n uint64) { e.limit = n }
+
+// SetHorizon stops Run once the next event is strictly after t. Events at
+// exactly t still run.
+func (e *Engine) SetHorizon(t Time) { e.horizon = t }
+
+// Handle identifies a scheduled event and allows cancelling it.
+type Handle struct{ ev *event }
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (h Handle) Cancel() {
+	if h.ev != nil {
+		h.ev.dead = true
+	}
+}
+
+// Active reports whether the event is still pending.
+func (h Handle) Active() bool { return h.ev != nil && !h.ev.dead }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it would violate causality and always indicates a bug in a scheduler.
+func (e *Engine) At(t Time, fn func()) Handle {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, e.now))
+	}
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	e.queue.push(ev)
+	return Handle{ev: ev}
+}
+
+// After schedules fn to run d ticks from now.
+func (e *Engine) After(d Duration, fn func()) Handle {
+	return e.At(e.now+d, fn)
+}
+
+// Halt stops the run loop after the current event completes.
+func (e *Engine) Halt() { e.halted = true }
+
+// Halted reports whether Halt has been called.
+func (e *Engine) Halted() bool { return e.halted }
+
+// Pending reports whether any live events remain in the queue.
+func (e *Engine) Pending() bool {
+	for {
+		top := e.queue.peek()
+		if top == nil {
+			return false
+		}
+		if top.dead {
+			e.queue.pop()
+			continue
+		}
+		return true
+	}
+}
+
+// NextTime returns the time of the next live event, or Infinity when none.
+func (e *Engine) NextTime() Time {
+	if !e.Pending() {
+		return Infinity
+	}
+	return e.queue.peek().at
+}
+
+// Step executes the next live event, advancing virtual time. It returns
+// false when no live events remain or the horizon/limit is reached.
+func (e *Engine) Step() bool {
+	if e.halted {
+		return false
+	}
+	if e.limit != 0 && e.stepped >= e.limit {
+		return false
+	}
+	for {
+		ev := e.queue.pop()
+		if ev == nil {
+			return false
+		}
+		if ev.dead {
+			continue
+		}
+		if ev.at > e.horizon {
+			// Leave the horizon-crossing event consumed; the run is over.
+			return false
+		}
+		if ev.at < e.now {
+			panic("sim: time went backwards")
+		}
+		e.now = ev.at
+		e.stepped++
+		ev.fn()
+		return true
+	}
+}
+
+// Run executes events until the queue drains, Halt is called, or the
+// step limit / horizon is hit. It returns ErrHalted iff stopped via Halt.
+func (e *Engine) Run() error {
+	for e.Step() {
+	}
+	if e.halted {
+		return ErrHalted
+	}
+	return nil
+}
+
+// RunUntil executes events up to and including time t, then returns. The
+// clock is left at min(t, time of last executed event).
+func (e *Engine) RunUntil(t Time) {
+	for {
+		if e.halted {
+			return
+		}
+		next := e.NextTime()
+		if next > t {
+			return
+		}
+		if !e.Step() {
+			return
+		}
+	}
+}

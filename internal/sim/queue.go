@@ -1,0 +1,91 @@
+package sim
+
+// event is a scheduled callback in virtual time. Events with equal times fire
+// in insertion order (seq), which makes executions fully deterministic.
+type event struct {
+	at   Time
+	seq  uint64
+	fn   func()
+	dead bool // set by cancel; dead events are skipped when popped
+}
+
+// eventQueue is a binary min-heap of events ordered by (at, seq). It is a
+// hand-rolled heap rather than container/heap to keep the hot path free of
+// interface conversions; the simulator spends most of its time here.
+type eventQueue struct {
+	items []*event
+}
+
+// Len reports the number of events still queued, including cancelled ones
+// that have not yet been popped.
+func (q *eventQueue) Len() int { return len(q.items) }
+
+func (q *eventQueue) less(i, j int) bool {
+	a, b := q.items[i], q.items[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (q *eventQueue) swap(i, j int) {
+	q.items[i], q.items[j] = q.items[j], q.items[i]
+}
+
+func (q *eventQueue) push(e *event) {
+	q.items = append(q.items, e)
+	q.up(len(q.items) - 1)
+}
+
+func (q *eventQueue) pop() *event {
+	n := len(q.items)
+	if n == 0 {
+		return nil
+	}
+	top := q.items[0]
+	q.swap(0, n-1)
+	q.items[n-1] = nil
+	q.items = q.items[:n-1]
+	if len(q.items) > 0 {
+		q.down(0)
+	}
+	return top
+}
+
+// peek returns the earliest event without removing it, or nil when empty.
+func (q *eventQueue) peek() *event {
+	if len(q.items) == 0 {
+		return nil
+	}
+	return q.items[0]
+}
+
+func (q *eventQueue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			return
+		}
+		q.swap(i, parent)
+		i = parent
+	}
+}
+
+func (q *eventQueue) down(i int) {
+	n := len(q.items)
+	for {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < n && q.less(left, smallest) {
+			smallest = left
+		}
+		if right < n && q.less(right, smallest) {
+			smallest = right
+		}
+		if smallest == i {
+			return
+		}
+		q.swap(i, smallest)
+		i = smallest
+	}
+}

@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TraceEvent is one record in an execution trace. Kind is a small string
+// vocabulary owned by the layer that emits the event (the MAC engine emits
+// "bcast", "rcv", "ack", "abort"; algorithms may emit their own kinds).
+type TraceEvent struct {
+	At   Time
+	Kind string
+	Node int
+	Arg  any
+}
+
+// String renders the event compactly for debugging output.
+func (ev TraceEvent) String() string {
+	return fmt.Sprintf("%v %s@%d %v", ev.At, ev.Kind, ev.Node, ev.Arg)
+}
+
+// Trace accumulates TraceEvents in execution order. The zero value is ready
+// to use and unbounded; SetCap bounds memory for long soak runs by keeping
+// only the most recent events (the checkers that need full traces disable
+// the cap).
+type Trace struct {
+	events  []TraceEvent
+	cap     int
+	dropped uint64
+}
+
+// SetCap bounds the trace to the most recent n events; n <= 0 removes the
+// bound.
+func (tr *Trace) SetCap(n int) { tr.cap = n }
+
+// Append records an event.
+func (tr *Trace) Append(ev TraceEvent) {
+	if tr.cap > 0 && len(tr.events) >= tr.cap {
+		// Drop the oldest half in one shot to amortize the copy.
+		half := len(tr.events) / 2
+		tr.dropped += uint64(half)
+		tr.events = append(tr.events[:0], tr.events[half:]...)
+	}
+	tr.events = append(tr.events, ev)
+}
+
+// Events returns the recorded events in order. The returned slice is owned
+// by the trace; callers must not mutate it.
+func (tr *Trace) Events() []TraceEvent { return tr.events }
+
+// Len reports the number of retained events.
+func (tr *Trace) Len() int { return len(tr.events) }
+
+// Dropped reports how many events were evicted due to the cap.
+func (tr *Trace) Dropped() uint64 { return tr.dropped }
+
+// Filter returns the retained events with the given kind.
+func (tr *Trace) Filter(kind string) []TraceEvent {
+	var out []TraceEvent
+	for _, ev := range tr.events {
+		if ev.Kind == kind {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// String renders the whole trace, one event per line.
+func (tr *Trace) String() string {
+	var b strings.Builder
+	for _, ev := range tr.events {
+		b.WriteString(ev.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

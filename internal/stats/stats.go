@@ -1,0 +1,155 @@
+// Package stats provides the small statistics toolkit the benchmark
+// harness uses to verify scaling *shapes*: summaries over repeated runs and
+// least-squares fits of measured times against the paper's bound formulas.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary aggregates a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Min    float64
+	Max    float64
+	Median float64
+	P95    float64
+	Stddev float64
+}
+
+// Summarize computes the summary of xs. It panics on an empty sample: a
+// missing measurement is a harness bug.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		panic("stats: empty sample")
+	}
+	s := Summary{N: len(xs)}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Min, s.Max = sorted[0], sorted[len(sorted)-1]
+	s.Median = Percentile(sorted, 0.5)
+	s.P95 = Percentile(sorted, 0.95)
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	s.Mean = sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if len(xs) > 1 {
+		s.Stddev = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	return s
+}
+
+// Percentile returns the p-quantile (0 ≤ p ≤ 1) of a sorted sample, with
+// linear interpolation.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		panic("stats: empty sample")
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Fit is a least-squares line y = Slope·x + Intercept with the Pearson
+// correlation of the underlying data.
+type Fit struct {
+	Slope     float64
+	Intercept float64
+	R         float64
+}
+
+// String renders the fit compactly.
+func (f Fit) String() string {
+	return fmt.Sprintf("y = %.4g·x + %.4g (r=%.3f)", f.Slope, f.Intercept, f.R)
+}
+
+// FitLinear computes the least-squares fit of y against x. Both slices must
+// have equal length ≥ 2.
+func FitLinear(x, y []float64) Fit {
+	if len(x) != len(y) || len(x) < 2 {
+		panic("stats: FitLinear needs two equal-length samples of size >= 2")
+	}
+	n := float64(len(x))
+	var sx, sy, sxx, syy, sxy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		syy += y[i] * y[i]
+		sxy += x[i] * y[i]
+	}
+	denom := n*sxx - sx*sx
+	if denom == 0 {
+		panic("stats: degenerate x sample (zero variance)")
+	}
+	f := Fit{}
+	f.Slope = (n*sxy - sx*sy) / denom
+	f.Intercept = (sy - f.Slope*sx) / n
+	ry := n*syy - sy*sy
+	if ry <= 0 {
+		f.R = 0 // y constant: correlation undefined, report 0
+	} else {
+		f.R = (n*sxy - sx*sy) / math.Sqrt(denom*ry)
+	}
+	return f
+}
+
+// Ratios returns elementwise y[i]/x[i]; x entries must be non-zero.
+func Ratios(y, x []float64) []float64 {
+	if len(x) != len(y) {
+		panic("stats: Ratios needs equal-length samples")
+	}
+	out := make([]float64, len(x))
+	for i := range x {
+		if x[i] == 0 {
+			panic("stats: zero denominator in Ratios")
+		}
+		out[i] = y[i] / x[i]
+	}
+	return out
+}
+
+// GrowthTrend fits the ratio measured/bound against the sweep variable and
+// reports the relative growth across the sweep: (fit at max x − fit at min
+// x) / fit at min x. A bounded (O(1)) ratio yields a small value; a
+// systematic upward trend — evidence the bound formula misses a factor —
+// yields a large positive one.
+func GrowthTrend(sweep, measured, bound []float64) float64 {
+	r := Ratios(measured, bound)
+	f := FitLinear(sweep, r)
+	lo, hi := sweep[0], sweep[0]
+	for _, x := range sweep {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	atLo := f.Slope*lo + f.Intercept
+	atHi := f.Slope*hi + f.Intercept
+	if atLo <= 0 {
+		return math.Inf(1)
+	}
+	return (atHi - atLo) / atLo
+}

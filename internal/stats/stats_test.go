@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.N != 4 || !almost(s.Mean, 2.5) || !almost(s.Min, 1) || !almost(s.Max, 4) {
+		t.Fatalf("summary = %+v", s)
+	}
+	if !almost(s.Median, 2.5) {
+		t.Fatalf("median = %v", s.Median)
+	}
+	if s.Stddev <= 0 {
+		t.Fatalf("stddev = %v", s.Stddev)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.Mean != 7 || s.Median != 7 || s.Stddev != 0 {
+		t.Fatalf("summary = %+v", s)
+	}
+}
+
+func TestSummarizeEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty sample did not panic")
+		}
+	}()
+	Summarize(nil)
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40, 50}
+	if got := Percentile(sorted, 0); got != 10 {
+		t.Fatalf("p0 = %v", got)
+	}
+	if got := Percentile(sorted, 1); got != 50 {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := Percentile(sorted, 0.5); got != 30 {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := Percentile(sorted, 0.25); got != 20 {
+		t.Fatalf("p25 = %v", got)
+	}
+}
+
+func TestFitLinearExact(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{5, 7, 9, 11} // y = 2x + 3
+	f := FitLinear(x, y)
+	if !almost(f.Slope, 2) || !almost(f.Intercept, 3) || !almost(f.R, 1) {
+		t.Fatalf("fit = %v", f)
+	}
+	if f.String() == "" {
+		t.Fatal("empty fit string")
+	}
+}
+
+func TestFitLinearConstantY(t *testing.T) {
+	f := FitLinear([]float64{1, 2, 3}, []float64{4, 4, 4})
+	if !almost(f.Slope, 0) || !almost(f.Intercept, 4) || f.R != 0 {
+		t.Fatalf("fit = %v", f)
+	}
+}
+
+// Property: fitting y = a·x + b recovers a and b for random a, b.
+func TestFitLinearProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := rng.Float64()*20 - 10
+		b := rng.Float64()*20 - 10
+		var xs, ys []float64
+		for i := 0; i < 10; i++ {
+			x := float64(i + 1)
+			xs = append(xs, x)
+			ys = append(ys, a*x+b)
+		}
+		fit := FitLinear(xs, ys)
+		return math.Abs(fit.Slope-a) < 1e-6 && math.Abs(fit.Intercept-b) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRatios(t *testing.T) {
+	r := Ratios([]float64{2, 6, 12}, []float64{1, 2, 3})
+	want := []float64{2, 3, 4}
+	for i := range want {
+		if !almost(r[i], want[i]) {
+			t.Fatalf("ratios = %v", r)
+		}
+	}
+}
+
+func TestGrowthTrendFlat(t *testing.T) {
+	// measured = 2 × bound: ratio flat ⇒ trend ≈ 0.
+	sweep := []float64{1, 2, 4, 8}
+	bound := []float64{10, 20, 40, 80}
+	measured := []float64{20, 40, 80, 160}
+	if g := GrowthTrend(sweep, measured, bound); math.Abs(g) > 1e-9 {
+		t.Fatalf("flat ratio has trend %v", g)
+	}
+}
+
+func TestGrowthTrendRising(t *testing.T) {
+	// measured grows like sweep² while bound grows like sweep: ratio rises
+	// linearly ⇒ trend positive and large.
+	sweep := []float64{1, 2, 4, 8}
+	bound := []float64{1, 2, 4, 8}
+	measured := []float64{1, 4, 16, 64}
+	if g := GrowthTrend(sweep, measured, bound); g < 2 {
+		t.Fatalf("rising ratio trend = %v, want large", g)
+	}
+}

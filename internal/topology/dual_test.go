@@ -1,0 +1,216 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"amac/internal/graph"
+)
+
+func TestLineDual(t *testing.T) {
+	d := Line(10)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Diameter() != 9 {
+		t.Fatalf("Diameter = %d, want 9", d.Diameter())
+	}
+	if len(d.UnreliableEdges()) != 0 {
+		t.Fatal("reliable dual has unreliable edges")
+	}
+	if !d.IsRRestricted(1) {
+		t.Fatal("G'=G dual must be 1-restricted")
+	}
+	if d.Restriction() != 1 {
+		t.Fatalf("Restriction = %d, want 1", d.Restriction())
+	}
+}
+
+func TestRingStarTreeGrid(t *testing.T) {
+	if d := Ring(8); d.Diameter() != 4 || d.Validate() != nil {
+		t.Fatalf("ring: D=%d err=%v", d.Diameter(), d.Validate())
+	}
+	if d := Star(9); d.Diameter() != 2 || d.G.Degree(0) != 8 {
+		t.Fatalf("star: D=%d deg=%d", d.Diameter(), d.G.Degree(0))
+	}
+	if d := CompleteBinaryTree(15); !d.G.IsConnected() || d.G.M() != 14 {
+		t.Fatalf("tree: connected=%v M=%d", d.G.IsConnected(), d.G.M())
+	}
+	g := Grid(4, 5)
+	if g.N() != 20 || g.Diameter() != 3+4 {
+		t.Fatalf("grid: n=%d D=%d", g.N(), g.Diameter())
+	}
+	if g.Embed == nil {
+		t.Fatal("grid should carry its embedding")
+	}
+}
+
+func TestRRestrictedConstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, r := range []int{1, 2, 3, 5} {
+		d := LineRRestricted(30, r, 1.0, rng)
+		if err := d.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if !d.IsRRestricted(r) {
+			t.Fatalf("r=%d construction is not r-restricted", r)
+		}
+		if got := d.Restriction(); got != r {
+			t.Fatalf("Restriction = %d, want %d (p=1 should realize the max)", got, r)
+		}
+		if r > 1 && d.IsRRestricted(r-1) {
+			t.Fatalf("p=1 construction should not be (r-1)-restricted for r=%d", r)
+		}
+	}
+}
+
+func TestRRestrictedProbabilistic(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := LineRRestricted(40, 4, 0.3, rng)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !d.IsRRestricted(4) {
+		t.Fatal("not 4-restricted")
+	}
+	if len(d.UnreliableEdges()) == 0 {
+		t.Fatal("expected some unreliable edges at p=0.3 on n=40")
+	}
+}
+
+func TestArbitraryNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	base := Line(50)
+	d := ArbitraryNoise(base.G, 20, rng, "test")
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(d.UnreliableEdges()); got != 20 {
+		t.Fatalf("unreliable edges = %d, want 20", got)
+	}
+}
+
+func TestRandomGeometricGreyZone(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	d := ConnectedRandomGeometric(60, 5, 2.0, 0.5, rng, 50)
+	if d == nil {
+		t.Fatal("no connected instance found")
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Embed.VerifyGreyZone(d.G, d.GPrime, 2.0) {
+		t.Fatal("grey zone constraint violated")
+	}
+}
+
+func TestParallelLinesC(t *testing.T) {
+	c := NewParallelLinesC(10)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.N() != 20 {
+		t.Fatalf("N = %d, want 20", c.N())
+	}
+	// Line A is 0..9, line B is 10..19.
+	if c.A(1) != 0 || c.A(10) != 9 || c.B(1) != 10 || c.B(10) != 19 {
+		t.Fatal("node numbering wrong")
+	}
+	// Reliable edges only along the lines: a1-a2 yes, a1-b1 no.
+	if !c.G.HasEdge(c.A(1), c.A(2)) || c.G.HasEdge(c.A(1), c.B(1)) {
+		t.Fatal("reliable edges wrong")
+	}
+	// Cross edges a_i–b_{i+1} and b_i–a_{i+1} are unreliable.
+	if !c.GPrime.HasEdge(c.A(3), c.B(4)) || !c.GPrime.HasEdge(c.B(3), c.A(4)) {
+		t.Fatal("missing cross edges")
+	}
+	if c.G.HasEdge(c.A(3), c.B(4)) {
+		t.Fatal("cross edge should be unreliable")
+	}
+	// Grey-zone legality: every G' edge at most the declared constant, and
+	// that constant is modest (the paper: "sufficiently large c").
+	cc := c.GreyZoneConstant()
+	if cc < 1.4 || cc > 1.5 {
+		t.Fatalf("grey zone constant = %v, want ~1.45", cc)
+	}
+	if !c.Embed.VerifyGreyZone(c.G, c.GPrime, cc) {
+		t.Fatal("network C violates its own grey zone constant")
+	}
+	// The two lines are disconnected in G.
+	if c.G.Dist(c.A(1), c.B(1)) != graph.Unreachable {
+		t.Fatal("lines should be disconnected in G")
+	}
+	// G' connects everything.
+	if !c.GPrime.IsConnected() {
+		t.Fatal("G' should be connected")
+	}
+}
+
+func TestParallelLinesNotRRestricted(t *testing.T) {
+	// The cross edges join nodes in different G components, so no r works:
+	// this is exactly the structural gap between r-restricted and grey zone
+	// the paper highlights.
+	c := NewParallelLinesC(8)
+	if got := c.Restriction(); got != -1 {
+		t.Fatalf("Restriction = %d, want -1 (cross-component G' edges)", got)
+	}
+	if c.IsRRestricted(100) {
+		t.Fatal("network C must not be r-restricted for any r")
+	}
+}
+
+func TestStarChoke(t *testing.T) {
+	s := NewStarChoke(6)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.N() != 7 {
+		t.Fatalf("N = %d, want 7", s.N())
+	}
+	hub, recv := s.Hub(), s.Receiver()
+	if s.G.Degree(hub) != 6 { // 5 leaves + receiver
+		t.Fatalf("hub degree = %d, want 6", s.G.Degree(hub))
+	}
+	if s.G.Degree(recv) != 1 {
+		t.Fatalf("receiver degree = %d, want 1", s.G.Degree(recv))
+	}
+	for i := 1; i < 6; i++ {
+		if !s.G.HasEdge(s.Source(i), hub) {
+			t.Fatalf("source %d not attached to hub", i)
+		}
+		if s.G.HasEdge(s.Source(i), recv) {
+			t.Fatalf("source %d bypasses the choke point", i)
+		}
+	}
+}
+
+// Property: for random r and n, the r-restricted builder always produces a
+// valid dual that is r-restricted.
+func TestRRestrictedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(30)
+		r := 1 + rng.Intn(5)
+		p := rng.Float64()
+		d := LineRRestricted(n, r, p, rng)
+		return d.Validate() == nil && d.IsRRestricted(r)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ParallelLinesC has exactly 2(D-1) reliable and 2(D-1)
+// unreliable edges for any D.
+func TestParallelLinesEdgeCount(t *testing.T) {
+	for _, d := range []int{2, 3, 5, 17, 64} {
+		c := NewParallelLinesC(d)
+		if got := c.G.M(); got != 2*(d-1) {
+			t.Fatalf("D=%d: reliable edges = %d, want %d", d, got, 2*(d-1))
+		}
+		if got := len(c.UnreliableEdges()); got != 2*(d-1) {
+			t.Fatalf("D=%d: unreliable edges = %d, want %d", d, got, 2*(d-1))
+		}
+	}
+}

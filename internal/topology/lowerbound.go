@@ -1,0 +1,125 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+
+	"amac/internal/geom"
+	"amac/internal/graph"
+)
+
+// ParallelLinesC is the lower-bound network C of Figure 2 (Section 3.3):
+// two disjoint reliable lines A = a₁..a_D and B = b₁..b_D, with unreliable
+// cross edges (aᵢ, bᵢ₊₁) and (bᵢ, aᵢ₊₁) for i < D. It exposes the node
+// numbering the proof uses.
+type ParallelLinesC struct {
+	*Dual
+	D int
+}
+
+// A returns the node ID of aᵢ, 1-indexed as in the paper (i ∈ [1, D]).
+func (c *ParallelLinesC) A(i int) graph.NodeID {
+	if i < 1 || i > c.D {
+		panic(fmt.Sprintf("topology: a_%d out of range [1,%d]", i, c.D))
+	}
+	return graph.NodeID(i - 1)
+}
+
+// B returns the node ID of bᵢ, 1-indexed as in the paper (i ∈ [1, D]).
+func (c *ParallelLinesC) B(i int) graph.NodeID {
+	if i < 1 || i > c.D {
+		panic(fmt.Sprintf("topology: b_%d out of range [1,%d]", i, c.D))
+	}
+	return graph.NodeID(c.D + i - 1)
+}
+
+// NewParallelLinesC builds network C with line length d ≥ 2. The embedding
+// places the lines at unit spacing with vertical offset 1.05, so vertical
+// pairs (aᵢ, bᵢ) sit just outside the unit disk (G has only the two lines)
+// and each cross diagonal has length √(1 + 1.1025) ≈ 1.45: strictly greater
+// than 1 (not reliable) and at most c for any grey-zone constant c ≥ 1.45,
+// matching the paper's observation that C is grey-zone restricted for a
+// sufficiently large constant c.
+func NewParallelLinesC(d int) *ParallelLinesC {
+	if d < 2 {
+		panic("topology: parallel lines need d >= 2")
+	}
+	const dy = 1.05
+	embed := geom.TwoLines(d, 1.0, dy)
+	g := graph.New(2 * d)
+	for i := 0; i < d-1; i++ {
+		g.AddEdge(graph.NodeID(i), graph.NodeID(i+1))     // line A
+		g.AddEdge(graph.NodeID(d+i), graph.NodeID(d+i+1)) // line B
+	}
+	gp := g.Clone()
+	for i := 0; i < d-1; i++ {
+		gp.AddEdge(graph.NodeID(i), graph.NodeID(d+i+1)) // a_i — b_{i+1}
+		gp.AddEdge(graph.NodeID(d+i), graph.NodeID(i+1)) // b_i — a_{i+1}
+	}
+	return &ParallelLinesC{
+		Dual: &Dual{
+			G:      g,
+			GPrime: gp,
+			Embed:  embed,
+			Name:   fmt.Sprintf("parallel-lines-C(D=%d)", d),
+		},
+		D: d,
+	}
+}
+
+// GreyZoneConstant returns the smallest grey-zone constant c for which the
+// network's G′ edges are all within length c under its embedding.
+func (c *ParallelLinesC) GreyZoneConstant() float64 {
+	max := 1.0
+	for _, e := range c.GPrime.Edges() {
+		if l := c.Embed.Dist(e[0], e[1]); l > max {
+			max = l
+		}
+	}
+	return math.Ceil(max*100) / 100
+}
+
+// StarChoke is the Lemma 3.18 network: k source nodes u₁..u_{k-1} all
+// adjacent to the hub u_k, which is the only bridge to the receiver v.
+// G′ = G. Every message must funnel through the hub, inducing Ω(k·Fack).
+type StarChoke struct {
+	*Dual
+	K int
+}
+
+// Source returns the node ID of uᵢ for i ∈ [1, k−1].
+func (s *StarChoke) Source(i int) graph.NodeID {
+	if i < 1 || i >= s.K {
+		panic(fmt.Sprintf("topology: source u_%d out of range [1,%d)", i, s.K))
+	}
+	return graph.NodeID(i - 1)
+}
+
+// Hub returns the node ID of u_k, the choke point.
+func (s *StarChoke) Hub() graph.NodeID { return graph.NodeID(s.K - 1) }
+
+// Receiver returns the node ID of v, the node behind the choke point.
+func (s *StarChoke) Receiver() graph.NodeID { return graph.NodeID(s.K) }
+
+// NewStarChoke builds the Lemma 3.18 network for k ≥ 2 messages: nodes
+// 0..k-2 are the leaf sources, node k-1 is the hub u_k (also a source), and
+// node k is the receiver v. Total k+1 nodes.
+func NewStarChoke(k int) *StarChoke {
+	if k < 2 {
+		panic("topology: star choke needs k >= 2")
+	}
+	g := graph.New(k + 1)
+	hub := graph.NodeID(k - 1)
+	for i := 0; i < k-1; i++ {
+		g.AddEdge(graph.NodeID(i), hub)
+	}
+	g.AddEdge(hub, graph.NodeID(k))
+	return &StarChoke{
+		Dual: &Dual{
+			G:      g,
+			GPrime: g.Clone(),
+			Name:   fmt.Sprintf("star-choke(k=%d)", k),
+		},
+		K: k,
+	}
+}
