@@ -7,7 +7,9 @@
 package amac_bench
 
 import (
+	"fmt"
 	"math/rand"
+	"runtime"
 	"strconv"
 	"testing"
 
@@ -217,8 +219,21 @@ func BenchmarkBMMBvsFMMB(b *testing.B) {
 // BenchmarkEngineThroughput measures raw simulator throughput: BMMB
 // flooding one message over a 64-node line, events per second.
 func BenchmarkEngineThroughput(b *testing.B) {
+	benchThroughput(b, false)
+}
+
+// BenchmarkEngineThroughputNoTrace is the same flood on the no-trace fast
+// path (RunConfig.NoTrace): the completion watcher still observes every
+// event, but nothing is recorded.
+func BenchmarkEngineThroughputNoTrace(b *testing.B) {
+	benchThroughput(b, true)
+}
+
+func benchThroughput(b *testing.B, noTrace bool) {
 	d := topology.Line(64)
 	var steps uint64
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res := core.Run(core.RunConfig{
 			Dual:             d,
@@ -229,6 +244,7 @@ func BenchmarkEngineThroughput(b *testing.B) {
 			Assignment:       core.SingleSource(64, 0, 4),
 			Automata:         core.NewBMMBFleet(64),
 			HaltOnCompletion: true,
+			NoTrace:          noTrace,
 		})
 		if !res.Solved {
 			b.Fatal("not solved")
@@ -236,5 +252,21 @@ func BenchmarkEngineThroughput(b *testing.B) {
 		steps += res.Steps
 	}
 	b.ReportMetric(float64(steps)/float64(b.N), "events/op")
+	b.ReportMetric(float64(steps)/b.Elapsed().Seconds(), "events/sec")
 	_ = sim.Time(0)
+}
+
+// BenchmarkHarnessParallelism measures experiment wall-time scaling with
+// Options.Parallelism (sub-benchmarks p=1 and p=NumCPU); the rendered
+// tables are byte-identical by construction.
+func BenchmarkHarnessParallelism(b *testing.B) {
+	for _, p := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				o := benchOpts(int64(i + 1))
+				o.Parallelism = p
+				_ = harness.Fig1StdReliable(o)
+			}
+		})
+	}
 }

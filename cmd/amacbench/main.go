@@ -6,32 +6,64 @@
 //
 // Usage:
 //
-//	amacbench [-quick] [-trials N] [-seed S] [-check] [-only id-substring]
+//	amacbench [-quick] [-trials N] [-seed S] [-check] [-parallel P]
+//	          [-only id-substring] [-json BENCH.json]
+//
+// -parallel runs each experiment's (sweep point, trial) simulations on a
+// bounded worker pool; tables are byte-identical at any parallelism.
+// -json appends a machine-readable perf record per experiment (wall time,
+// simulation events, events/sec, allocations), the repo's perf trajectory.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"amac/internal/harness"
 )
 
+// benchRecord is one experiment's perf sample for BENCH.json.
+type benchRecord struct {
+	ID           string  `json:"id"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	SimEvents    uint64  `json:"sim_events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	Allocs       uint64  `json:"allocs"`
+	AllocBytes   uint64  `json:"alloc_bytes"`
+}
+
+// benchFile is the BENCH.json document.
+type benchFile struct {
+	GeneratedAt string        `json:"generated_at"`
+	GoVersion   string        `json:"go_version"`
+	Parallelism int           `json:"parallelism"`
+	Quick       bool          `json:"quick"`
+	Trials      int           `json:"trials"`
+	Seed        int64         `json:"seed"`
+	Experiments []benchRecord `json:"experiments"`
+}
+
 func main() {
 	quick := flag.Bool("quick", false, "use the reduced sweep sizes (as the benchmarks do)")
 	trials := flag.Int("trials", 3, "repetitions per data point")
 	seed := flag.Int64("seed", 1, "base random seed")
 	checkFlag := flag.Bool("check", false, "verify the abstract MAC layer guarantees on every run (slower)")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "worker pool size for sweep points and trials")
 	only := flag.String("only", "", "run only experiments whose id contains this substring")
+	jsonPath := flag.String("json", "", "write a machine-readable perf record (events/sec, allocs) to this path")
 	flag.Parse()
 
 	opts := harness.Options{
-		Quick:  *quick,
-		Trials: *trials,
-		Seed:   *seed,
-		Check:  *checkFlag,
+		Quick:       *quick,
+		Trials:      *trials,
+		Seed:        *seed,
+		Check:       *checkFlag,
+		Parallelism: *parallel,
 	}
 
 	experiments := []struct {
@@ -50,21 +82,60 @@ func main() {
 	}
 
 	fmt.Printf("# amacbench — reproduction of Ghaffari, Kantor, Lynch, Newport (PODC 2014)\n")
-	fmt.Printf("# options: quick=%v trials=%d seed=%d check=%v\n\n", *quick, *trials, *seed, *checkFlag)
+	fmt.Printf("# options: quick=%v trials=%d seed=%d check=%v parallel=%d\n\n",
+		*quick, *trials, *seed, *checkFlag, *parallel)
 
+	bench := benchFile{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		Parallelism: *parallel,
+		Quick:       *quick,
+		Trials:      *trials,
+		Seed:        *seed,
+	}
 	ran := 0
 	for _, e := range experiments {
 		if *only != "" && !strings.Contains(e.id, *only) {
 			continue
 		}
+		var msBefore runtime.MemStats
+		runtime.ReadMemStats(&msBefore)
+		harness.ResetSimEvents()
 		start := time.Now()
 		tab := e.run(opts)
+		wall := time.Since(start)
+		events := harness.SimEvents()
+		var msAfter runtime.MemStats
+		runtime.ReadMemStats(&msAfter)
 		tab.Render(os.Stdout)
-		fmt.Printf("  (%s in %v)\n\n", e.id, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("  (%s in %v, %d sim events, %.0f events/sec)\n\n",
+			e.id, wall.Round(time.Millisecond), events,
+			float64(events)/wall.Seconds())
+		bench.Experiments = append(bench.Experiments, benchRecord{
+			ID:           e.id,
+			WallSeconds:  wall.Seconds(),
+			SimEvents:    events,
+			EventsPerSec: float64(events) / wall.Seconds(),
+			Allocs:       msAfter.Mallocs - msBefore.Mallocs,
+			AllocBytes:   msAfter.TotalAlloc - msBefore.TotalAlloc,
+		})
 		ran++
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "amacbench: no experiment matches -only=%q\n", *only)
 		os.Exit(1)
+	}
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(bench, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "amacbench: marshal bench record: %v\n", err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*jsonPath, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "amacbench: write %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("# perf record written to %s\n", *jsonPath)
 	}
 }

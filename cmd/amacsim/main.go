@@ -7,6 +7,11 @@
 //	amacsim -topology line -n 32 -k 4 -alg bmmb -sched sync
 //	amacsim -topology rgg -n 50 -k 3 -alg fmmb
 //	amacsim -topology parallel-lines -n 16 -alg bmmb -sched adversary -trace
+//	amacsim -topology line -n 64 -alg bmmb -trials 16 -parallel 8
+//
+// With -trials > 1 the same configuration is replayed across consecutive
+// seeds on a worker pool (-parallel), reporting per-seed completions in
+// seed order plus the aggregate — a quick Monte-Carlo mode.
 package main
 
 import (
@@ -14,10 +19,12 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 
 	"amac/internal/check"
 	"amac/internal/core"
 	"amac/internal/graph"
+	"amac/internal/harness"
 	"amac/internal/mac"
 	"amac/internal/metrics"
 	"amac/internal/sched"
@@ -45,6 +52,8 @@ func run() error {
 		fprog   = flag.Int64("fprog", 10, "progress bound in ticks")
 		fack    = flag.Int64("fack", 200, "acknowledgment bound in ticks")
 		seed    = flag.Int64("seed", 1, "random seed")
+		trials  = flag.Int("trials", 1, "replay the run across this many consecutive seeds")
+		par     = flag.Int("parallel", runtime.NumCPU(), "worker pool size for -trials > 1")
 		doCheck = flag.Bool("check", true, "verify the abstract MAC layer guarantees")
 		stats   = flag.Bool("stats", false, "print per-node and per-message metrics")
 		trace   = flag.Bool("trace", false, "dump the event trace")
@@ -117,19 +126,21 @@ func run() error {
 		a = core.Singleton(d.N(), origins)
 	}
 
-	// Algorithm + scheduler.
+	// Algorithm + scheduler. Automata and schedulers are stateful, so the
+	// builders below construct a fresh set per execution (the Monte-Carlo
+	// mode replays the configuration across seeds on a worker pool).
 	mode := mac.Standard
-	var autos []mac.Automaton
+	var newAutomata func() []mac.Automaton
 	var horizon sim.Time
 	switch *algName {
 	case "bmmb":
-		autos = core.NewBMMBFleet(d.N())
+		newAutomata = func() []mac.Automaton { return core.NewBMMBFleet(d.N()) }
 		if *sname == "" {
 			*sname = "sync"
 		}
 	case "fmmb":
 		cfg := core.FMMBConfig{N: d.N(), K: *k, D: d.G.Diameter(), C: *cGrey}
-		autos = core.NewFMMBFleet(d.N(), cfg)
+		newAutomata = func() []mac.Automaton { return core.NewFMMBFleet(d.N(), cfg) }
 		mode = mac.Enhanced
 		horizon = sim.Time(cfg.Rounds()+2) * sim.Time(*fprog)
 		if *sname == "" {
@@ -139,26 +150,28 @@ func run() error {
 		return fmt.Errorf("unknown algorithm %q", *algName)
 	}
 
-	var s mac.Scheduler
+	var newSched func() mac.Scheduler
 	switch *sname {
 	case "sync":
-		s = &sched.Sync{Rel: sched.Bernoulli{P: *rel}}
+		newSched = func() mac.Scheduler { return &sched.Sync{Rel: sched.Bernoulli{P: *rel}} }
 	case "random":
-		s = &sched.Random{Rel: sched.Bernoulli{P: *rel}}
+		newSched = func() mac.Scheduler { return &sched.Random{Rel: sched.Bernoulli{P: *rel}} }
 	case "contention":
-		s = &sched.Contention{Rel: sched.Bernoulli{P: *rel}}
+		newSched = func() mac.Scheduler { return &sched.Contention{Rel: sched.Bernoulli{P: *rel}} }
 	case "slot":
-		s = &sched.Slot{}
+		newSched = func() mac.Scheduler { return &sched.Slot{} }
 	case "adversary":
 		if plc == nil {
 			return fmt.Errorf("-sched adversary requires -topology parallel-lines")
 		}
 		m0 := core.Msg{ID: 0, Origin: plc.A(1)}
 		m1 := core.Msg{ID: 1, Origin: plc.B(1)}
-		s = &sched.ParallelLines{
-			Net:  plc,
-			IsM0: func(p any) bool { return p == m0 },
-			IsM1: func(p any) bool { return p == m1 },
+		newSched = func() mac.Scheduler {
+			return &sched.ParallelLines{
+				Net:  plc,
+				IsM0: func(p any) bool { return p == m0 },
+				IsM1: func(p any) bool { return p == m1 },
+			}
 		}
 	default:
 		return fmt.Errorf("unknown scheduler %q", *sname)
@@ -172,21 +185,23 @@ func run() error {
 		workload = core.PoissonWorkload(d.N(), *k, sim.Time(*span), *seed)
 		a = make(core.Assignment, d.N())
 	}
-	res := core.Run(core.RunConfig{
-		Dual:             d,
-		Fack:             sim.Time(*fack),
-		Fprog:            sim.Time(*fprog),
-		Scheduler:        s,
-		Mode:             mode,
-		Seed:             *seed,
-		Assignment:       a,
-		Workload:         workload,
-		Automata:         autos,
-		Horizon:          horizon,
-		StepLimit:        1 << 62,
-		HaltOnCompletion: true,
-		Check:            *doCheck,
-	})
+	runOnce := func(sd int64) *core.Result {
+		return core.Run(core.RunConfig{
+			Dual:             d,
+			Fack:             sim.Time(*fack),
+			Fprog:            sim.Time(*fprog),
+			Scheduler:        newSched(),
+			Mode:             mode,
+			Seed:             sd,
+			Assignment:       a,
+			Workload:         workload,
+			Automata:         newAutomata(),
+			Horizon:          horizon,
+			StepLimit:        1 << 62,
+			HaltOnCompletion: true,
+			Check:            *doCheck,
+		})
+	}
 
 	fmt.Printf("network    : %s (n=%d, D=%d, |E|=%d, |E'\\E|=%d)\n",
 		d.Name, d.N(), d.G.Diameter(), d.G.M(), len(d.UnreliableEdges()))
@@ -197,8 +212,14 @@ func run() error {
 		fmt.Printf("workload   : k=%d messages at time zero\n", a.K())
 	}
 	fmt.Printf("algorithm  : %s (%s model)\n", *algName, mode)
-	fmt.Printf("scheduler  : %s\n", s.Name())
+	fmt.Printf("scheduler  : %s\n", newSched().Name())
 	fmt.Printf("bounds     : Fprog=%d Fack=%d ticks\n", *fprog, *fack)
+
+	if *trials > 1 {
+		return runTrials(*trials, *par, *seed, sim.Time(*fack), runOnce)
+	}
+
+	res := runOnce(*seed)
 	fmt.Printf("solved     : %v (%d/%d deliveries)\n", res.Solved, res.Delivered, res.Required)
 	if res.Solved {
 		fmt.Printf("completion : %d ticks (= %.1f Fprog, %.2f Fack)\n",
@@ -222,6 +243,50 @@ func run() error {
 	}
 	if !res.Solved {
 		return fmt.Errorf("MMB not solved within the horizon")
+	}
+	return nil
+}
+
+// runTrials replays the configured execution across trials consecutive
+// seeds on a worker pool of size par, printing per-seed summaries in seed
+// order plus the aggregate. Each run is an independent deterministic
+// simulation, so the report is identical at any parallelism.
+func runTrials(trials, par int, seed int64, fack sim.Time, runOnce func(int64) *core.Result) error {
+	fmt.Printf("trials     : %d seeds starting at %d, %d workers\n", trials, seed, par)
+	results := make([]*core.Result, trials)
+	harness.ParallelFor(par, trials, func(i int) {
+		results[i] = runOnce(seed + int64(i))
+	})
+	solved := 0
+	var sum, worst float64
+	var steps uint64
+	for i, res := range results {
+		status := "solved"
+		if !res.Solved {
+			status = "UNSOLVED"
+		}
+		fmt.Printf("  seed %-5d: %s in %d ticks (%d/%d deliveries, %d events)\n",
+			seed+int64(i), status, int64(res.CompletionTime), res.Delivered, res.Required, res.Steps)
+		if res.Solved {
+			solved++
+			sum += float64(res.CompletionTime)
+			if float64(res.CompletionTime) > worst {
+				worst = float64(res.CompletionTime)
+			}
+		}
+		steps += res.Steps
+		if res.Report != nil && !res.Report.OK() {
+			return fmt.Errorf("seed %d: model violation: %v", seed+int64(i), res.Report.Violations[0])
+		}
+	}
+	if solved == 0 {
+		fmt.Printf("aggregate  : 0/%d solved, %d events total\n", trials, steps)
+		return fmt.Errorf("all %d trials unsolved", trials)
+	}
+	fmt.Printf("aggregate  : %d/%d solved, mean completion %.1f ticks (%.2f Fack), worst %.0f, %d events total\n",
+		solved, trials, sum/float64(solved), sum/float64(solved)/float64(fack), worst, steps)
+	if solved != trials {
+		return fmt.Errorf("%d of %d trials unsolved", trials-solved, trials)
 	}
 	return nil
 }

@@ -77,7 +77,8 @@ func All(d *topology.Dual, insts []*mac.Instance, p Params) *Report {
 // ack, and at most EpsAbort after an abort.
 func ReceiveCorrectness(r *Report, d *topology.Dual, insts []*mac.Instance, p Params) {
 	for _, b := range insts {
-		for to, at := range b.Delivered {
+		for _, to := range b.Receivers() {
+			at, _ := b.DeliveredAt(to)
 			if to == b.Sender {
 				r.add("receive correctness", "instance %d delivered to its sender %d", b.ID, to)
 			}
@@ -114,7 +115,7 @@ func AckCorrectness(r *Report, d *topology.Dual, insts []*mac.Instance, p Params
 			continue
 		}
 		for _, v := range d.G.Neighbors(b.Sender) {
-			at, ok := b.Delivered[v]
+			at, ok := b.DeliveredAt(v)
 			if !ok {
 				r.add("ack correctness", "instance %d acked but G-neighbor %d never received",
 					b.ID, v)
@@ -180,7 +181,8 @@ func ProgressBound(r *Report, d *topology.Dual, insts []*mac.Instance, p Params)
 		if b.Terminated() {
 			termAt = b.TermAt
 		}
-		for to, at := range b.Delivered {
+		for _, to := range b.Receivers() {
+			at, _ := b.DeliveredAt(to)
 			events[to] = append(events[to], rcvEvent{tau: at, term: termAt})
 		}
 	}

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"testing"
+
+	"amac/internal/sched"
+	"amac/internal/topology"
+)
+
+// TestBMMBFloodAllocationBudget is the allocation-regression guard for the
+// whole simulator stack: a small BMMB flood, including engine construction,
+// must stay within a fixed allocation budget. At the time of writing a run
+// costs ~490 allocations (nearly all one-time setup: fleet, node states,
+// instance records) for ~93 events; the budget below has headroom for
+// toolchain drift but fails if the hot path regresses to allocating per
+// event again (un-pooled events, trace records, or map traffic per
+// delivery would each add hundreds).
+func TestBMMBFloodAllocationBudget(t *testing.T) {
+	const budget = 700
+	d := topology.Line(16)
+	run := func() *Result {
+		return Run(RunConfig{
+			Dual:             d,
+			Fack:             200,
+			Fprog:            10,
+			Scheduler:        &sched.Sync{},
+			Seed:             7,
+			Assignment:       SingleSource(16, 0, 2),
+			Automata:         NewBMMBFleet(16),
+			HaltOnCompletion: true,
+			NoTrace:          true,
+		})
+	}
+	if res := run(); !res.Solved {
+		t.Fatalf("flood not solved: %d/%d", res.Delivered, res.Required)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if !run().Solved {
+			t.Fatal("flood not solved")
+		}
+	})
+	if allocs > budget {
+		t.Fatalf("BMMB flood allocates %.0f times per run, budget %d", allocs, budget)
+	}
+}

@@ -2,7 +2,6 @@ package core
 
 import (
 	"math"
-	"sort"
 
 	"amac/internal/mac"
 )
@@ -361,21 +360,27 @@ func (f *FMMB) mergeInbox() {
 }
 
 // pickUnsent returns the smallest-ID held message not yet injected, or nil.
+// A single min-scan replaces the old collect-and-sort: one allocation-free
+// O(|have|) pass per phase instead of O(|have| log |have|) plus a slice.
 func (f *FMMB) pickUnsent() *Msg {
 	if !f.mis.InMIS {
 		return nil
 	}
-	var candidates []Msg
+	var best Msg
+	found := false
 	for m := range f.have {
-		if !f.sent[m] {
-			candidates = append(candidates, m)
+		if f.sent[m] {
+			continue
+		}
+		if !found || m.ID < best.ID || (m.ID == best.ID && m.Origin < best.Origin) {
+			best = m
+			found = true
 		}
 	}
-	if len(candidates) == 0 {
+	if !found {
 		return nil
 	}
-	sort.Slice(candidates, func(i, j int) bool { return candidates[i].ID < candidates[j].ID })
-	return &candidates[0]
+	return &best
 }
 
 func (f *FMMB) onSpreadRecv(ctx mac.Context, m mac.Message, s int, fromG bool) {

@@ -42,6 +42,11 @@ type RunConfig struct {
 	HaltOnCompletion bool
 	// Check runs the model-guarantee checkers after the run.
 	Check bool
+	// NoTrace disables trace recording for throughput-oriented runs. The
+	// runner's own completion watcher still observes every event, so
+	// Result is unaffected. Ignored when Check is set: the MMB checker
+	// re-derives the problem conditions from the full trace.
+	NoTrace bool
 	// EpsAbort forwards to the engine.
 	EpsAbort sim.Time
 }
@@ -121,6 +126,7 @@ func Run(cfg RunConfig) *Result {
 		Mode:      cfg.Mode,
 		Seed:      cfg.Seed,
 		EpsAbort:  cfg.EpsAbort,
+		NoTrace:   cfg.NoTrace && !cfg.Check,
 	}, cfg.Automata)
 
 	// Required deliveries: every message must reach every node in its

@@ -48,14 +48,23 @@ func (g *Graph) Eccentricity(src NodeID) int {
 }
 
 // Diameter returns the maximum eccentricity over all nodes, considering only
-// intra-component distances. For an empty graph it returns 0.
+// intra-component distances. For an empty graph it returns 0. The result is
+// memoized until the next mutation (runners recompute the diameter of the
+// same network for every execution); the memo is lock-guarded because
+// finished graphs are shared read-only across parallel harness workers.
 func (g *Graph) Diameter() int {
+	g.diamMu.Lock()
+	defer g.diamMu.Unlock()
+	if g.diamOK {
+		return g.diam
+	}
 	max := 0
 	for u := 0; u < g.n; u++ {
 		if e := g.Eccentricity(NodeID(u)); e > max {
 			max = e
 		}
 	}
+	g.diam, g.diamOK = max, true
 	return max
 }
 

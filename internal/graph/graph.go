@@ -7,6 +7,7 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // NodeID identifies a node. Node IDs are dense integers in [0, N).
@@ -16,7 +17,16 @@ type NodeID int
 // adjacency lists. The zero value is an empty graph with no nodes; use New.
 type Graph struct {
 	n   int
+	m   int // edge count, maintained at mutation time
 	adj [][]NodeID
+
+	// diam memoizes Diameter() under diamMu: finished graphs are shared
+	// read-only across harness workers, so the lazy fill must be
+	// synchronized. diamOK is cleared by AddEdge (mutation is
+	// build-phase-only and not goroutine-safe, like the rest of Graph).
+	diamMu sync.Mutex
+	diam   int
+	diamOK bool
 }
 
 // New returns an empty graph with n nodes and no edges.
@@ -30,14 +40,9 @@ func New(n int) *Graph {
 // N returns the number of nodes.
 func (g *Graph) N() int { return g.n }
 
-// M returns the number of edges.
-func (g *Graph) M() int {
-	total := 0
-	for _, nbrs := range g.adj {
-		total += len(nbrs)
-	}
-	return total / 2
-}
+// M returns the number of edges. The count is maintained by AddEdge, so
+// validation paths can call M freely without an adjacency sweep.
+func (g *Graph) M() int { return g.m }
 
 func (g *Graph) check(v NodeID) {
 	if v < 0 || int(v) >= g.n {
@@ -53,20 +58,25 @@ func (g *Graph) AddEdge(u, v NodeID) {
 	if u == v {
 		panic("graph: self-loop")
 	}
-	g.insertArc(u, v)
-	g.insertArc(v, u)
+	if g.insertArc(u, v) {
+		g.insertArc(v, u)
+		g.m++
+		g.diamOK = false
+	}
 }
 
-func (g *Graph) insertArc(u, v NodeID) {
+// insertArc adds v to u's adjacency list, reporting whether it was new.
+func (g *Graph) insertArc(u, v NodeID) bool {
 	nbrs := g.adj[u]
 	i := sort.Search(len(nbrs), func(i int) bool { return nbrs[i] >= v })
 	if i < len(nbrs) && nbrs[i] == v {
-		return
+		return false
 	}
 	nbrs = append(nbrs, 0)
 	copy(nbrs[i+1:], nbrs[i:])
 	nbrs[i] = v
 	g.adj[u] = nbrs
+	return true
 }
 
 // HasEdge reports whether (u, v) is an edge.
@@ -119,6 +129,7 @@ func (g *Graph) Edges() [][2]NodeID {
 // Clone returns a deep copy of g.
 func (g *Graph) Clone() *Graph {
 	c := New(g.n)
+	c.m = g.m
 	for u := range g.adj {
 		c.adj[u] = append([]NodeID(nil), g.adj[u]...)
 	}

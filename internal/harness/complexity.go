@@ -36,40 +36,52 @@ func MessageComplexity(o Options) *Table {
 	if o.Quick {
 		pts = pts[:2]
 	}
-	for _, p := range pts {
+	type trial struct {
+		bB, fB, fAbort, fGrey float64
+	}
+	res := collectTrials(o, len(pts), func(pi int, seed int64) trial {
+		p := pts[pi]
+		rng := rand.New(rand.NewSource(seed * 7907))
+		d := topology.ConnectedRandomGeometric(p.n, p.side, c, 0.5, rng, 200)
+		if d == nil {
+			panic("harness: no connected geometric instance")
+		}
+		a := core.Singleton(d.N(), sources(d.N(), p.k))
+
+		// Run BMMB to quiescence (not just completion) so trailing
+		// re-broadcasts are counted: the flooding invariant is about
+		// the whole execution.
+		bres := core.Run(core.RunConfig{
+			Dual:       d,
+			Fack:       o.Fack,
+			Fprog:      o.Fprog,
+			Scheduler:  &sched.Contention{Rel: sched.Bernoulli{P: 0.5}},
+			Seed:       seed,
+			Assignment: a,
+			Automata:   core.NewBMMBFleet(d.N()),
+			Check:      o.Check,
+		})
+		countSimEvents(bres.Steps)
+		if !bres.Solved {
+			panic("harness: BMMB failed in complexity experiment")
+		}
+
+		fres, _ := fmmbRun(o, d, c, a, seed, true)
+		fm := metrics.Collect(d, fres.Engine.Instances(), fres.Engine.Trace())
+		return trial{
+			bB:     float64(bres.Broadcasts),
+			fB:     float64(fm.TotalInstances),
+			fAbort: float64(fm.Aborted),
+			fGrey:  float64(fm.GreyDeliveries),
+		}
+	})
+	for pi, p := range pts {
 		var bB, fB, fAbort, fGrey float64
-		for tr := 0; tr < o.Trials; tr++ {
-			seed := o.Seed + int64(tr)
-			rng := rand.New(rand.NewSource(seed * 7907))
-			d := topology.ConnectedRandomGeometric(p.n, p.side, c, 0.5, rng, 200)
-			if d == nil {
-				panic("harness: no connected geometric instance")
-			}
-			a := core.Singleton(d.N(), sources(d.N(), p.k))
-
-			// Run BMMB to quiescence (not just completion) so trailing
-			// re-broadcasts are counted: the flooding invariant is about
-			// the whole execution.
-			bres := core.Run(core.RunConfig{
-				Dual:       d,
-				Fack:       o.Fack,
-				Fprog:      o.Fprog,
-				Scheduler:  &sched.Contention{Rel: sched.Bernoulli{P: 0.5}},
-				Seed:       seed,
-				Assignment: a,
-				Automata:   core.NewBMMBFleet(d.N()),
-				Check:      o.Check,
-			})
-			if !bres.Solved {
-				panic("harness: BMMB failed in complexity experiment")
-			}
-			bB += float64(bres.Broadcasts)
-
-			fres, _ := fmmbRun(o, d, c, a, seed, true)
-			fm := metrics.Collect(d, fres.Engine.Instances(), fres.Engine.Trace())
-			fB += float64(fm.TotalInstances)
-			fAbort += float64(fm.Aborted)
-			fGrey += float64(fm.GreyDeliveries)
+		for _, tr := range res[pi] {
+			bB += tr.bB
+			fB += tr.fB
+			fAbort += tr.fAbort
+			fGrey += tr.fGrey
 		}
 		tr := float64(o.Trials)
 		bB, fB, fAbort, fGrey = bB/tr, fB/tr, fAbort/tr, fGrey/tr

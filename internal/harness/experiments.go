@@ -63,14 +63,17 @@ func Fig1StdReliable(o Options) *Table {
 	if o.Quick {
 		sizes = []int{8, 16, 32}
 	}
+	const kD = 4
 	var sweep, meas, bnd []float64
-	for _, n := range sizes {
-		k := 4
-		m := meanCompletion(o, func(seed int64) sim.Time {
-			return bmmbRun(o, topology.Line(n), &sched.Sync{}, core.SingleSource(n, 0, k), seed).CompletionTime
-		})
-		b := bound(n-1, k)
-		t.AddRow("D", fmt.Sprint(n), fmt.Sprint(n-1), fmt.Sprint(k),
+	ms := pointMeans(o, len(sizes), func(pi int, seed int64) float64 {
+		n := sizes[pi]
+		return float64(bmmbRun(o, topology.Line(n), &sched.Sync{},
+			core.SingleSource(n, 0, kD), seed).CompletionTime)
+	})
+	for i, n := range sizes {
+		m := ms[i]
+		b := bound(n-1, kD)
+		t.AddRow("D", fmt.Sprint(n), fmt.Sprint(n-1), fmt.Sprint(kD),
 			ticksStr(m), ticksStr(b), ratioStr(m, b))
 		sweep = append(sweep, float64(n-1))
 		meas = append(meas, m)
@@ -81,14 +84,17 @@ func Fig1StdReliable(o Options) *Table {
 	if o.Quick {
 		ks = []int{1, 4, 8}
 	}
+	const nK = 32
 	sweep, meas, bnd = nil, nil, nil
-	for _, k := range ks {
-		n := 32
-		m := meanCompletion(o, func(seed int64) sim.Time {
-			return bmmbRun(o, topology.Line(n), &sched.Sync{}, core.SingleSource(n, 0, k), seed).CompletionTime
-		})
-		b := bound(n-1, k)
-		t.AddRow("k", fmt.Sprint(n), fmt.Sprint(n-1), fmt.Sprint(k),
+	ms = pointMeans(o, len(ks), func(pi int, seed int64) float64 {
+		k := ks[pi]
+		return float64(bmmbRun(o, topology.Line(nK), &sched.Sync{},
+			core.SingleSource(nK, 0, k), seed).CompletionTime)
+	})
+	for i, k := range ks {
+		m := ms[i]
+		b := bound(nK-1, k)
+		t.AddRow("k", fmt.Sprint(nK), fmt.Sprint(nK-1), fmt.Sprint(k),
 			ticksStr(m), ticksStr(b), ratioStr(m, b))
 		sweep = append(sweep, float64(k))
 		meas = append(meas, m)
@@ -121,19 +127,21 @@ func Fig1StdRRestricted(o Options) *Table {
 	}
 	for _, schedName := range []string{"sync", "contention"} {
 		var sweep, meas, bnd []float64
-		for _, r := range rs {
-			m := meanCompletion(o, func(seed int64) sim.Time {
-				rng := rand.New(rand.NewSource(seed))
-				d := topology.LineRRestricted(n, r, 0.6, rng)
-				var s mac.Scheduler
-				if schedName == "sync" {
-					s = &sched.Sync{Rel: sched.Bernoulli{P: 0.5}}
-				} else {
-					s = &sched.Contention{Rel: sched.Bernoulli{P: 0.5}}
-				}
-				a := core.Singleton(n, sources(n, k))
-				return bmmbRun(o, d, s, a, seed).CompletionTime
-			})
+		ms := pointMeans(o, len(rs), func(pi int, seed int64) float64 {
+			r := rs[pi]
+			rng := rand.New(rand.NewSource(seed))
+			d := topology.LineRRestricted(n, r, 0.6, rng)
+			var s mac.Scheduler
+			if schedName == "sync" {
+				s = &sched.Sync{Rel: sched.Bernoulli{P: 0.5}}
+			} else {
+				s = &sched.Contention{Rel: sched.Bernoulli{P: 0.5}}
+			}
+			a := core.Singleton(n, sources(n, k))
+			return float64(bmmbRun(o, d, s, a, seed).CompletionTime)
+		})
+		for i, r := range rs {
+			m := ms[i]
 			b := bound(r)
 			t.AddRow(schedName, fmt.Sprint(n), fmt.Sprint(r), fmt.Sprint(k),
 				ticksStr(m), ticksStr(b), ratioStr(m, b))
@@ -162,16 +170,18 @@ func Fig1StdArbitrary(o Options) *Table {
 		n = 17
 		ks = []int{2, 4, 8}
 	}
+	extra := n
 	var sweep, meas, bnd []float64
-	for _, k := range ks {
-		extra := n
-		m := meanCompletion(o, func(seed int64) sim.Time {
-			rng := rand.New(rand.NewSource(seed))
-			d := topology.ArbitraryNoise(topology.Line(n).G, extra, rng,
-				fmt.Sprintf("line+%d-wild-edges", extra))
-			a := core.Singleton(n, sources(n, k))
-			return bmmbRun(o, d, &sched.Contention{Rel: sched.Bernoulli{P: 0.5}}, a, seed).CompletionTime
-		})
+	ms := pointMeans(o, len(ks), func(pi int, seed int64) float64 {
+		k := ks[pi]
+		rng := rand.New(rand.NewSource(seed))
+		d := topology.ArbitraryNoise(topology.Line(n).G, extra, rng,
+			fmt.Sprintf("line+%d-wild-edges", extra))
+		a := core.Singleton(n, sources(n, k))
+		return float64(bmmbRun(o, d, &sched.Contention{Rel: sched.Bernoulli{P: 0.5}}, a, seed).CompletionTime)
+	})
+	for i, k := range ks {
+		m := ms[i]
 		b := float64(sim.Time(n-1+k) * o.Fack)
 		t.AddRow(fmt.Sprint(n), fmt.Sprint(extra), fmt.Sprint(k),
 			ticksStr(m), ticksStr(b), ratioStr(m, b))
@@ -212,21 +222,23 @@ func Fig2LowerBound(o Options) *Table {
 		ks = []int{2, 4, 8}
 	}
 	allOK := true
-	for _, d := range ds {
+	dMeans := pointMeans(o, len(ds), func(pi int, seed int64) float64 {
+		d := ds[pi]
 		c := topology.NewParallelLinesC(d)
 		m0 := core.Msg{ID: 0, Origin: c.A(1)}
 		m1 := core.Msg{ID: 1, Origin: c.B(1)}
 		a := make(core.Assignment, c.N())
 		a[c.A(1)] = []core.Msg{m0}
 		a[c.B(1)] = []core.Msg{m1}
-		m := meanCompletion(o, func(seed int64) sim.Time {
-			s := &sched.ParallelLines{
-				Net:  c,
-				IsM0: func(p any) bool { return p == m0 },
-				IsM1: func(p any) bool { return p == m1 },
-			}
-			return bmmbRun(o, c.Dual, s, a, seed).CompletionTime
-		})
+		s := &sched.ParallelLines{
+			Net:  c,
+			IsM0: func(p any) bool { return p == m0 },
+			IsM1: func(p any) bool { return p == m1 },
+		}
+		return float64(bmmbRun(o, c.Dual, s, a, seed).CompletionTime)
+	})
+	for i, d := range ds {
+		m := dMeans[i]
 		f := float64(sim.Time(d-1) * o.Fack)
 		if m < f {
 			allOK = false
@@ -234,7 +246,8 @@ func Fig2LowerBound(o Options) *Table {
 		t.AddRow("parallel-lines (Fig 2)", fmt.Sprintf("D=%d", d),
 			ticksStr(m), ticksStr(f), ratioStr(m, f))
 	}
-	for _, k := range ks {
+	kMeans := pointMeans(o, len(ks), func(pi int, seed int64) float64 {
+		k := ks[pi]
 		s := topology.NewStarChoke(k)
 		a := make(core.Assignment, s.N())
 		for i := 1; i < k; i++ {
@@ -242,9 +255,10 @@ func Fig2LowerBound(o Options) *Table {
 			a[v] = []core.Msg{{ID: i - 1, Origin: v}}
 		}
 		a[s.Hub()] = []core.Msg{{ID: k - 1, Origin: s.Hub()}}
-		m := meanCompletion(o, func(seed int64) sim.Time {
-			return bmmbRun(o, s.Dual, &sched.Sync{}, a, seed).CompletionTime
-		})
+		return float64(bmmbRun(o, s.Dual, &sched.Sync{}, a, seed).CompletionTime)
+	})
+	for i, k := range ks {
+		m := kMeans[i]
 		f := float64(sim.Time(k-1) * o.Fack)
 		if m < f {
 			allOK = false
@@ -290,22 +304,33 @@ func Fig1EnhGreyZone(o Options) *Table {
 		npoints = npoints[:3]
 		kpoints = kpoints[:3]
 	}
+	type trial struct {
+		completion, diam float64
+	}
 	run := func(sweepName string, pts []point, sweepOf func(point, int) float64) {
+		res := collectTrials(o, len(pts), func(pi int, seed int64) trial {
+			p := pts[pi]
+			rng := rand.New(rand.NewSource(seed * 1237))
+			d := topology.ConnectedRandomGeometric(p.n, p.side, c, 0.5, rng, 200)
+			if d == nil {
+				panic("harness: no connected geometric instance")
+			}
+			diam := float64(d.G.Diameter())
+			a := core.Singleton(d.N(), sources(d.N(), p.k))
+			r, _ := fmmbRun(o, d, c, a, seed, true)
+			return trial{completion: float64(r.CompletionTime), diam: diam}
+		})
 		var sweep, meas, bnd []float64
-		for _, p := range pts {
-			var rounds, diam float64
-			m := meanCompletion(o, func(seed int64) sim.Time {
-				rng := rand.New(rand.NewSource(seed * 1237))
-				d := topology.ConnectedRandomGeometric(p.n, p.side, c, 0.5, rng, 200)
-				if d == nil {
-					panic("harness: no connected geometric instance")
-				}
-				diam = float64(d.G.Diameter())
-				a := core.Singleton(d.N(), sources(d.N(), p.k))
-				res, _ := fmmbRun(o, d, c, a, seed, true)
-				return res.CompletionTime
-			})
-			rounds = m / float64(o.Fprog)
+		for pi, p := range pts {
+			var sum float64
+			for _, tr := range res[pi] {
+				sum += tr.completion
+			}
+			m := sum / float64(o.Trials)
+			// The instance topology (and so the diameter) is seed-keyed;
+			// report the last trial's, matching the sequential harness.
+			diam := res[pi][o.Trials-1].diam
+			rounds := m / float64(o.Fprog)
 			b := bound(int(diam), p.k, p.n)
 			t.AddRow(sweepName, fmt.Sprint(p.n), fmt.Sprintf("%.0f", diam), fmt.Sprint(p.k),
 				ticksStr(rounds), ticksStr(b), ratioStr(rounds, b))
@@ -346,17 +371,25 @@ func AblationFackRatio(o Options) *Table {
 	}
 	k := 4
 	a := core.Singleton(d.N(), sources(d.N(), k))
-	var bs, fs []float64
-	for _, r := range ratios {
+	type trial struct {
+		bmmb, fmmb float64
+	}
+	res := collectTrials(o, len(ratios), func(pi int, seed int64) trial {
 		oo := o
-		oo.Fack = oo.Fprog * sim.Time(r)
-		bm := meanCompletion(oo, func(seed int64) sim.Time {
-			return bmmbRun(oo, d, &sched.Sync{Rel: sched.Bernoulli{P: 0.5}}, a, seed).CompletionTime
-		})
-		fm := meanCompletion(oo, func(seed int64) sim.Time {
-			res, _ := fmmbRun(oo, d, c, a, seed, true)
-			return res.CompletionTime
-		})
+		oo.Fack = oo.Fprog * sim.Time(ratios[pi])
+		bm := float64(bmmbRun(oo, d, &sched.Sync{Rel: sched.Bernoulli{P: 0.5}}, a, seed).CompletionTime)
+		fres, _ := fmmbRun(oo, d, c, a, seed, true)
+		return trial{bmmb: bm, fmmb: float64(fres.CompletionTime)}
+	})
+	var bs, fs []float64
+	for pi, r := range ratios {
+		var bm, fm float64
+		for _, tr := range res[pi] {
+			bm += tr.bmmb
+			fm += tr.fmmb
+		}
+		bm /= float64(o.Trials)
+		fm /= float64(o.Trials)
 		w := "BMMB"
 		if fm < bm {
 			w = "FMMB"
@@ -392,25 +425,38 @@ func MISExperiment(o Options) *Table {
 	if o.Quick {
 		sizes = []int{16, 25, 36}
 	}
-	for _, n := range sizes {
+	type trial struct {
+		misSize, greedySize, decideRounds, schedRounds float64
+		valid                                          bool
+	}
+	res := collectTrials(o, len(sizes), func(pi int, seed int64) trial {
+		n := sizes[pi]
+		rng := rand.New(rand.NewSource(seed * 7717))
+		side := math.Sqrt(float64(n)) * 0.72
+		d := topology.ConnectedRandomGeometric(n, side, c, 0.5, rng, 200)
+		if d == nil {
+			panic("harness: no connected geometric instance")
+		}
+		set, decideAt, total := runMIS(o, d, c, seed)
+		return trial{
+			misSize:      float64(len(set)),
+			greedySize:   float64(len(d.G.GreedyMIS())),
+			decideRounds: float64(decideAt) / float64(o.Fprog),
+			schedRounds:  float64(total),
+			valid:        d.G.IsMaximalIndependent(set),
+		}
+	})
+	for pi, n := range sizes {
 		valid := true
 		var misSize, greedySize, decideRounds, schedRounds float64
-		for tr := 0; tr < o.Trials; tr++ {
-			seed := o.Seed + int64(tr)
-			rng := rand.New(rand.NewSource(seed * 7717))
-			side := math.Sqrt(float64(n)) * 0.72
-			d := topology.ConnectedRandomGeometric(n, side, c, 0.5, rng, 200)
-			if d == nil {
-				panic("harness: no connected geometric instance")
-			}
-			set, decideAt, total := runMIS(o, d, c, seed)
-			if !d.G.IsMaximalIndependent(set) {
+		for _, tr := range res[pi] {
+			if !tr.valid {
 				valid = false
 			}
-			misSize += float64(len(set))
-			greedySize += float64(len(d.G.GreedyMIS()))
-			decideRounds += float64(decideAt) / float64(o.Fprog)
-			schedRounds = float64(total)
+			misSize += tr.misSize
+			greedySize += tr.greedySize
+			decideRounds += tr.decideRounds
+			schedRounds = tr.schedRounds
 		}
 		misSize /= float64(o.Trials)
 		greedySize /= float64(o.Trials)
@@ -442,21 +488,27 @@ func SubroutineExperiment(o Options) *Table {
 	if o.Quick {
 		ks = []int{1, 2, 4}
 	}
-	for _, k := range ks {
+	type trial struct {
+		gUsed, gBudget, sUsed, sBudget float64
+	}
+	res := collectTrials(o, len(ks), func(pi int, seed int64) trial {
+		k := ks[pi]
+		rng := rand.New(rand.NewSource(seed * 31337))
+		d := topology.ConnectedRandomGeometric(36, 4.2, c, 0.5, rng, 200)
+		if d == nil {
+			panic("harness: no connected geometric instance")
+		}
+		a := core.Singleton(d.N(), sources(d.N(), k))
+		gu, gb, su, sb := runStages(o, d, c, a, seed)
+		return trial{gUsed: gu, gBudget: gb, sUsed: su, sBudget: sb}
+	})
+	for pi, k := range ks {
 		var gUsed, gBudget, sUsed, sBudget float64
-		for tr := 0; tr < o.Trials; tr++ {
-			seed := o.Seed + int64(tr)
-			rng := rand.New(rand.NewSource(seed * 31337))
-			d := topology.ConnectedRandomGeometric(36, 4.2, c, 0.5, rng, 200)
-			if d == nil {
-				panic("harness: no connected geometric instance")
-			}
-			a := core.Singleton(d.N(), sources(d.N(), k))
-			gu, gb, su, sb := runStages(o, d, c, a, seed)
-			gUsed += gu
-			gBudget = gb
-			sUsed += su
-			sBudget = sb
+		for _, tr := range res[pi] {
+			gUsed += tr.gUsed
+			gBudget = tr.gBudget
+			sUsed += tr.sUsed
+			sBudget = tr.sBudget
 		}
 		gUsed /= float64(o.Trials)
 		sUsed /= float64(o.Trials)

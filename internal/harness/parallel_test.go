@@ -1,0 +1,66 @@
+package harness
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestParallelForCoversAllIndices checks the pool executes every index
+// exactly once at various widths.
+func TestParallelForCoversAllIndices(t *testing.T) {
+	for _, p := range []int{0, 1, 2, 7, 64} {
+		const n = 37
+		var counts [n]atomic.Int32
+		ParallelFor(p, n, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("p=%d: index %d ran %d times", p, i, got)
+			}
+		}
+	}
+}
+
+// TestParallelForPropagatesPanic checks a worker panic resurfaces in the
+// caller instead of crashing the process from a goroutine.
+func TestParallelForPropagatesPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("worker panic did not propagate")
+		}
+	}()
+	ParallelFor(4, 16, func(i int) {
+		if i == 11 {
+			panic("boom")
+		}
+	})
+}
+
+// TestParallelHarnessDeterminism is the contract of Options.Parallelism:
+// every experiment table must be byte-identical at Parallelism 1 and 8.
+// Experiments cover both sweep styles (pointMeans and collectTrials with
+// auxiliary per-trial state such as the instance diameter).
+func TestParallelHarnessDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep")
+	}
+	experiments := []struct {
+		name string
+		run  func(Options) *Table
+	}{
+		{"fig1-std-reliable", Fig1StdReliable},
+		{"fig1-std-greyzone-lb", Fig2LowerBound},
+		{"fig1-enh-greyzone", Fig1EnhGreyZone},
+		{"mis-subroutine", MISExperiment},
+	}
+	for _, e := range experiments {
+		opts := Options{Quick: true, Trials: 2, Seed: 5}
+		opts.Parallelism = 1
+		seq := e.run(opts).String()
+		opts.Parallelism = 8
+		par := e.run(opts).String()
+		if seq != par {
+			t.Errorf("%s: tables differ between Parallelism 1 and 8\n--- sequential ---\n%s--- parallel ---\n%s",
+				e.name, seq, par)
+		}
+	}
+}

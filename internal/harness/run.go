@@ -25,6 +25,12 @@ type Options struct {
 	Quick bool
 	// Check verifies model guarantees on every run (slower).
 	Check bool
+	// Parallelism bounds how many (sweep point, trial) simulations run
+	// concurrently; zero or one selects sequential execution. Every run is
+	// an independent deterministic simulation keyed by its seed and results
+	// are reduced in index order, so rendered tables are byte-identical at
+	// any Parallelism.
+	Parallelism int
 }
 
 func (o Options) withDefaults() Options {
@@ -39,6 +45,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
+	}
+	if o.Parallelism == 0 {
+		o.Parallelism = 1
 	}
 	return o
 }
@@ -57,6 +66,7 @@ func bmmbRun(o Options, d *topology.Dual, s mac.Scheduler, a core.Assignment, se
 		HaltOnCompletion: true,
 		Check:            o.Check,
 	})
+	countSimEvents(res.Steps)
 	if !res.Solved {
 		panic(fmt.Sprintf("harness: BMMB failed on %s (%d/%d delivered by %v)",
 			d.Name, res.Delivered, res.Required, res.End))
@@ -84,6 +94,7 @@ func fmmbRun(o Options, d *topology.Dual, c float64, a core.Assignment, seed int
 		HaltOnCompletion: halt,
 		Check:            o.Check,
 	})
+	countSimEvents(res.Steps)
 	if !res.Solved {
 		panic(fmt.Sprintf("harness: FMMB failed on %s seed %d (%d/%d delivered by %v)",
 			d.Name, seed, res.Delivered, res.Required, res.End))
@@ -95,12 +106,11 @@ func fmmbRun(o Options, d *topology.Dual, c float64, a core.Assignment, seed int
 }
 
 // meanCompletion averages completion time over trials, varying the seed.
+// Trials run on the options' worker pool; the reduction is in trial order.
 func meanCompletion(o Options, run func(seed int64) sim.Time) float64 {
-	var sum float64
-	for tr := 0; tr < o.Trials; tr++ {
-		sum += float64(run(o.Seed + int64(tr)))
-	}
-	return sum / float64(o.Trials)
+	return pointMeans(o, 1, func(_ int, seed int64) float64 {
+		return float64(run(seed))
+	})[0]
 }
 
 // ticksStr formats a tick count.

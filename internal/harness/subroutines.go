@@ -31,6 +31,7 @@ func runMIS(o Options, d *topology.Dual, c float64, seed int64) (set []graph.Nod
 	eng.Start()
 	eng.Sim().SetHorizon(sim.Time(cfg.Rounds()+2) * o.Fprog)
 	eng.Run()
+	countSimEvents(eng.Sim().Steps())
 	for i, a := range autos {
 		if a.(*core.MISNode).InMIS() {
 			set = append(set, graph.NodeID(i))
@@ -81,6 +82,7 @@ func runStages(o Options, d *topology.Dual, c float64, a core.Assignment, seed i
 	eng.Sim().SetHorizon(sim.Time(rc.Rounds()+2) * o.Fprog)
 	eng.Sim().SetStepLimit(1 << 62)
 	eng.Run()
+	countSimEvents(eng.Sim().Steps())
 
 	// Messages injected directly at MIS nodes are owned from the start;
 	// only gather hand-overs move lastOwn.

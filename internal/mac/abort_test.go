@@ -64,8 +64,8 @@ func TestEpsAbortAllowsLateDelivery(t *testing.T) {
 		if b.Term != mac.Aborted {
 			t.Fatalf("instance %d should be aborted", b.ID)
 		}
-		if len(b.Delivered) != 1 {
-			t.Fatalf("instance %d delivered to %d nodes, want 1 (within eps)", b.ID, len(b.Delivered))
+		if b.NumDelivered() != 1 {
+			t.Fatalf("instance %d delivered to %d nodes, want 1 (within eps)", b.ID, b.NumDelivered())
 		}
 	}
 	rep := check.All(d, insts, check.Params{Fack: 100, Fprog: 10, EpsAbort: 5, End: eng.Sim().Now()})

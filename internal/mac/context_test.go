@@ -85,7 +85,7 @@ func TestEngineHaltStopsRun(t *testing.T) {
 	eng.Run()
 	// Halted right after the bcast: no deliveries processed.
 	insts := eng.Instances()
-	if len(insts) != 1 || len(insts[0].Delivered) != 0 {
+	if len(insts) != 1 || insts[0].NumDelivered() != 0 {
 		t.Fatalf("run did not halt promptly: %+v", insts)
 	}
 }

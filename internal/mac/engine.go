@@ -28,6 +28,10 @@ type Config struct {
 	EpsAbort sim.Time
 	// TraceCap bounds trace memory; 0 keeps everything.
 	TraceCap int
+	// NoTrace disables trace recording entirely. Watchers still observe
+	// every event; when none are registered either, the engine skips event
+	// construction altogether — the throughput fast path.
+	NoTrace bool
 }
 
 // Scheduler is the source of the model's non-determinism: it decides when
@@ -126,14 +130,19 @@ func NewEngine(cfg Config, automata []Automaton) *Engine {
 	if cfg.TraceCap > 0 {
 		e.trace.SetCap(cfg.TraceCap)
 	}
-	e.schedRand = e.sim.Fork(-1)
+	if cfg.NoTrace {
+		e.trace.Disable()
+	}
+	// Per-node and scheduler random streams are forked lazily on first
+	// draw: seeding a math/rand stream costs more than most nodes' entire
+	// event work, and deterministic automata never draw at all. Fork is
+	// keyed by id alone, so creation order does not change the streams.
 	e.nodes = make([]*nodeState, cfg.Dual.N())
 	for i := range e.nodes {
 		e.nodes[i] = &nodeState{
 			eng:       e,
 			id:        NodeID(i),
 			automaton: automata[i],
-			rng:       e.sim.Fork(int64(i)),
 		}
 	}
 	cfg.Scheduler.Attach(e)
@@ -159,7 +168,17 @@ func (e *Engine) Watch(fn func(sim.TraceEvent)) {
 	e.watchers = append(e.watchers, fn)
 }
 
+// recording reports whether anyone observes trace events. When false, emit
+// call sites skip event construction (and the interface boxing of the
+// argument) entirely — the no-trace fast path.
+func (e *Engine) recording() bool {
+	return !e.cfg.NoTrace || len(e.watchers) > 0
+}
+
 func (e *Engine) emit(kind string, node NodeID, arg any) {
+	if !e.recording() {
+		return
+	}
 	ev := sim.TraceEvent{At: e.sim.Now(), Kind: kind, Node: int(node), Arg: arg}
 	e.trace.Append(ev)
 	for _, w := range e.watchers {
@@ -218,8 +237,13 @@ func (e *Engine) Fprog() sim.Time { return e.cfg.Fprog }
 // Dual returns the network.
 func (e *Engine) Dual() *topology.Dual { return e.cfg.Dual }
 
-// Rand returns the scheduler's random stream.
-func (e *Engine) Rand() *rand.Rand { return e.schedRand }
+// Rand returns the scheduler's random stream (forked on first use).
+func (e *Engine) Rand() *rand.Rand {
+	if e.schedRand == nil {
+		e.schedRand = e.sim.Fork(-1)
+	}
+	return e.schedRand
+}
 
 // At schedules fn at absolute time t on the simulation clock.
 func (e *Engine) At(t sim.Time, fn func()) sim.Handle { return e.sim.At(t, fn) }
@@ -236,7 +260,7 @@ func (e *Engine) Deliver(b *Instance, to NodeID) {
 	if !e.cfg.Dual.GPrime.HasEdge(b.Sender, to) {
 		panic(fmt.Sprintf("mac: delivery %d→%d without a G' edge", b.Sender, to))
 	}
-	if _, dup := b.Delivered[to]; dup {
+	if b.WasDelivered(to) {
 		panic(fmt.Sprintf("mac: duplicate delivery of instance %d to %d", b.ID, to))
 	}
 	now := e.sim.Now()
@@ -249,8 +273,10 @@ func (e *Engine) Deliver(b *Instance, to NodeID) {
 				b.ID, now-b.TermAt, e.cfg.EpsAbort))
 		}
 	}
-	b.Delivered[to] = now
-	e.emit("rcv", to, b.ID)
+	b.MarkDelivered(to, now, e.cfg.Dual.G.HasEdge(b.Sender, to))
+	if e.recording() {
+		e.emit("rcv", to, b.ID)
+	}
 	ns := e.node(to)
 	ns.automaton.Recv(ns, Message{Instance: b.ID, Sender: b.Sender, Payload: b.Payload})
 }
@@ -267,9 +293,11 @@ func (e *Engine) Ack(b *Instance) {
 		panic(fmt.Sprintf("mac: ack of instance %d at %v violates Fack bound (start %v, Fack %v)",
 			b.ID, now, b.Start, e.cfg.Fack))
 	}
-	for _, v := range e.cfg.Dual.G.Neighbors(b.Sender) {
-		if _, ok := b.Delivered[v]; !ok {
-			panic(fmt.Sprintf("mac: ack of instance %d before G-neighbor %d received", b.ID, v))
+	if !b.AllReliableDelivered() {
+		for _, v := range e.cfg.Dual.G.Neighbors(b.Sender) {
+			if !b.WasDelivered(v) {
+				panic(fmt.Sprintf("mac: ack of instance %d before G-neighbor %d received", b.ID, v))
+			}
 		}
 	}
 	b.Term = Acked
@@ -279,7 +307,9 @@ func (e *Engine) Ack(b *Instance) {
 		panic(fmt.Sprintf("mac: ack for instance %d which is not pending at %d", b.ID, b.Sender))
 	}
 	ns.pending = nil
-	e.emit("ack", b.Sender, b.ID)
+	if e.recording() {
+		e.emit("ack", b.Sender, b.ID)
+	}
 	ns.automaton.Acked(ns, Message{Instance: b.ID, Sender: b.Sender, Payload: b.Payload})
 }
 
@@ -298,17 +328,14 @@ func (ns *nodeState) Bcast(payload any) {
 			ns.id, ns.pending.ID))
 	}
 	e := ns.eng
-	b := &Instance{
-		ID:        e.nextID,
-		Sender:    ns.id,
-		Payload:   payload,
-		Start:     e.sim.Now(),
-		Delivered: make(map[NodeID]sim.Time, e.cfg.Dual.GPrime.Degree(ns.id)),
-	}
+	b := NewInstance(e.nextID, ns.id, payload, e.sim.Now(),
+		e.cfg.Dual.N(), e.cfg.Dual.G.Degree(ns.id))
 	e.nextID++
 	e.insts = append(e.insts, b)
 	ns.pending = b
-	e.emit("bcast", ns.id, b.ID)
+	if e.recording() {
+		e.emit("bcast", ns.id, b.ID)
+	}
 	e.cfg.Scheduler.OnBcast(b)
 }
 
@@ -325,8 +352,13 @@ func (ns *nodeState) GPrimeNeighbors() []NodeID {
 	return ns.eng.cfg.Dual.GPrime.Neighbors(ns.id)
 }
 
-// Rand returns the node's private random stream.
-func (ns *nodeState) Rand() *rand.Rand { return ns.rng }
+// Rand returns the node's private random stream (forked on first use).
+func (ns *nodeState) Rand() *rand.Rand {
+	if ns.rng == nil {
+		ns.rng = ns.eng.sim.Fork(int64(ns.id))
+	}
+	return ns.rng
+}
 
 // Emit appends an algorithm-level trace event attributed to this node.
 func (ns *nodeState) Emit(kind string, arg any) { ns.eng.emit(kind, ns.id, arg) }

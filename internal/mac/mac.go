@@ -140,18 +140,85 @@ const (
 
 // Instance records one broadcast instance: the bcast event and everything
 // the cause function maps to it. Checkers consume these records.
+//
+// Delivery state is a dense per-node time slice plus a remaining-reliable
+// counter, so the hot path's delivery lookups and the ack-readiness check
+// are O(1) with no map traffic (the previous map representation made every
+// delivery rescan the sender's G-neighborhood against map probes, O(d²) per
+// degree-d instance). Construct instances with NewInstance and record
+// deliveries with MarkDelivered.
 type Instance struct {
 	ID      InstanceID
 	Sender  NodeID
 	Payload any
 	Start   sim.Time
-	// Delivered maps each receiver to its rcv time.
-	Delivered map[NodeID]sim.Time
 	// TermAt is the time of the terminating event (ack or abort);
 	// meaningful only when Term != Active.
 	TermAt sim.Time
 	Term   Status
+
+	// deliveredAt[v] is the rcv time at node v plus one; zero means not
+	// delivered. The +1 bias lets the slice start as plain zeroed memory
+	// (rcv times are ≥ 0), so NewInstance is a single make with no fill.
+	deliveredAt []sim.Time
+	// receivers lists delivered nodes in delivery order.
+	receivers []NodeID
+	// remainingReliable counts the sender's G-neighbors yet to receive.
+	remainingReliable int
 }
+
+// NewInstance returns an instance record for a network of n nodes whose
+// sender has reliableDeg G-neighbors.
+func NewInstance(id InstanceID, sender NodeID, payload any, start sim.Time, n, reliableDeg int) *Instance {
+	return &Instance{
+		ID:                id,
+		Sender:            sender,
+		Payload:           payload,
+		Start:             start,
+		deliveredAt:       make([]sim.Time, n),
+		remainingReliable: reliableDeg,
+	}
+}
+
+// MarkDelivered records the rcv of the instance at node to at time at.
+// reliable marks a delivery to a G-neighbor of the sender, decrementing the
+// counter AllReliableDelivered consults. It performs no model validation
+// (mac.Engine.Deliver does; checkers deliberately build invalid histories)
+// but panics on duplicates, which every caller is expected to screen out.
+func (b *Instance) MarkDelivered(to NodeID, at sim.Time, reliable bool) {
+	if b.deliveredAt[to] != 0 {
+		panic(fmt.Sprintf("mac: duplicate MarkDelivered of instance %d at %d", b.ID, to))
+	}
+	b.deliveredAt[to] = at + 1
+	b.receivers = append(b.receivers, to)
+	if reliable {
+		b.remainingReliable--
+	}
+}
+
+// WasDelivered reports whether node to has received the instance.
+func (b *Instance) WasDelivered(to NodeID) bool {
+	return int(to) < len(b.deliveredAt) && b.deliveredAt[to] != 0
+}
+
+// DeliveredAt returns the rcv time at node to, and whether it received.
+func (b *Instance) DeliveredAt(to NodeID) (sim.Time, bool) {
+	if !b.WasDelivered(to) {
+		return 0, false
+	}
+	return b.deliveredAt[to] - 1, true
+}
+
+// Receivers returns the nodes that received the instance, in delivery
+// order. The slice is owned by the instance; callers must not mutate it.
+func (b *Instance) Receivers() []NodeID { return b.receivers }
+
+// NumDelivered reports how many nodes have received the instance.
+func (b *Instance) NumDelivered() int { return len(b.receivers) }
+
+// AllReliableDelivered reports whether every G-neighbor of the sender has
+// received the instance — the ack-readiness condition, in O(1).
+func (b *Instance) AllReliableDelivered() bool { return b.remainingReliable == 0 }
 
 // Terminated reports whether the instance has been acked or aborted.
 func (b *Instance) Terminated() bool { return b.Term != Active }

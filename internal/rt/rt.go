@@ -238,8 +238,18 @@ func (e *Engine) Quiescent() (count int, settled bool) {
 func (e *Engine) Elapsed() sim.Time { return e.now() }
 
 // after schedules fn once the delay elapses, unless the engine stops
-// first. The callback is tracked so Stop can wait for it.
+// first. The callback is tracked so Stop can wait for it. The stopped
+// check and the WaitGroup Add happen under the engine lock, which Stop
+// also holds after closing stopped — otherwise a node goroutine
+// broadcasting during shutdown races its Add against Stop's Wait.
 func (e *Engine) after(d time.Duration, fn func()) {
+	e.mu.Lock()
+	select {
+	case <-e.stopped:
+		e.mu.Unlock()
+		return
+	default:
+	}
 	e.cbWG.Add(1)
 	t := time.AfterFunc(d, func() {
 		defer e.cbWG.Done()
@@ -250,18 +260,6 @@ func (e *Engine) after(d time.Duration, fn func()) {
 		}
 		fn()
 	})
-	e.mu.Lock()
-	select {
-	case <-e.stopped:
-		// Raced with Stop: cancel immediately; if the callback already
-		// started it will see stopped and return.
-		e.mu.Unlock()
-		if t.Stop() {
-			e.cbWG.Done()
-		}
-		return
-	default:
-	}
 	e.timers = append(e.timers, t)
 	e.mu.Unlock()
 }
@@ -343,13 +341,8 @@ func (n *rtNode) Bcast(payload any) {
 	}
 	e := n.eng
 	e.mu.Lock()
-	b := &mac.Instance{
-		ID:        e.nextID,
-		Sender:    n.id,
-		Payload:   payload,
-		Start:     sim.Time(time.Since(e.start)),
-		Delivered: make(map[mac.NodeID]sim.Time),
-	}
+	b := mac.NewInstance(e.nextID, n.id, payload, sim.Time(time.Since(e.start)),
+		e.cfg.Dual.N(), e.cfg.Dual.G.Degree(n.id))
 	e.nextID++
 	e.insts = append(e.insts, b)
 	e.mu.Unlock()
@@ -381,11 +374,11 @@ func (n *rtNode) Bcast(payload any) {
 // receiver) and never after termination.
 func (e *Engine) deliver(b *mac.Instance, msg mac.Message, j mac.NodeID) {
 	e.mu.Lock()
-	if _, dup := b.Delivered[j]; dup || b.Term != mac.Active {
+	if b.WasDelivered(j) || b.Term != mac.Active {
 		e.mu.Unlock()
 		return
 	}
-	b.Delivered[j] = e.nowLocked()
+	b.MarkDelivered(j, e.nowLocked(), e.cfg.Dual.G.HasEdge(b.Sender, j))
 	e.mu.Unlock()
 	e.nodes[j].send(event{kind: 'r', msg: msg})
 }
@@ -400,8 +393,8 @@ func (e *Engine) ack(n *rtNode, b *mac.Instance, msg mac.Message) {
 		return
 	}
 	for _, j := range e.cfg.Dual.G.Neighbors(b.Sender) {
-		if _, ok := b.Delivered[j]; !ok {
-			b.Delivered[j] = e.nowLocked()
+		if !b.WasDelivered(j) {
+			b.MarkDelivered(j, e.nowLocked(), true)
 			missing = append(missing, j)
 		}
 	}

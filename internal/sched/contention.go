@@ -17,6 +17,12 @@ import (
 // every Fprog (progress bound) while any *specific* message may take the
 // full Fack (acknowledgment bound) — the star example from the paper's
 // introduction, footnote 2.
+//
+// Per receiver the candidates live in two min-heaps keyed by (deadline,
+// enqueue order) — one for required (G-edge) and one for best-effort
+// deliveries — so each slot picks its EDF winner and drains its overdue
+// required candidates in O(log d) per operation instead of rescanning the
+// whole pending set.
 type Contention struct {
 	// Rel selects which unreliable links fire; nil means Never.
 	Rel Reliability
@@ -28,13 +34,86 @@ type Contention struct {
 type candidate struct {
 	inst     *mac.Instance
 	deadline sim.Time
+	seq      uint64
 	required bool
 }
 
+// candHeap is a slice-backed binary min-heap of candidates ordered by
+// (deadline, seq). seq is the receiver-local enqueue counter, which makes
+// heap order — and therefore the whole execution — deterministic.
+type candHeap []candidate
+
+func (h candHeap) less(i, j int) bool {
+	if h[i].deadline != h[j].deadline {
+		return h[i].deadline < h[j].deadline
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *candHeap) push(c candidate) {
+	*h = append(*h, c)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *candHeap) pop() candidate {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = candidate{}
+	*h = s[:n]
+	s = *h
+	i := 0
+	for {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < n && s.less(left, smallest) {
+			smallest = left
+		}
+		if right < n && s.less(right, smallest) {
+			smallest = right
+		}
+		if smallest == i {
+			break
+		}
+		s[i], s[smallest] = s[smallest], s[i]
+		i = smallest
+	}
+	return top
+}
+
 type receiverState struct {
-	pending   []candidate
+	required  candHeap // candidates over G edges (deadline-guaranteed)
+	optional  candHeap // best-effort candidates over G'\G edges
+	seq       uint64   // enqueue counter feeding the heap tie-break
 	scheduled bool
 	nextAt    sim.Time // when the scheduled processing fires
+}
+
+// dropDead pops candidates of terminated instances off the heap top.
+// Buried dead candidates are collected when they surface.
+func dropDead(h *candHeap) {
+	for len(*h) > 0 && (*h)[0].inst.Terminated() {
+		h.pop()
+	}
+}
+
+// peekLive returns the live heap top, purging dead candidates first.
+func (rs *receiverState) peekLive(h *candHeap) (candidate, bool) {
+	dropDead(h)
+	if len(*h) == 0 {
+		return candidate{}, false
+	}
+	return (*h)[0], true
 }
 
 var _ mac.Scheduler = (*Contention)(nil)
@@ -79,7 +158,13 @@ func (c *Contention) OnAbort(*mac.Instance) {}
 
 func (c *Contention) enqueue(j mac.NodeID, cand candidate) {
 	rs := &c.rcv[j]
-	rs.pending = append(rs.pending, cand)
+	cand.seq = rs.seq
+	rs.seq++
+	if cand.required {
+		rs.required.push(cand)
+	} else {
+		rs.optional.push(cand)
+	}
 	now := c.api.Now()
 	// A fresh delivery takes one progress window; if the receiver already
 	// has a processing slot booked sooner, the cadence serves everyone.
@@ -101,68 +186,48 @@ func (c *Contention) schedule(j mac.NodeID, at sim.Time) {
 	})
 }
 
-// process runs one receive slot for j: drop dead candidates, deliver the
-// earliest-deadline candidate, then force-deliver any required candidate
-// that cannot survive another slot.
+// process runs one receive slot for j: deliver the earliest-deadline live
+// candidate (required wins deadline ties), then force-deliver any required
+// candidate that cannot survive another slot.
 func (c *Contention) process(j mac.NodeID) {
 	rs := &c.rcv[j]
 	now := c.api.Now()
 
-	live := rs.pending[:0]
-	for _, cand := range rs.pending {
-		if cand.inst.Terminated() {
-			continue // unreliable candidate whose instance finished; drop
-		}
-		live = append(live, cand)
-	}
-	rs.pending = live
-	if len(rs.pending) == 0 {
+	req, hasReq := rs.peekLive(&rs.required)
+	opt, hasOpt := rs.peekLive(&rs.optional)
+	switch {
+	case hasReq && (!hasOpt || req.deadline <= opt.deadline):
+		c.deliver(j, rs.required.pop())
+	case hasOpt:
+		c.deliver(j, rs.optional.pop())
+	default:
 		return
 	}
 
-	best := 0
-	for i, cand := range rs.pending {
-		if cand.deadline < rs.pending[best].deadline ||
-			(cand.deadline == rs.pending[best].deadline && cand.required && !rs.pending[best].required) {
-			best = i
-		}
-	}
-	c.deliver(j, best)
-
 	// Force-deliver reliable candidates that would miss their deadline if
 	// they waited one more slot (deadline enforcement beats slot capacity:
-	// the model's Fack bound is unconditional).
-	for i := 0; i < len(rs.pending); {
-		cand := rs.pending[i]
-		if cand.required && cand.deadline <= now+c.api.Fprog() {
-			c.deliver(j, i)
-			continue
+	// the model's Fack bound is unconditional). They sit at the heap front
+	// because deadlines are enqueue-monotone (deadline = bcast + Fack).
+	for {
+		top, ok := rs.peekLive(&rs.required)
+		if !ok || top.deadline > now+c.api.Fprog() {
+			break
 		}
-		i++
+		c.deliver(j, rs.required.pop())
 	}
 
-	if len(rs.pending) > 0 {
+	_, hasReq = rs.peekLive(&rs.required)
+	_, hasOpt = rs.peekLive(&rs.optional)
+	if hasReq || hasOpt {
 		c.schedule(j, now+c.api.Fprog())
 	}
 }
 
-// deliver performs the rcv for pending[i] and removes it, acking the
-// instance when its last reliable delivery completes.
-func (c *Contention) deliver(j mac.NodeID, i int) {
-	rs := &c.rcv[j]
-	cand := rs.pending[i]
-	rs.pending = append(rs.pending[:i], rs.pending[i+1:]...)
+// deliver performs the rcv for cand, acking the instance when its last
+// reliable delivery completes.
+func (c *Contention) deliver(j mac.NodeID, cand candidate) {
 	c.api.Deliver(cand.inst, j)
-	if cand.required && c.allReliableDelivered(cand.inst) {
+	if cand.required && cand.inst.AllReliableDelivered() {
 		c.api.Ack(cand.inst)
 	}
-}
-
-func (c *Contention) allReliableDelivered(b *mac.Instance) bool {
-	for _, v := range c.api.Dual().G.Neighbors(b.Sender) {
-		if _, ok := b.Delivered[v]; !ok {
-			return false
-		}
-	}
-	return true
 }

@@ -82,7 +82,7 @@ func TestFlakyInsideSyncSchedulerModelCompliance(t *testing.T) {
 		chattyFleet(10, 4), 6)
 	grey := 0
 	for _, b := range eng.Instances() {
-		for to := range b.Delivered {
+		for _, to := range b.Receivers() {
 			if !d.G.HasEdge(b.Sender, to) {
 				grey++
 			}

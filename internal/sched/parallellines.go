@@ -114,10 +114,8 @@ func (p *ParallelLines) stretch(b *mac.Instance, line byte, idx int) {
 
 	deliver := func(to mac.NodeID) func() {
 		return func() {
-			if b.Term == mac.Active {
-				if _, done := b.Delivered[to]; !done {
-					api.Deliver(b, to)
-				}
+			if b.Term == mac.Active && !b.WasDelivered(to) {
+				api.Deliver(b, to)
 			}
 		}
 	}
@@ -136,7 +134,7 @@ func (p *ParallelLines) stretch(b *mac.Instance, line byte, idx int) {
 		} else {
 			p.bFront = idx + 1
 		}
-		if _, done := b.Delivered[next]; !done {
+		if !b.WasDelivered(next) {
 			api.Deliver(b, next)
 		}
 		api.Ack(b)

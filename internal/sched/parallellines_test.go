@@ -145,7 +145,7 @@ func TestParallelLinesCrossDeliveriesExist(t *testing.T) {
 
 	cross := 0
 	for _, b := range eng.Instances() {
-		for to := range b.Delivered {
+		for _, to := range b.Receivers() {
 			if !net.G.HasEdge(b.Sender, to) {
 				cross++
 			}

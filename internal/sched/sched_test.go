@@ -107,7 +107,7 @@ func TestSyncDeliversToAllGNeighbors(t *testing.T) {
 	eng := runChecked(t, d, &sched.Sync{}, chattyFleet(8, 1), 3)
 	for _, b := range eng.Instances() {
 		for _, j := range d.G.Neighbors(b.Sender) {
-			if _, ok := b.Delivered[j]; !ok {
+			if !b.WasDelivered(j) {
 				t.Fatalf("instance %d missed G-neighbor %d", b.ID, j)
 			}
 		}
@@ -121,7 +121,7 @@ func TestSyncGreyDeliveries(t *testing.T) {
 	// With Always, every G' neighbor receives every instance.
 	for _, b := range eng.Instances() {
 		for _, j := range d.GPrime.Neighbors(b.Sender) {
-			if _, ok := b.Delivered[j]; !ok {
+			if !b.WasDelivered(j) {
 				t.Fatalf("instance %d missed G' neighbor %d under Always", b.ID, j)
 			}
 		}
@@ -129,7 +129,7 @@ func TestSyncGreyDeliveries(t *testing.T) {
 	// With Never, only G neighbors receive.
 	eng = runChecked(t, d, &sched.Sync{Rel: sched.Never{}}, chattyFleet(8, 1), 3)
 	for _, b := range eng.Instances() {
-		for to := range b.Delivered {
+		for _, to := range b.Receivers() {
 			if !d.G.HasEdge(b.Sender, to) {
 				t.Fatalf("instance %d leaked to non-G neighbor %d under Never", b.ID, to)
 			}
@@ -158,7 +158,7 @@ func TestContentionRespectsSlotCapacity(t *testing.T) {
 	eng := runChecked(t, d, &sched.Contention{}, chattyFleet(12, 3), 9)
 	var hubRecvs []sim.Time
 	for _, b := range eng.Instances() {
-		if at, ok := b.Delivered[0]; ok {
+		if at, ok := b.DeliveredAt(0); ok {
 			hubRecvs = append(hubRecvs, at)
 		}
 	}
@@ -178,7 +178,7 @@ func TestContentionStarFprogVsFack(t *testing.T) {
 	lastLeafAck := sim.Time(0)
 	for _, b := range eng.Instances() {
 		if b.Sender != 0 {
-			if at, ok := b.Delivered[0]; ok && at < firstHubRecv {
+			if at, ok := b.DeliveredAt(0); ok && at < firstHubRecv {
 				firstHubRecv = at
 			}
 			if b.Term == mac.Acked && b.TermAt > lastLeafAck {

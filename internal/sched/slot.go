@@ -103,7 +103,7 @@ func (s *Slot) handleSlot(fire sim.Time) {
 	contenders := make([][]*mac.Instance, n)
 	for _, b := range s.live {
 		for _, j := range d.GPrime.Neighbors(b.Sender) {
-			if _, done := b.Delivered[j]; done {
+			if b.WasDelivered(j) {
 				continue
 			}
 			contenders[j] = append(contenders[j], b)
@@ -142,17 +142,7 @@ func (s *Slot) handleSlot(fire sim.Time) {
 
 	// Ack every live instance whose reliable neighborhood is served.
 	for _, b := range s.live {
-		if b.Term != mac.Active {
-			continue
-		}
-		done := true
-		for _, v := range d.G.Neighbors(b.Sender) {
-			if _, ok := b.Delivered[v]; !ok {
-				done = false
-				break
-			}
-		}
-		if done {
+		if b.Term == mac.Active && b.AllReliableDelivered() {
 			api.Ack(b)
 		}
 	}

@@ -85,12 +85,13 @@ func TestSlotSoloBroadcasterReachesAllNeighbors(t *testing.T) {
 		if b.Term != mac.Acked {
 			t.Fatalf("solo instance %d not acked (%v)", b.ID, b.Term)
 		}
-		if len(b.Delivered) != 5 {
-			t.Fatalf("solo instance %d delivered to %d, want 5", b.ID, len(b.Delivered))
+		if b.NumDelivered() != 5 {
+			t.Fatalf("solo instance %d delivered to %d, want 5", b.ID, b.NumDelivered())
 		}
 		// Delivery happens within the slot the broadcast started in.
 		slotEnd := (b.Start/fprog+1)*fprog - 1
-		for to, at := range b.Delivered {
+		for _, to := range b.Receivers() {
+			at, _ := b.DeliveredAt(to)
 			if at > slotEnd {
 				t.Fatalf("delivery to %d at %v after slot end %v", to, at, slotEnd)
 			}
@@ -115,7 +116,7 @@ func TestSlotCollisionDeliversExactlyOne(t *testing.T) {
 	}
 	perSlot := map[sim.Time]int{}
 	for _, b := range runSlot(t, d, autos2(), 0, 2).Instances() {
-		if at, ok := b.Delivered[1]; ok {
+		if at, ok := b.DeliveredAt(1); ok {
 			perSlot[at/fprog]++
 		}
 	}
@@ -168,7 +169,7 @@ func TestSlotGreyZoneDelivery(t *testing.T) {
 	eng := runSlot(t, dual, autosA, 0.999, 5)
 	got := 0
 	for _, b := range eng.Instances() {
-		got += len(b.Delivered)
+		got += b.NumDelivered()
 	}
 	if got == 0 {
 		t.Fatal("GreyP≈1 delivered nothing over a grey edge")
@@ -176,7 +177,7 @@ func TestSlotGreyZoneDelivery(t *testing.T) {
 	autosB := []mac.Automaton{&roundNode{rounds: 6}, &roundNode{quiet: true, rounds: 6}}
 	eng = runSlot(t, greyPair(), autosB, -1, 5)
 	for _, b := range eng.Instances() {
-		if len(b.Delivered) != 0 {
+		if b.NumDelivered() != 0 {
 			t.Fatal("GreyP=never delivered over a grey edge")
 		}
 	}

@@ -1,0 +1,65 @@
+package sim
+
+import "testing"
+
+// TestScheduleStepAllocationFree pins down the event pool: once the queue
+// and free list are warm, scheduling and executing events must not allocate
+// at all. A regression here means the hot path went back to one heap event
+// per At/After.
+func TestScheduleStepAllocationFree(t *testing.T) {
+	e := NewEngine(1)
+	var tick func()
+	n := 0
+	tick = func() {
+		if n < 100 {
+			n++
+			e.After(1, tick)
+		}
+	}
+	// Warm the pool and the heap's backing array.
+	e.At(e.Now(), tick)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	allocs := testing.AllocsPerRun(100, func() {
+		n = 0
+		e.At(e.Now(), tick)
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state schedule+run allocates %.1f times per 100-event burst, want 0", allocs)
+	}
+}
+
+// TestHandleStaleAfterReuse verifies the pool's generation guard: a handle
+// for a fired event must not cancel the recycled event that now occupies
+// the same struct.
+func TestHandleStaleAfterReuse(t *testing.T) {
+	e := NewEngine(1)
+	ran := false
+	h1 := e.At(0, func() {})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// h1's event struct is now in the free list; the next At reuses it.
+	h2 := e.At(e.Now()+1, func() { ran = true })
+	if h1.ev != h2.ev {
+		t.Skip("pool did not hand back the same struct; nothing to test")
+	}
+	if h1.Active() {
+		t.Fatal("stale handle reports active")
+	}
+	h1.Cancel() // must be a no-op on the recycled event
+	if !h2.Active() {
+		t.Fatal("stale Cancel killed the recycled event")
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("recycled event did not run")
+	}
+}

@@ -31,7 +31,6 @@ type Engine struct {
 // executions.
 func NewEngine(seed int64) *Engine {
 	return &Engine{
-		rng:     rand.New(rand.NewSource(seed)),
 		seed:    seed,
 		horizon: Infinity,
 	}
@@ -45,8 +44,15 @@ func (e *Engine) Seed() int64 { return e.seed }
 
 // Rand returns the engine's deterministic random stream. Algorithms and
 // schedulers must draw all randomness from here (or from streams derived via
-// Fork) so executions replay exactly.
-func (e *Engine) Rand() *rand.Rand { return e.rng }
+// Fork) so executions replay exactly. The stream is created on first use:
+// seeding a math/rand source is expensive, and throughput-oriented runs
+// never draw from it.
+func (e *Engine) Rand() *rand.Rand {
+	if e.rng == nil {
+		e.rng = rand.New(rand.NewSource(e.seed))
+	}
+	return e.rng
+}
 
 // Fork derives an independent deterministic random stream, keyed by id, from
 // the engine seed. Per-node streams keep executions reproducible even when
@@ -72,19 +78,24 @@ func (e *Engine) SetStepLimit(n uint64) { e.limit = n }
 // exactly t still run.
 func (e *Engine) SetHorizon(t Time) { e.horizon = t }
 
-// Handle identifies a scheduled event and allows cancelling it.
-type Handle struct{ ev *event }
+// Handle identifies a scheduled event and allows cancelling it. Handles
+// carry the event's pool generation: once the event fires (or its dead husk
+// is collected) the struct is recycled, and stale handles become no-ops.
+type Handle struct {
+	ev  *event
+	gen uint32
+}
 
 // Cancel prevents the event from firing. Cancelling an already-fired or
 // already-cancelled event is a no-op.
 func (h Handle) Cancel() {
-	if h.ev != nil {
+	if h.ev != nil && h.ev.gen == h.gen {
 		h.ev.dead = true
 	}
 }
 
 // Active reports whether the event is still pending.
-func (h Handle) Active() bool { return h.ev != nil && !h.ev.dead }
+func (h Handle) Active() bool { return h.ev != nil && h.ev.gen == h.gen && !h.ev.dead }
 
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
 // it would violate causality and always indicates a bug in a scheduler.
@@ -92,10 +103,10 @@ func (e *Engine) At(t Time, fn func()) Handle {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, e.now))
 	}
-	ev := &event{at: t, seq: e.seq, fn: fn}
+	ev := e.queue.alloc(t, e.seq, fn)
 	e.seq++
 	e.queue.push(ev)
-	return Handle{ev: ev}
+	return Handle{ev: ev, gen: ev.gen}
 }
 
 // After schedules fn to run d ticks from now.
@@ -117,7 +128,7 @@ func (e *Engine) Pending() bool {
 			return false
 		}
 		if top.dead {
-			e.queue.pop()
+			e.queue.release(e.queue.pop())
 			continue
 		}
 		return true
@@ -147,10 +158,12 @@ func (e *Engine) Step() bool {
 			return false
 		}
 		if ev.dead {
+			e.queue.release(ev)
 			continue
 		}
 		if ev.at > e.horizon {
 			// Leave the horizon-crossing event consumed; the run is over.
+			e.queue.release(ev)
 			return false
 		}
 		if ev.at < e.now {
@@ -158,7 +171,12 @@ func (e *Engine) Step() bool {
 		}
 		e.now = ev.at
 		e.stepped++
-		ev.fn()
+		fn := ev.fn
+		// Recycle before running: fn may schedule (and the pool hand the
+		// struct straight back out), which is safe because the generation
+		// bump in release has already invalidated this tenancy's handles.
+		e.queue.release(ev)
+		fn()
 		return true
 	}
 }

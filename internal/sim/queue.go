@@ -2,10 +2,17 @@ package sim
 
 // event is a scheduled callback in virtual time. Events with equal times fire
 // in insertion order (seq), which makes executions fully deterministic.
+//
+// Events are pooled: once popped and executed (or skipped as dead), the
+// engine recycles the struct through a free list, so steady-state scheduling
+// performs no heap allocation. gen guards recycled structs against stale
+// Handles: every release increments it, invalidating any Handle issued for a
+// previous tenancy.
 type event struct {
 	at   Time
 	seq  uint64
 	fn   func()
+	gen  uint32
 	dead bool // set by cancel; dead events are skipped when popped
 }
 
@@ -14,11 +21,33 @@ type event struct {
 // interface conversions; the simulator spends most of its time here.
 type eventQueue struct {
 	items []*event
+	free  []*event // recycled events ready for reuse
 }
 
 // Len reports the number of events still queued, including cancelled ones
 // that have not yet been popped.
 func (q *eventQueue) Len() int { return len(q.items) }
+
+// alloc returns a recycled event or a fresh one when the pool is empty.
+func (q *eventQueue) alloc(at Time, seq uint64, fn func()) *event {
+	if n := len(q.free); n > 0 {
+		ev := q.free[n-1]
+		q.free[n-1] = nil
+		q.free = q.free[:n-1]
+		ev.at, ev.seq, ev.fn, ev.dead = at, seq, fn, false
+		return ev
+	}
+	return &event{at: at, seq: seq, fn: fn}
+}
+
+// release returns a popped event to the pool. Bumping gen invalidates every
+// outstanding Handle for this tenancy; dropping fn releases the closure.
+func (q *eventQueue) release(ev *event) {
+	ev.fn = nil
+	ev.dead = false
+	ev.gen++
+	q.free = append(q.free, ev)
+}
 
 func (q *eventQueue) less(i, j int) bool {
 	a, b := q.items[i], q.items[j]

@@ -25,17 +25,28 @@ func (ev TraceEvent) String() string {
 // only the most recent events (the checkers that need full traces disable
 // the cap).
 type Trace struct {
-	events  []TraceEvent
-	cap     int
-	dropped uint64
+	events   []TraceEvent
+	cap      int
+	dropped  uint64
+	disabled bool
 }
 
 // SetCap bounds the trace to the most recent n events; n <= 0 removes the
 // bound.
 func (tr *Trace) SetCap(n int) { tr.cap = n }
 
+// Disable turns the trace off: Append becomes a no-op. Throughput-oriented
+// runs use this to keep the event hot path free of trace bookkeeping.
+func (tr *Trace) Disable() { tr.disabled = true }
+
+// Disabled reports whether the trace is off.
+func (tr *Trace) Disabled() bool { return tr.disabled }
+
 // Append records an event.
 func (tr *Trace) Append(ev TraceEvent) {
+	if tr.disabled {
+		return
+	}
 	if tr.cap > 0 && len(tr.events) >= tr.cap {
 		// Drop the oldest half in one shot to amortize the copy.
 		half := len(tr.events) / 2
