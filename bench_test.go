@@ -108,7 +108,7 @@ func BenchmarkLemma318Choke(b *testing.B) {
 	a[s.Hub()] = []core.Msg{{ID: k - 1, Origin: s.Hub()}}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res := core.Run(core.RunConfig{
+		res := core.MustRun(core.RunConfig{
 			Dual:             s.Dual,
 			Fack:             200,
 			Fprog:            10,
@@ -182,7 +182,7 @@ func BenchmarkBMMBvsFMMB(b *testing.B) {
 	var bmmbT, fmmbT float64
 	for i := 0; i < b.N; i++ {
 		seed := int64(i + 1)
-		bres := core.Run(core.RunConfig{
+		bres := core.MustRun(core.RunConfig{
 			Dual:             d,
 			Fack:             fack,
 			Fprog:            fprog,
@@ -193,7 +193,7 @@ func BenchmarkBMMBvsFMMB(b *testing.B) {
 			HaltOnCompletion: true,
 		})
 		cfg := core.FMMBConfig{N: d.N(), K: k, D: d.G.Diameter(), C: 1.6}
-		fres := core.Run(core.RunConfig{
+		fres := core.MustRun(core.RunConfig{
 			Dual:             d,
 			Fack:             fack,
 			Fprog:            fprog,
@@ -235,7 +235,7 @@ func benchThroughput(b *testing.B, noTrace bool) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res := core.Run(core.RunConfig{
+		res := core.MustRun(core.RunConfig{
 			Dual:             d,
 			Fack:             200,
 			Fprog:            10,

@@ -66,20 +66,7 @@ func main() {
 		Parallelism: *parallel,
 	}
 
-	experiments := []struct {
-		id  string
-		run func(harness.Options) *harness.Table
-	}{
-		{"fig1-std-reliable", harness.Fig1StdReliable},
-		{"fig1-std-rrestricted", harness.Fig1StdRRestricted},
-		{"fig1-std-arbitrary", harness.Fig1StdArbitrary},
-		{"fig1-std-greyzone-lb", harness.Fig2LowerBound},
-		{"fig1-enh-greyzone", harness.Fig1EnhGreyZone},
-		{"ablation-bmmb-vs-fmmb", harness.AblationFackRatio},
-		{"mis-subroutine", harness.MISExperiment},
-		{"gather-spread-subroutines", harness.SubroutineExperiment},
-		{"ablation-message-complexity", harness.MessageComplexity},
-	}
+	experiments := harness.Experiments()
 
 	fmt.Printf("# amacbench — reproduction of Ghaffari, Kantor, Lynch, Newport (PODC 2014)\n")
 	fmt.Printf("# options: quick=%v trials=%d seed=%d check=%v parallel=%d\n\n",
@@ -95,24 +82,24 @@ func main() {
 	}
 	ran := 0
 	for _, e := range experiments {
-		if *only != "" && !strings.Contains(e.id, *only) {
+		if *only != "" && !strings.Contains(e.ID, *only) {
 			continue
 		}
 		var msBefore runtime.MemStats
 		runtime.ReadMemStats(&msBefore)
 		harness.ResetSimEvents()
 		start := time.Now()
-		tab := e.run(opts)
+		tab := e.Run(opts)
 		wall := time.Since(start)
 		events := harness.SimEvents()
 		var msAfter runtime.MemStats
 		runtime.ReadMemStats(&msAfter)
 		tab.Render(os.Stdout)
 		fmt.Printf("  (%s in %v, %d sim events, %.0f events/sec)\n\n",
-			e.id, wall.Round(time.Millisecond), events,
+			e.ID, wall.Round(time.Millisecond), events,
 			float64(events)/wall.Seconds())
 		bench.Experiments = append(bench.Experiments, benchRecord{
-			ID:           e.id,
+			ID:           e.ID,
 			WallSeconds:  wall.Seconds(),
 			SimEvents:    events,
 			EventsPerSec: float64(events) / wall.Seconds(),

@@ -1,6 +1,13 @@
-// Command amacsim runs a single multi-message broadcast execution on a
+// Command amacsim runs a single multi-message broadcast scenario on a
 // chosen network, algorithm and scheduler, and reports completion metrics
 // and (optionally) the model-compliance report and the event trace.
+//
+// Scenarios are declarative: the flags assemble a scenario.Spec resolved
+// through the topology/scheduler/algorithm registries, and -scenario runs an
+// arbitrary saved spec from a JSON file (see the scenarios/ directory),
+// including combinations no flag set expresses. -dump prints the assembled
+// spec instead of running it, which is how a flag invocation graduates into
+// a scenario file.
 //
 // Examples:
 //
@@ -8,6 +15,8 @@
 //	amacsim -topology rgg -n 50 -k 3 -alg fmmb
 //	amacsim -topology parallel-lines -n 16 -alg bmmb -sched adversary -trace
 //	amacsim -topology line -n 64 -alg bmmb -trials 16 -parallel 8
+//	amacsim -scenario scenarios/grid-online-flaky.json
+//	amacsim -topology ring -n 48 -k 3 -dump > scenarios/my-ring.json
 //
 // With -trials > 1 the same configuration is replayed across consecutive
 // seeds on a worker pool (-parallel), reporting per-seed completions in
@@ -17,18 +26,13 @@ package main
 import (
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 	"runtime"
 
 	"amac/internal/check"
 	"amac/internal/core"
-	"amac/internal/graph"
-	"amac/internal/harness"
-	"amac/internal/mac"
 	"amac/internal/metrics"
-	"amac/internal/sched"
-	"amac/internal/sim"
+	"amac/internal/scenario"
 	"amac/internal/topology"
 )
 
@@ -41,204 +45,210 @@ func main() {
 
 func run() error {
 	var (
-		topo    = flag.String("topology", "line", "line | ring | star | grid | tree | rgg | rline | noisy-line | parallel-lines | star-choke")
-		n       = flag.Int("n", 32, "number of nodes (grid uses the nearest square)")
-		k       = flag.Int("k", 2, "number of MMB messages")
-		r       = flag.Int("r", 2, "restriction radius for -topology rline")
-		algName = flag.String("alg", "bmmb", "bmmb | fmmb")
-		sname   = flag.String("sched", "", "sync | random | contention | slot | adversary (default: sync for bmmb, slot for fmmb)")
-		rel     = flag.Float64("rel", 0.5, "unreliable-link delivery probability for sync/random/contention")
-		span    = flag.Int64("span", 0, "online mode: spread arrivals over the first span ticks (bmmb only)")
-		fprog   = flag.Int64("fprog", 10, "progress bound in ticks")
-		fack    = flag.Int64("fack", 200, "acknowledgment bound in ticks")
-		seed    = flag.Int64("seed", 1, "random seed")
-		trials  = flag.Int("trials", 1, "replay the run across this many consecutive seeds")
-		par     = flag.Int("parallel", runtime.NumCPU(), "worker pool size for -trials > 1")
-		doCheck = flag.Bool("check", true, "verify the abstract MAC layer guarantees")
-		stats   = flag.Bool("stats", false, "print per-node and per-message metrics")
-		trace   = flag.Bool("trace", false, "dump the event trace")
-		cGrey   = flag.Float64("c", 1.6, "grey zone constant for -topology rgg")
+		scenarioPath = flag.String("scenario", "", "run a saved scenario spec (JSON file) instead of assembling one from flags")
+		dump         = flag.Bool("dump", false, "print the assembled scenario spec as JSON and exit")
+		topo         = flag.String("topology", "line", "registered topology: line | ring | star | grid | tree | rgg | rline | noisy-line | grid-crosstalk | parallel-lines | star-choke")
+		n            = flag.Int("n", 32, "number of nodes (grid uses the nearest square)")
+		k            = flag.Int("k", 2, "number of MMB messages")
+		r            = flag.Int("r", 2, "restriction radius for -topology rline")
+		algName      = flag.String("alg", "bmmb", "registered algorithm: bmmb | fmmb")
+		sname        = flag.String("sched", "", "registered scheduler: sync | random | contention | slot | adversary (default: the algorithm's)")
+		rel          = flag.Float64("rel", 0.5, "unreliable-link delivery probability for sync/random/contention")
+		span         = flag.Int64("span", 0, "online mode: spread arrivals over the first span ticks (bmmb only)")
+		fprog        = flag.Int64("fprog", 10, "progress bound in ticks")
+		fack         = flag.Int64("fack", 200, "acknowledgment bound in ticks")
+		seed         = flag.Int64("seed", 1, "random seed")
+		trials       = flag.Int("trials", 1, "replay the run across this many consecutive seeds")
+		par          = flag.Int("parallel", runtime.NumCPU(), "worker pool size for -trials > 1")
+		doCheck      = flag.Bool("check", true, "verify the abstract MAC layer guarantees")
+		stats        = flag.Bool("stats", false, "print per-node and per-message metrics")
+		trace        = flag.Bool("trace", false, "dump the event trace")
+		cGrey        = flag.Float64("c", 1.6, "grey zone constant for -topology rgg")
 	)
 	flag.Parse()
 
-	rng := rand.New(rand.NewSource(*seed))
-	var d *topology.Dual
-	var plc *topology.ParallelLinesC
-	switch *topo {
-	case "line":
-		d = topology.Line(*n)
-	case "ring":
-		d = topology.Ring(*n)
-	case "star":
-		d = topology.Star(*n)
-	case "grid":
-		side := 1
-		for (side+1)*(side+1) <= *n {
-			side++
+	var spec scenario.Spec
+	if *scenarioPath != "" {
+		loaded, err := scenario.Load(*scenarioPath)
+		if err != nil {
+			return err
 		}
-		d = topology.Grid(side, side)
-	case "tree":
-		d = topology.CompleteBinaryTree(*n)
+		spec = loaded
+		// Explicitly set run-option flags override the file, so one saved
+		// scenario serves quick looks and long Monte-Carlo runs. Scenario
+		// *content* flags conflict with the file and error rather than
+		// being silently ignored.
+		var conflict error
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "seed":
+				if *seed == 0 && conflict == nil {
+					conflict = fmt.Errorf("-seed must be non-zero (0 is the spec-level \"use the default\" sentinel)")
+				}
+				spec.Run.Seed = *seed
+			case "trials":
+				spec.Run.Trials = *trials
+			case "parallel":
+				spec.Run.Parallelism = *par
+			case "check":
+				spec.Run.Check = *doCheck
+			case "scenario", "dump", "stats", "trace":
+				// Orthogonal to the spec contents.
+			default:
+				if conflict == nil {
+					conflict = fmt.Errorf("-%s conflicts with -scenario: edit the file (or -dump a fresh one) instead", f.Name)
+				}
+			}
+		})
+		if conflict != nil {
+			return conflict
+		}
+	} else {
+		var err error
+		spec, err = specFromFlags(*topo, *n, *k, *r, *algName, *sname, *rel, *span,
+			*fprog, *fack, *seed, *trials, *doCheck, *cGrey)
+		if err != nil {
+			return err
+		}
+	}
+
+	if *dump {
+		buf, err := spec.JSON()
+		if err != nil {
+			return err
+		}
+		os.Stdout.Write(buf)
+		return nil
+	}
+	if spec.Run.Parallelism == 0 {
+		spec.Run.Parallelism = *par
+	}
+
+	report, err := scenario.Run(spec)
+	if err != nil {
+		return err
+	}
+	return printReport(report, *stats, *trace)
+}
+
+// specFromFlags assembles the declarative scenario the legacy flag set
+// describes.
+func specFromFlags(topo string, n, k, r int, algName, sname string, rel float64,
+	span, fprog, fack, seed int64, trials int, doCheck bool, cGrey float64) (scenario.Spec, error) {
+
+	if seed == 0 {
+		return scenario.Spec{}, fmt.Errorf("-seed must be non-zero (0 is the spec-level \"use the default\" sentinel)")
+	}
+	spec := scenario.Spec{
+		Algorithm: scenario.AlgorithmSpec{Name: algName},
+		Model:     scenario.ModelSpec{Fprog: fprog, Fack: fack},
+		// Parallelism is set by the caller at run time, not here: dumped
+		// scenario files must not bake in this machine's core count.
+		Run: scenario.RunSpec{
+			Seed:      seed,
+			Trials:    trials,
+			Check:     doCheck,
+			StepLimit: 1 << 62,
+		},
+	}
+
+	// Topology: the network is pinned by the base seed (trials vary only
+	// the execution randomness), matching amacsim's historical behavior.
+	spec.Topology = scenario.TopologySpec{Name: topo, Seed: seed}
+	workload := scenario.WorkloadSpec{Kind: scenario.WorkloadSingleton, K: k}
+	switch topo {
+	case "line", "ring", "star", "tree", "grid":
+		spec.Topology.Params = topology.Params{"n": float64(n)}
 	case "rgg":
-		side := 0.72 * float64(*n) / float64(Log2i(*n)*Log2i(*n)+1)
-		if side < 2 {
-			side = 2
-		}
-		d = topology.ConnectedRandomGeometric(*n, side, *cGrey, 0.5, rng, 500)
-		if d == nil {
-			return fmt.Errorf("no connected random geometric instance for n=%d", *n)
+		spec.Topology.Params = topology.Params{
+			"n": float64(n), "side": topology.DefaultRGGSide(n), "c": cGrey, "p": 0.5,
+			"max-tries": 500,
 		}
 	case "rline":
-		d = topology.LineRRestricted(*n, *r, 0.6, rng)
+		spec.Topology.Params = topology.Params{"n": float64(n), "r": float64(r), "p": 0.6}
 	case "noisy-line":
-		d = topology.ArbitraryNoise(topology.Line(*n).G, *n, rng, "noisy-line")
+		spec.Topology.Params = topology.Params{"n": float64(n), "extra": float64(n)}
+	case "grid-crosstalk":
+		spec.Topology.Params = topology.Params{"n": float64(n), "r": float64(r), "p": 0.5}
 	case "parallel-lines":
-		plc = topology.NewParallelLinesC(*n / 2)
-		d = plc.Dual
+		spec.Topology.Params = topology.Params{"d": float64(n / 2)}
+		workload = scenario.WorkloadSpec{Kind: scenario.WorkloadConstruction}
 	case "star-choke":
-		sc := topology.NewStarChoke(*k)
-		d = sc.Dual
+		spec.Topology.Params = topology.Params{"k": float64(k)}
+		workload = scenario.WorkloadSpec{Kind: scenario.WorkloadConstruction}
 	default:
-		return fmt.Errorf("unknown topology %q", *topo)
+		return scenario.Spec{}, fmt.Errorf("unknown topology %q (registered: %v)", topo, topology.Names())
 	}
 
-	// Workload.
-	var a core.Assignment
-	switch *topo {
-	case "parallel-lines":
-		a = make(core.Assignment, d.N())
-		a[plc.A(1)] = []core.Msg{{ID: 0, Origin: plc.A(1)}}
-		a[plc.B(1)] = []core.Msg{{ID: 1, Origin: plc.B(1)}}
-		*k = 2
-	case "star-choke":
-		sc := topology.NewStarChoke(*k)
-		a = make(core.Assignment, d.N())
-		for i := 1; i < *k; i++ {
-			v := sc.Source(i)
-			a[v] = []core.Msg{{ID: i - 1, Origin: v}}
-		}
-		a[sc.Hub()] = []core.Msg{{ID: *k - 1, Origin: sc.Hub()}}
-	default:
-		origins := make([]graph.NodeID, *k)
-		for i := range origins {
-			origins[i] = graph.NodeID(i * d.N() / *k)
-		}
-		a = core.Singleton(d.N(), origins)
+	if algName == "fmmb" {
+		spec.Algorithm.Params = topology.Params{"c": cGrey}
 	}
 
-	// Algorithm + scheduler. Automata and schedulers are stateful, so the
-	// builders below construct a fresh set per execution (the Monte-Carlo
-	// mode replays the configuration across seeds on a worker pool).
-	mode := mac.Standard
-	var newAutomata func() []mac.Automaton
-	var horizon sim.Time
-	switch *algName {
-	case "bmmb":
-		newAutomata = func() []mac.Automaton { return core.NewBMMBFleet(d.N()) }
-		if *sname == "" {
-			*sname = "sync"
+	if span > 0 {
+		if algName != "bmmb" {
+			return scenario.Spec{}, fmt.Errorf("-span (online arrivals) requires -alg bmmb: FMMB's staged schedule expects time-zero arrivals")
 		}
-	case "fmmb":
-		cfg := core.FMMBConfig{N: d.N(), K: *k, D: d.G.Diameter(), C: *cGrey}
-		newAutomata = func() []mac.Automaton { return core.NewFMMBFleet(d.N(), cfg) }
-		mode = mac.Enhanced
-		horizon = sim.Time(cfg.Rounds()+2) * sim.Time(*fprog)
-		if *sname == "" {
-			*sname = "slot"
-		}
-	default:
-		return fmt.Errorf("unknown algorithm %q", *algName)
+		workload = scenario.WorkloadSpec{Kind: scenario.WorkloadPoisson, K: k, Span: span}
 	}
+	spec.Workload = workload
 
-	var newSched func() mac.Scheduler
-	switch *sname {
-	case "sync":
-		newSched = func() mac.Scheduler { return &sched.Sync{Rel: sched.Bernoulli{P: *rel}} }
-	case "random":
-		newSched = func() mac.Scheduler { return &sched.Random{Rel: sched.Bernoulli{P: *rel}} }
-	case "contention":
-		newSched = func() mac.Scheduler { return &sched.Contention{Rel: sched.Bernoulli{P: *rel}} }
-	case "slot":
-		newSched = func() mac.Scheduler { return &sched.Slot{} }
-	case "adversary":
-		if plc == nil {
-			return fmt.Errorf("-sched adversary requires -topology parallel-lines")
+	if sname != "" {
+		spec.Scheduler = scenario.SchedulerSpec{Name: sname}
+		switch sname {
+		case "sync", "random", "contention":
+			spec.Scheduler.Params = topology.Params{"rel": rel}
 		}
-		m0 := core.Msg{ID: 0, Origin: plc.A(1)}
-		m1 := core.Msg{ID: 1, Origin: plc.B(1)}
-		newSched = func() mac.Scheduler {
-			return &sched.ParallelLines{
-				Net:  plc,
-				IsM0: func(p any) bool { return p == m0 },
-				IsM1: func(p any) bool { return p == m1 },
-			}
-		}
-	default:
-		return fmt.Errorf("unknown scheduler %q", *sname)
+	} else if algName == "bmmb" {
+		// The flag default has always been Sync with Bernoulli(rel).
+		spec.Scheduler = scenario.SchedulerSpec{Name: "sync", Params: topology.Params{"rel": rel}}
 	}
+	return spec, nil
+}
 
-	var workload *core.Workload
-	if *span > 0 {
-		if *algName != "bmmb" {
-			return fmt.Errorf("-span (online arrivals) requires -alg bmmb: FMMB's staged schedule expects time-zero arrivals")
-		}
-		workload = core.PoissonWorkload(d.N(), *k, sim.Time(*span), *seed)
-		a = make(core.Assignment, d.N())
-	}
-	runOnce := func(sd int64) *core.Result {
-		return core.Run(core.RunConfig{
-			Dual:             d,
-			Fack:             sim.Time(*fack),
-			Fprog:            sim.Time(*fprog),
-			Scheduler:        newSched(),
-			Mode:             mode,
-			Seed:             sd,
-			Assignment:       a,
-			Workload:         workload,
-			Automata:         newAutomata(),
-			Horizon:          horizon,
-			StepLimit:        1 << 62,
-			HaltOnCompletion: true,
-			Check:            *doCheck,
-		})
-	}
+// printReport renders the scenario outcome in amacsim's report format.
+func printReport(rep *scenario.Report, stats, trace bool) error {
+	spec := rep.Spec
+	first := rep.Trials[0]
+	d := first.Built.Dual
+	alg, _ := core.LookupAlgorithm(spec.Algorithm.Name)
 
 	fmt.Printf("network    : %s (n=%d, D=%d, |E|=%d, |E'\\E|=%d)\n",
 		d.Name, d.N(), d.G.Diameter(), d.G.M(), len(d.UnreliableEdges()))
-	if workload != nil {
+	if spec.Workload.Kind == scenario.WorkloadPoisson {
 		fmt.Printf("workload   : k=%d messages arriving online over the first %d ticks\n",
-			workload.K(), *span)
+			first.Workload.K(), spec.Workload.Span)
 	} else {
-		fmt.Printf("workload   : k=%d messages at time zero\n", a.K())
+		fmt.Printf("workload   : k=%d messages at time zero\n", first.Workload.K())
 	}
-	fmt.Printf("algorithm  : %s (%s model)\n", *algName, mode)
-	fmt.Printf("scheduler  : %s\n", newSched().Name())
-	fmt.Printf("bounds     : Fprog=%d Fack=%d ticks\n", *fprog, *fack)
+	fmt.Printf("algorithm  : %s (%s model)\n", spec.Algorithm.Name, alg.Mode)
+	fmt.Printf("scheduler  : %s\n", first.SchedulerName)
+	fmt.Printf("bounds     : Fprog=%d Fack=%d ticks\n", spec.Model.Fprog, spec.Model.Fack)
 
-	if *trials > 1 {
-		return runTrials(*trials, *par, *seed, sim.Time(*fack), runOnce)
+	if len(rep.Trials) > 1 {
+		return printTrials(rep)
 	}
 
-	res := runOnce(*seed)
+	res := first.Result
+	fprog, fack := float64(spec.Model.Fprog), float64(spec.Model.Fack)
 	fmt.Printf("solved     : %v (%d/%d deliveries)\n", res.Solved, res.Delivered, res.Required)
 	if res.Solved {
 		fmt.Printf("completion : %d ticks (= %.1f Fprog, %.2f Fack)\n",
 			int64(res.CompletionTime),
-			float64(res.CompletionTime)/float64(*fprog),
-			float64(res.CompletionTime)/float64(*fack))
+			float64(res.CompletionTime)/fprog,
+			float64(res.CompletionTime)/fack)
 	}
 	fmt.Printf("broadcasts : %d instances over %d simulation events\n", res.Broadcasts, res.Steps)
 	if res.Report != nil {
-		printReport(res.Report)
+		printCheckReport(res.Report)
 	}
 	if len(res.MMBViolations) > 0 {
 		fmt.Printf("MMB violations: %v\n", res.MMBViolations)
 	}
-	if *stats {
-		rep := metrics.Collect(d, res.Engine.Instances(), res.Engine.Trace())
-		fmt.Print(rep.String())
+	if stats {
+		m := metrics.Collect(d, res.Engine.Instances(), res.Engine.Trace())
+		fmt.Print(m.String())
 	}
-	if *trace {
+	if trace {
 		fmt.Print(res.Engine.Trace().String())
 	}
 	if !res.Solved {
@@ -247,26 +257,24 @@ func run() error {
 	return nil
 }
 
-// runTrials replays the configured execution across trials consecutive
-// seeds on a worker pool of size par, printing per-seed summaries in seed
+// printTrials renders the Monte-Carlo report: per-seed summaries in seed
 // order plus the aggregate. Each run is an independent deterministic
 // simulation, so the report is identical at any parallelism.
-func runTrials(trials, par int, seed int64, fack sim.Time, runOnce func(int64) *core.Result) error {
-	fmt.Printf("trials     : %d seeds starting at %d, %d workers\n", trials, seed, par)
-	results := make([]*core.Result, trials)
-	harness.ParallelFor(par, trials, func(i int) {
-		results[i] = runOnce(seed + int64(i))
-	})
+func printTrials(rep *scenario.Report) error {
+	spec := rep.Spec
+	fmt.Printf("trials     : %d seeds starting at %d, %d workers\n",
+		spec.Run.Trials, spec.Run.Seed, spec.Run.Parallelism)
 	solved := 0
 	var sum, worst float64
 	var steps uint64
-	for i, res := range results {
+	for _, tr := range rep.Trials {
+		res := tr.Result
 		status := "solved"
 		if !res.Solved {
 			status = "UNSOLVED"
 		}
 		fmt.Printf("  seed %-5d: %s in %d ticks (%d/%d deliveries, %d events)\n",
-			seed+int64(i), status, int64(res.CompletionTime), res.Delivered, res.Required, res.Steps)
+			tr.Seed, status, int64(res.CompletionTime), res.Delivered, res.Required, res.Steps)
 		if res.Solved {
 			solved++
 			sum += float64(res.CompletionTime)
@@ -276,22 +284,23 @@ func runTrials(trials, par int, seed int64, fack sim.Time, runOnce func(int64) *
 		}
 		steps += res.Steps
 		if res.Report != nil && !res.Report.OK() {
-			return fmt.Errorf("seed %d: model violation: %v", seed+int64(i), res.Report.Violations[0])
+			return fmt.Errorf("seed %d: model violation: %v", tr.Seed, res.Report.Violations[0])
 		}
 	}
 	if solved == 0 {
-		fmt.Printf("aggregate  : 0/%d solved, %d events total\n", trials, steps)
-		return fmt.Errorf("all %d trials unsolved", trials)
+		fmt.Printf("aggregate  : 0/%d solved, %d events total\n", spec.Run.Trials, steps)
+		return fmt.Errorf("all %d trials unsolved", spec.Run.Trials)
 	}
+	fack := float64(spec.Model.Fack)
 	fmt.Printf("aggregate  : %d/%d solved, mean completion %.1f ticks (%.2f Fack), worst %.0f, %d events total\n",
-		solved, trials, sum/float64(solved), sum/float64(solved)/float64(fack), worst, steps)
-	if solved != trials {
-		return fmt.Errorf("%d of %d trials unsolved", trials-solved, trials)
+		solved, spec.Run.Trials, sum/float64(solved), sum/float64(solved)/fack, worst, steps)
+	if solved != spec.Run.Trials {
+		return fmt.Errorf("%d of %d trials unsolved", spec.Run.Trials-solved, spec.Run.Trials)
 	}
 	return nil
 }
 
-func printReport(rep *check.Report) {
+func printCheckReport(rep *check.Report) {
 	if rep.OK() {
 		fmt.Println("model check: all guarantees hold (receive/ack correctness, termination, Fack bound, Fprog bound)")
 		return
@@ -304,13 +313,4 @@ func printReport(rep *check.Report) {
 		}
 		fmt.Printf("  %s\n", v.Error())
 	}
-}
-
-// Log2i returns ⌈log₂ n⌉ with a floor of 1, for sizing heuristics.
-func Log2i(n int) int {
-	l := core.Log2Ceil(n)
-	if l < 1 {
-		l = 1
-	}
-	return l
 }

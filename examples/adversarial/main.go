@@ -5,9 +5,13 @@
 // message advances only one hop per Fack — every MMB algorithm is forced to
 // Ω((D+k)·Fack) under the grey zone constraint (Theorem 3.17).
 //
-// The example narrates the frontier progress so you can watch the schedule
-// do its work, then verifies the execution still satisfies every abstract
-// MAC layer guarantee (the adversary plays strictly by the rules).
+// The whole construction is one declarative spec: the "parallel-lines"
+// topology exposes its artifact, the "construction" workload places m0/m1
+// on the line heads, and the "adversary" scheduler wires itself to both
+// (scenarios/adversarial-lower-bound.json is the same scenario as data).
+// The example narrates the frontier progress from the recorded trace, then
+// verifies the execution still satisfies every abstract MAC layer guarantee
+// (the adversary plays strictly by the rules).
 //
 // Run with:
 //
@@ -19,45 +23,38 @@ import (
 	"os"
 
 	"amac/internal/core"
-	"amac/internal/sched"
-	"amac/internal/sim"
+	"amac/internal/scenario"
 	"amac/internal/topology"
 )
 
 func main() {
 	const D = 10
-	const fprog, fack = sim.Time(10), sim.Time(200)
+	const fprog, fack = 10, 200
 
-	net := topology.NewParallelLinesC(D)
+	base := scenario.Spec{
+		Name:      "adversarial-lower-bound",
+		Topology:  scenario.TopologySpec{Name: "parallel-lines", Params: topology.Params{"d": D}},
+		Workload:  scenario.WorkloadSpec{Kind: scenario.WorkloadConstruction},
+		Algorithm: scenario.AlgorithmSpec{Name: "bmmb"},
+		Scheduler: scenario.SchedulerSpec{Name: "adversary"},
+		Model:     scenario.ModelSpec{Fprog: fprog, Fack: fack},
+		Run:       scenario.RunSpec{Seed: 1, Check: true},
+	}
+	report, err := scenario.Run(base)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "adversarial: %v\n", err)
+		os.Exit(1)
+	}
+	trial := report.Trials[0]
+	net := trial.Built.Artifact.(*topology.ParallelLinesC)
+	res := trial.Result
+
 	fmt.Printf("network C (Figure 2): two %d-node lines, %d reliable + %d unreliable edges\n",
 		D, net.G.M(), len(net.UnreliableEdges()))
 	fmt.Printf("grey zone constant realized by the embedding: c = %.2f\n\n", net.GreyZoneConstant())
 
-	m0 := core.Msg{ID: 0, Origin: net.A(1)}
-	m1 := core.Msg{ID: 1, Origin: net.B(1)}
-	assignment := make(core.Assignment, net.N())
-	assignment[net.A(1)] = []core.Msg{m0}
-	assignment[net.B(1)] = []core.Msg{m1}
-
-	adversary := &sched.ParallelLines{
-		Net:  net,
-		IsM0: func(p any) bool { return p == m0 },
-		IsM1: func(p any) bool { return p == m1 },
-	}
-
-	res := core.Run(core.RunConfig{
-		Dual:             net.Dual,
-		Fprog:            fprog,
-		Fack:             fack,
-		Scheduler:        adversary,
-		Seed:             1,
-		Assignment:       assignment,
-		Automata:         core.NewBMMBFleet(net.N()),
-		HaltOnCompletion: true,
-		Check:            true,
-	})
-
 	// Narrate m0's march down line A from the recorded trace.
+	m0 := core.Msg{ID: 0, Origin: net.A(1)}
 	fmt.Println("m0's frontier progress down line A (one hop per Fack — the adversary's work):")
 	for _, ev := range res.Engine.Trace().Filter(core.DeliverKind) {
 		if ev.Arg.(core.Msg) != m0 {
@@ -75,10 +72,10 @@ func main() {
 			res.Delivered, res.Required)
 		os.Exit(1)
 	}
-	lower := sim.Time(D-1) * fack
+	lower := int64(D-1) * fack
 	fmt.Printf("\ncompletion: %d ticks; lower-bound formula (D−1)·Fack = %d ticks\n",
-		int64(res.CompletionTime), int64(lower))
-	if res.CompletionTime < lower {
+		int64(res.CompletionTime), lower)
+	if int64(res.CompletionTime) < lower {
 		fmt.Fprintln(os.Stderr, "adversarial: execution beat the lower bound — construction broken")
 		os.Exit(1)
 	}
@@ -89,17 +86,20 @@ func main() {
 	fmt.Println("the adversary stayed within all five model guarantees while forcing Ω(D·Fack).")
 	fmt.Println("compare: the same network under a benign scheduler —")
 
-	benign := core.Run(core.RunConfig{
-		Dual:             topology.NewParallelLinesC(D).Dual,
-		Fprog:            fprog,
-		Fack:             fack,
-		Scheduler:        &sched.Sync{AckDelay: fprog, Rel: sched.Bernoulli{P: 0.5}},
-		Seed:             1,
-		Assignment:       assignment,
-		Automata:         core.NewBMMBFleet(net.N()),
-		HaltOnCompletion: true,
-	})
+	// The identical scenario with only the scheduler entry swapped: acks at
+	// Fprog instead of the adversarial stretch.
+	benign := base
+	benign.Name = "parallel-lines-benign"
+	benign.Scheduler = scenario.SchedulerSpec{Name: "sync",
+		Params: topology.Params{"ack-delay": fprog, "rel": 0.5}}
+	benign.Run.Check = false
+	benignReport, err := scenario.Run(benign)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "adversarial: benign comparison: %v\n", err)
+		os.Exit(1)
+	}
+	benignRes := benignReport.Trials[0].Result
 	fmt.Printf("  benign completion: %d ticks (%.1f× faster than the adversarial schedule)\n",
-		int64(benign.CompletionTime),
-		float64(res.CompletionTime)/float64(benign.CompletionTime))
+		int64(benignRes.CompletionTime),
+		float64(res.CompletionTime)/float64(benignRes.CompletionTime))
 }

@@ -5,6 +5,10 @@
 // completion time is exactly flat in Fack — the paper's argument that MAC
 // layers should expose an abort interface (Section 5).
 //
+// Each sweep point is a pair of declarative scenario specs differing only
+// in the algorithm name and the Fack constant; the topology is pinned by
+// its seed so every run sees the same network.
+//
 // Run with:
 //
 //	go run ./examples/fastgossip
@@ -12,15 +16,10 @@ package main
 
 import (
 	"fmt"
-	"math/rand"
 	"os"
 	"text/tabwriter"
 
-	"amac/internal/core"
-	"amac/internal/graph"
-	"amac/internal/mac"
-	"amac/internal/sched"
-	"amac/internal/sim"
+	"amac/internal/scenario"
 	"amac/internal/topology"
 )
 
@@ -28,21 +27,44 @@ func main() {
 	const (
 		n     = 30
 		k     = 6
-		fprog = sim.Time(10)
+		fprog = 10
 		grey  = 1.6
 	)
-	rng := rand.New(rand.NewSource(99))
-	dual := topology.ConnectedRandomGeometric(n, 3.8, grey, 0.5, rng, 300)
-	if dual == nil {
-		fmt.Fprintln(os.Stderr, "fastgossip: no connected instance")
+	topo := scenario.TopologySpec{
+		Name:   "rgg",
+		Params: topology.Params{"n": n, "side": 3.8, "c": grey, "p": 0.5, "max-tries": 300},
+		Seed:   99,
+	}
+	workload := scenario.WorkloadSpec{Kind: scenario.WorkloadSingleton, K: k}
+
+	ratios := []int{2, 8, 32, 128, 512}
+	var specs []scenario.Spec
+	for _, ratio := range ratios {
+		model := scenario.ModelSpec{Fprog: fprog, Fack: fprog * int64(ratio)}
+		run := scenario.RunSpec{Seed: int64(ratio)}
+		specs = append(specs,
+			scenario.Spec{
+				Name: fmt.Sprintf("fastgossip-bmmb-%dx", ratio),
+				Topology: topo, Workload: workload,
+				Algorithm: scenario.AlgorithmSpec{Name: "bmmb"},
+				Scheduler: scenario.SchedulerSpec{Name: "sync", Params: topology.Params{"rel": 0.5}},
+				Model:     model, Run: run,
+			},
+			scenario.Spec{
+				Name: fmt.Sprintf("fastgossip-fmmb-%dx", ratio),
+				Topology: topo, Workload: workload,
+				Algorithm: scenario.AlgorithmSpec{Name: "fmmb", Params: topology.Params{"c": grey}},
+				Model:     model, Run: run,
+			})
+	}
+
+	reports, err := scenario.Sweep(specs, 2)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fastgossip: %v\n", err)
 		os.Exit(1)
 	}
-	origins := make([]graph.NodeID, k)
-	for i := range origins {
-		origins[i] = graph.NodeID(i * dual.N() / k)
-	}
-	assignment := core.Singleton(dual.N(), origins)
 
+	dual := reports[0].Trials[0].Built.Dual
 	fmt.Printf("network: %s (D=%d), k=%d messages, Fprog=%d ticks\n\n",
 		dual.Name, dual.G.Diameter(), k, fprog)
 
@@ -50,33 +72,9 @@ func main() {
 	fmt.Fprintln(w, "Fack/Fprog\tBMMB (standard layer)\tFMMB (enhanced layer)")
 	var bmmbFirst, bmmbLast float64
 	var fmmbFirst, fmmbLast float64
-	ratios := []int{2, 8, 32, 128, 512}
 	for i, ratio := range ratios {
-		fack := fprog * sim.Time(ratio)
-		bm := core.Run(core.RunConfig{
-			Dual:             dual,
-			Fprog:            fprog,
-			Fack:             fack,
-			Scheduler:        &sched.Sync{Rel: sched.Bernoulli{P: 0.5}},
-			Seed:             int64(ratio),
-			Assignment:       assignment,
-			Automata:         core.NewBMMBFleet(dual.N()),
-			HaltOnCompletion: true,
-		})
-		cfg := core.FMMBConfig{N: dual.N(), K: k, D: dual.G.Diameter(), C: grey}
-		fm := core.Run(core.RunConfig{
-			Dual:             dual,
-			Fprog:            fprog,
-			Fack:             fack,
-			Scheduler:        &sched.Slot{},
-			Mode:             mac.Enhanced,
-			Seed:             int64(ratio),
-			Assignment:       assignment,
-			Automata:         core.NewFMMBFleet(dual.N(), cfg),
-			Horizon:          sim.Time(cfg.Rounds()+2) * fprog,
-			StepLimit:        1 << 62,
-			HaltOnCompletion: true,
-		})
+		bm := reports[2*i].Trials[0].Result
+		fm := reports[2*i+1].Trials[0].Result
 		if !bm.Solved || !fm.Solved {
 			fmt.Fprintln(os.Stderr, "fastgossip: a run failed")
 			os.Exit(1)

@@ -5,6 +5,10 @@
 // election/announcement protocol, prints an ASCII map of the result, and
 // verifies maximal independence.
 //
+// This example drives the MAC engine directly rather than through the
+// scenario API: it runs the MIS stage standalone, which is not an MMB
+// scenario (no messages to broadcast — the deliverable is the set itself).
+//
 // Run with:
 //
 //	go run ./examples/mis

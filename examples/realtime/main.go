@@ -5,6 +5,10 @@
 // MAC. The recorded execution is checked against the model guarantees with
 // the very same checker used for simulated runs.
 //
+// This example sits beside the scenario API rather than on it: scenario
+// specs execute on the deterministic simulator, while rt trades that
+// determinism for real goroutines and wall-clock timers.
+//
 // Run with:
 //
 //	go run ./examples/realtime

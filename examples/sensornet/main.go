@@ -4,10 +4,11 @@
 // only reaches nodes within r grid hops, the regime where the paper proves
 // flooding stays fast (Theorem 3.2: O(D·Fprog + r·k·Fack)).
 //
-// The example sweeps r and prints measured completion against the theorem's
-// bound — the practical story of the paper: "straightforward flooding
-// strategies tend to work well in real networks" as long as unreliable
-// links are local.
+// The example sweeps r over a family of declarative scenario specs — only
+// the topology's "r" parameter changes per point — and prints measured
+// completion against the theorem's bound: the practical story of the paper,
+// "straightforward flooding strategies tend to work well in real networks"
+// as long as unreliable links are local.
 //
 // Run with:
 //
@@ -16,57 +17,65 @@ package main
 
 import (
 	"fmt"
-	"math/rand"
 	"os"
 	"text/tabwriter"
 
-	"amac/internal/core"
-	"amac/internal/graph"
-	"amac/internal/sched"
-	"amac/internal/sim"
+	"amac/internal/scenario"
 	"amac/internal/topology"
 )
 
 const (
 	rows, cols = 6, 8
-	fprog      = sim.Time(10)
-	fack       = sim.Time(200)
+	fprog      = 10
+	fack       = 200
 )
 
 func main() {
-	base := topology.Grid(rows, cols)
-	n := base.N()
-
 	// Event: every sensor in the west column has one reading to report.
-	var origins []graph.NodeID
+	var origins []int
 	for r := 0; r < rows; r++ {
-		origins = append(origins, graph.NodeID(r*cols))
+		origins = append(origins, r*cols)
 	}
-	assignment := core.Singleton(n, origins)
-	k := assignment.K()
-	diameter := base.G.Diameter()
+	k := len(origins)
 
+	spec := func(r int) scenario.Spec {
+		return scenario.Spec{
+			Name: fmt.Sprintf("sensornet-r%d", r),
+			Topology: scenario.TopologySpec{
+				Name: "grid-crosstalk",
+				// Crosstalk: half of all node pairs within r grid hops.
+				Params: topology.Params{"rows": rows, "cols": cols, "r": float64(r), "p": 0.5},
+				Seed:   int64(r) * 101,
+			},
+			Workload:  scenario.WorkloadSpec{Kind: scenario.WorkloadSingleton, Origins: origins},
+			Algorithm: scenario.AlgorithmSpec{Name: "bmmb"},
+			Scheduler: scenario.SchedulerSpec{Name: "contention", Params: topology.Params{"rel": 0.5}},
+			Model:     scenario.ModelSpec{Fprog: fprog, Fack: fack},
+			Run:       scenario.RunSpec{Seed: int64(r), Check: true},
+		}
+	}
+
+	var specs []scenario.Spec
+	for _, r := range []int{1, 2, 3, 4} {
+		specs = append(specs, spec(r))
+	}
+	reports, err := scenario.Sweep(specs, 1)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sensornet: %v\n", err)
+		os.Exit(1)
+	}
+
+	diameter := reports[0].Trials[0].Built.Dual.G.Diameter()
+	n := reports[0].Trials[0].Built.Dual.N()
 	fmt.Printf("sensor field: %d×%d grid, n=%d, D=%d, k=%d west-edge readings\n\n",
 		rows, cols, n, diameter, k)
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "r\tunreliable links\tcompletion (ticks)\tThm 3.2 bound\tratio")
-	for _, r := range []int{1, 2, 3, 4} {
-		rng := rand.New(rand.NewSource(int64(r) * 101))
-		// Crosstalk: half of all node pairs within r grid hops.
-		dual := topology.RRestricted(base.G, r, 0.5, rng,
-			fmt.Sprintf("grid-crosstalk(r=%d)", r))
-		res := core.Run(core.RunConfig{
-			Dual:             dual,
-			Fprog:            fprog,
-			Fack:             fack,
-			Scheduler:        &sched.Contention{Rel: sched.Bernoulli{P: 0.5}},
-			Seed:             int64(r),
-			Assignment:       assignment,
-			Automata:         core.NewBMMBFleet(n),
-			HaltOnCompletion: true,
-			Check:            true,
-		})
+	for i, rep := range reports {
+		r := i + 1
+		trial := rep.Trials[0]
+		res := trial.Result
 		if !res.Solved {
 			fmt.Fprintf(os.Stderr, "sensornet: r=%d run failed (%d/%d)\n",
 				r, res.Delivered, res.Required)
@@ -76,9 +85,9 @@ func main() {
 			fmt.Fprintf(os.Stderr, "sensornet: model violation: %v\n", res.Report.Violations[0])
 			os.Exit(1)
 		}
-		bound := sim.Time(diameter)*fprog + sim.Time(r*k)*fack
+		bound := diameter*fprog + r*k*fack
 		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%.3f\n",
-			r, len(dual.UnreliableEdges()), int64(res.CompletionTime), int64(bound),
+			r, len(trial.Built.Dual.UnreliableEdges()), int64(res.CompletionTime), bound,
 			float64(res.CompletionTime)/float64(bound))
 	}
 	w.Flush()

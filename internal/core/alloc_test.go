@@ -19,7 +19,7 @@ func TestBMMBFloodAllocationBudget(t *testing.T) {
 	const budget = 700
 	d := topology.Line(16)
 	run := func() *Result {
-		return Run(RunConfig{
+		return MustRun(RunConfig{
 			Dual:             d,
 			Fack:             200,
 			Fprog:            10,

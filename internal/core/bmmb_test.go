@@ -20,7 +20,7 @@ const (
 // assignment, with model checking enabled.
 func runBMMB(t *testing.T, d *topology.Dual, s mac.Scheduler, a Assignment, seed int64) *Result {
 	t.Helper()
-	res := Run(RunConfig{
+	res := MustRun(RunConfig{
 		Dual:             d,
 		Fack:             testFack,
 		Fprog:            testFprog,
@@ -158,7 +158,7 @@ func TestBMMBDeliversExactlyOnce(t *testing.T) {
 func TestBMMBDeterministicReplay(t *testing.T) {
 	run := func() (sim.Time, int) {
 		d := topology.LineRRestricted(14, 3, 0.4, rand.New(rand.NewSource(2)))
-		res := Run(RunConfig{
+		res := MustRun(RunConfig{
 			Dual:             d,
 			Fack:             testFack,
 			Fprog:            testFprog,

@@ -31,7 +31,7 @@ func TestBMMBTheorem32Property(t *testing.T) {
 		for i, v := range origins {
 			a[v] = append(a[v], Msg{ID: i, Origin: v})
 		}
-		res := Run(RunConfig{
+		res := MustRun(RunConfig{
 			Dual:             d,
 			Fack:             testFack,
 			Fprog:            testFprog,
@@ -68,7 +68,7 @@ func TestBMMBTheorem31Property(t *testing.T) {
 		for i, v := range origins {
 			a[v] = append(a[v], Msg{ID: i, Origin: v})
 		}
-		res := Run(RunConfig{
+		res := MustRun(RunConfig{
 			Dual:             d,
 			Fack:             testFack,
 			Fprog:            testFprog,
@@ -96,7 +96,7 @@ func TestBMMBMonotoneInK(t *testing.T) {
 	d := topology.Line(16)
 	prev := sim.Time(0)
 	for k := 1; k <= 8; k++ {
-		res := Run(RunConfig{
+		res := MustRun(RunConfig{
 			Dual:             d,
 			Fack:             testFack,
 			Fprog:            testFprog,

@@ -16,7 +16,7 @@ import (
 func runFMMB(t *testing.T, d *topology.Dual, c float64, a Assignment, seed int64) *Result {
 	t.Helper()
 	cfg := FMMBConfig{N: d.N(), K: a.K(), D: d.G.Diameter(), C: c}
-	res := Run(RunConfig{
+	res := MustRun(RunConfig{
 		Dual:             d,
 		Fack:             testFack,
 		Fprog:            testFprog,
@@ -99,7 +99,7 @@ func TestFMMBNoFackDependence(t *testing.T) {
 	a := Singleton(12, []graph.NodeID{0, 6})
 	run := func(fack sim.Time) sim.Time {
 		cfg := FMMBConfig{N: d.N(), K: a.K(), D: d.G.Diameter(), C: 1.0}
-		res := Run(RunConfig{
+		res := MustRun(RunConfig{
 			Dual:             d,
 			Fack:             fack,
 			Fprog:            testFprog,
@@ -133,7 +133,7 @@ func TestFMMBGatherHandsMessagesToMIS(t *testing.T) {
 	a := Singleton(16, []graph.NodeID{1, 6, 12})
 	cfg := FMMBConfig{N: 16, K: 3, D: d.G.Diameter(), C: 1.0}
 	autos := NewFMMBFleet(16, cfg)
-	res := Run(RunConfig{
+	res := MustRun(RunConfig{
 		Dual:             d,
 		Fack:             testFack,
 		Fprog:            testFprog,

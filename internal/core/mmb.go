@@ -4,6 +4,13 @@
 // gather and spread subroutines for the enhanced layer (Section 4), plus a
 // runner that executes an MMB instance end-to-end and reports completion
 // metrics and model-compliance checks.
+//
+// Run validates its configuration and returns an error for anything
+// malformed — RunConfig.Validate documents every condition. (Earlier
+// versions panicked on invalid configs; MustRun preserves that fail-fast
+// contract for calibrated harnesses and tests.) Algorithms are also
+// registered by name (RegisterAlgorithm) so the scenario layer can resolve
+// them declaratively.
 package core
 
 import (

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"strings"
 	"testing"
 
 	"amac/internal/graph"
@@ -28,13 +29,13 @@ func TestWorkloadBasics(t *testing.T) {
 func TestFromAssignmentMatchesAssignmentRun(t *testing.T) {
 	d := topology.Line(8)
 	a := SingleSource(8, 0, 3)
-	viaAssign := Run(RunConfig{
+	viaAssign := MustRun(RunConfig{
 		Dual: d, Fack: testFack, Fprog: testFprog,
 		Scheduler: &sched.Sync{}, Seed: 1,
 		Assignment: a, Automata: NewBMMBFleet(8),
 		HaltOnCompletion: true,
 	})
-	viaWorkload := Run(RunConfig{
+	viaWorkload := MustRun(RunConfig{
 		Dual: d, Fack: testFack, Fprog: testFprog,
 		Scheduler: &sched.Sync{}, Seed: 1,
 		Assignment: make(Assignment, 8), Workload: FromAssignment(a),
@@ -56,7 +57,7 @@ func TestOnlineBMMBStaggeredArrivals(t *testing.T) {
 	w.Add(150, 11, Msg{ID: 1, Origin: 11})
 	w.Add(400, 5, Msg{ID: 2, Origin: 5})
 	w.Add(401, 5, Msg{ID: 3, Origin: 5})
-	res := Run(RunConfig{
+	res := MustRun(RunConfig{
 		Dual: d, Fack: testFack, Fprog: testFprog,
 		Scheduler: &sched.Contention{}, Seed: 9,
 		Workload: w, Automata: NewBMMBFleet(12),
@@ -117,7 +118,7 @@ func TestOnlinePoissonWorkload(t *testing.T) {
 func TestOnlineBMMBPoissonEndToEnd(t *testing.T) {
 	d := topology.Grid(4, 5)
 	w := PoissonWorkload(d.N(), 8, 2000, 3)
-	res := Run(RunConfig{
+	res := MustRun(RunConfig{
 		Dual: d, Fack: testFack, Fprog: testFprog,
 		Scheduler: &sched.Contention{Rel: sched.Bernoulli{P: 0.5}}, Seed: 3,
 		Workload: w, Automata: NewBMMBFleet(d.N()),
@@ -135,16 +136,17 @@ func TestOnlineArrivalValidation(t *testing.T) {
 	d := topology.Line(4)
 	w := &Workload{}
 	w.Add(0, 1, Msg{ID: 0, Origin: 2}) // origin mismatch
-	defer func() {
-		if recover() == nil {
-			t.Fatal("origin mismatch did not panic")
-		}
-	}()
-	Run(RunConfig{
+	_, err := Run(RunConfig{
 		Dual: d, Fack: testFack, Fprog: testFprog,
 		Scheduler: &sched.Sync{}, Workload: w,
 		Automata: NewBMMBFleet(4),
 	})
+	if err == nil {
+		t.Fatal("origin mismatch did not error")
+	}
+	if !strings.Contains(err.Error(), "contradicts its origin") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
 }
 
 func TestSingletonAndSingleSource(t *testing.T) {

@@ -15,7 +15,7 @@ import (
 
 func runQuiet(d *topology.Dual, c float64, a Assignment, seed int64) *Result {
 	cfg := FMMBConfig{N: d.N(), K: a.K(), D: d.G.Diameter(), C: c}
-	return Run(RunConfig{
+	return MustRun(RunConfig{
 		Dual:             d,
 		Fack:             testFack,
 		Fprog:            testFprog,
@@ -74,7 +74,7 @@ func TestBMMBWideSeedSweepContention(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		d := topology.LineRRestricted(16, 3, 0.5, rng)
 		a := Singleton(16, []graph.NodeID{0, 8, 15})
-		res := Run(RunConfig{
+		res := MustRun(RunConfig{
 			Dual:             d,
 			Fack:             testFack,
 			Fprog:            testFprog,

@@ -78,34 +78,77 @@ type Result struct {
 	Engine *mac.Engine
 }
 
-// Run executes the configured MMB instance to completion (or horizon) and
-// returns the result.
-func Run(cfg RunConfig) *Result {
+// Validate checks the configuration and returns a descriptive error for the
+// first violation. It covers every condition Run (and the engine underneath)
+// requires, so a config that validates cleanly cannot fail to start.
+func (cfg *RunConfig) Validate() error {
+	_, err := cfg.resolve()
+	return err
+}
+
+// resolve validates the configuration and returns the resolved workload
+// (building it from the assignment when needed), so Run validates and
+// resolves in one pass.
+func (cfg *RunConfig) resolve() (*Workload, error) {
 	if cfg.Dual == nil {
-		panic("core: nil dual")
+		return nil, fmt.Errorf("core: RunConfig.Dual is required")
+	}
+	if err := cfg.Dual.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid dual: %w", err)
+	}
+	if cfg.Scheduler == nil {
+		return nil, fmt.Errorf("core: RunConfig.Scheduler is required")
+	}
+	if cfg.Fprog < 2 {
+		return nil, fmt.Errorf("core: Fprog must be >= 2 ticks, got %d (schedulers need at least one tick of slack inside a progress window)", cfg.Fprog)
+	}
+	if cfg.Fack < cfg.Fprog {
+		return nil, fmt.Errorf("core: Fack (%d) must be >= Fprog (%d)", cfg.Fack, cfg.Fprog)
+	}
+	if cfg.EpsAbort < 0 {
+		return nil, fmt.Errorf("core: EpsAbort must be >= 0, got %d", cfg.EpsAbort)
 	}
 	n := cfg.Dual.N()
-	if cfg.Workload == nil {
+	workload := cfg.Workload
+	if workload == nil {
 		if len(cfg.Assignment) != n {
-			panic(fmt.Sprintf("core: assignment covers %d of %d nodes", len(cfg.Assignment), n))
+			return nil, fmt.Errorf("core: assignment covers %d of %d nodes (set Assignment with length N or Workload)", len(cfg.Assignment), n)
 		}
-		cfg.Workload = FromAssignment(cfg.Assignment)
+		workload = FromAssignment(cfg.Assignment)
 	}
 	if len(cfg.Automata) != n {
-		panic(fmt.Sprintf("core: %d automata for %d nodes", len(cfg.Automata), n))
+		return nil, fmt.Errorf("core: %d automata for %d nodes", len(cfg.Automata), n)
 	}
-	k := cfg.Workload.K()
-	if k == 0 {
-		panic("core: empty workload (MMB requires k >= 1)")
+	for i, a := range cfg.Automata {
+		if a == nil {
+			return nil, fmt.Errorf("core: nil automaton for node %d", i)
+		}
 	}
-	for _, ar := range cfg.Workload.Arrivals() {
+	if workload.K() == 0 {
+		return nil, fmt.Errorf("core: empty workload (MMB requires k >= 1)")
+	}
+	for _, ar := range workload.Arrivals() {
 		if int(ar.Node) < 0 || int(ar.Node) >= n {
-			panic(fmt.Sprintf("core: arrival at node %d outside [0,%d)", ar.Node, n))
+			return nil, fmt.Errorf("core: arrival at node %d outside [0,%d)", ar.Node, n)
 		}
 		if ar.Msg.Origin != ar.Node {
-			panic(fmt.Sprintf("core: arrival of %v at node %d contradicts its origin", ar.Msg, ar.Node))
+			return nil, fmt.Errorf("core: arrival of %v at node %d contradicts its origin", ar.Msg, ar.Node)
 		}
 	}
+	return workload, nil
+}
+
+// Run executes the configured MMB instance to completion (or horizon) and
+// returns the result. Invalid configurations return a descriptive error
+// (see Validate) rather than panicking; fail-fast callers use MustRun.
+func Run(cfg RunConfig) (*Result, error) {
+	workload, err := cfg.resolve()
+	if err != nil {
+		return nil, err
+	}
+	cfg.Workload = workload
+	n := cfg.Dual.N()
+	k := cfg.Workload.K()
 	d := cfg.Dual.G.Diameter()
 	if cfg.Horizon == 0 {
 		// Trivial upper bound O(D·k·Fack) with headroom, plus slack for
@@ -209,6 +252,18 @@ func Run(cfg RunConfig) *Result {
 		check.MMB(res.Report, eng.Trace().Events(), check.MMBParams{
 			DeliverKind: DeliverKind,
 		})
+	}
+	return res, nil
+}
+
+// MustRun is Run with the pre-redesign fail-fast contract: it panics on an
+// invalid configuration. Harnesses and tests whose configurations are
+// calibrated to be valid by construction use it; anything accepting
+// external input should call Run and handle the error.
+func MustRun(cfg RunConfig) *Result {
+	res, err := Run(cfg)
+	if err != nil {
+		panic(err)
 	}
 	return res
 }

@@ -27,7 +27,7 @@ func TestBMMBSpitefulGreyTraffic(t *testing.T) {
 		for i := range origins {
 			origins[i] = graph.NodeID(i * n / k)
 		}
-		res := Run(RunConfig{
+		res := MustRun(RunConfig{
 			Dual:             d,
 			Fack:             testFack,
 			Fprog:            testFprog,
@@ -59,7 +59,7 @@ func TestBMMBSpitefulGreyTraffic(t *testing.T) {
 func TestBMMBFlakyLinksEndToEnd(t *testing.T) {
 	rng := rand.New(rand.NewSource(12))
 	d := topology.LineRRestricted(20, 4, 0.7, rng)
-	res := Run(RunConfig{
+	res := MustRun(RunConfig{
 		Dual:             d,
 		Fack:             testFack,
 		Fprog:            testFprog,
@@ -84,7 +84,7 @@ func TestBMMBFlakyLinksEndToEnd(t *testing.T) {
 func TestBMMBSingleNodeNetwork(t *testing.T) {
 	g := graph.New(1)
 	d := topology.Reliable(g, "singleton")
-	res := Run(RunConfig{
+	res := MustRun(RunConfig{
 		Dual:             d,
 		Fack:             testFack,
 		Fprog:            testFprog,
@@ -116,7 +116,7 @@ func TestBMMBLargeScale(t *testing.T) {
 	for i := range origins {
 		origins[i] = graph.NodeID(i * 256 / k)
 	}
-	res := Run(RunConfig{
+	res := MustRun(RunConfig{
 		Dual:             d,
 		Fack:             testFack,
 		Fprog:            testFprog,

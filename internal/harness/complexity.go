@@ -2,11 +2,9 @@ package harness
 
 import (
 	"fmt"
-	"math/rand"
 
-	"amac/internal/core"
 	"amac/internal/metrics"
-	"amac/internal/sched"
+	"amac/internal/scenario"
 	"amac/internal/topology"
 )
 
@@ -39,40 +37,44 @@ func MessageComplexity(o Options) *Table {
 	type trial struct {
 		bB, fB, fAbort, fGrey float64
 	}
+	model := scenario.ModelSpec{Fprog: int64(o.Fprog), Fack: int64(o.Fack)}
 	res := collectTrials(o, len(pts), func(pi int, seed int64) trial {
 		p := pts[pi]
-		rng := rand.New(rand.NewSource(seed * 7907))
-		d := topology.ConnectedRandomGeometric(p.n, p.side, c, 0.5, rng, 200)
-		if d == nil {
-			panic("harness: no connected geometric instance")
+		topo := scenario.TopologySpec{Name: "rgg",
+			Params:     topology.Params{"n": float64(p.n), "side": p.side, "c": c, "p": 0.5},
+			SeedFactor: 7907}
+		workload := scenario.WorkloadSpec{Kind: scenario.WorkloadSingleton, K: p.k}
+		// Both algorithms run on the same seed-keyed instance.
+		built, err := scenario.BuildTopology(scenario.Spec{Topology: topo}, seed)
+		if err != nil {
+			panic(fmt.Sprintf("harness: %v", err))
 		}
-		a := core.Singleton(d.N(), sources(d.N(), p.k))
 
 		// Run BMMB to quiescence (not just completion) so trailing
 		// re-broadcasts are counted: the flooding invariant is about
 		// the whole execution.
-		bres := core.Run(core.RunConfig{
-			Dual:       d,
-			Fack:       o.Fack,
-			Fprog:      o.Fprog,
-			Scheduler:  &sched.Contention{Rel: sched.Bernoulli{P: 0.5}},
-			Seed:       seed,
-			Assignment: a,
-			Automata:   core.NewBMMBFleet(d.N()),
-			Check:      o.Check,
-		})
-		countSimEvents(bres.Steps)
-		if !bres.Solved {
-			panic("harness: BMMB failed in complexity experiment")
-		}
+		bm := mustTrialOn(scenario.Spec{
+			Topology:  topo,
+			Workload:  workload,
+			Algorithm: scenario.AlgorithmSpec{Name: "bmmb"},
+			Scheduler: scenario.SchedulerSpec{Name: "contention", Params: topology.Params{"rel": 0.5}},
+			Model:     model,
+			Run:       scenario.RunSpec{Check: o.Check, ToQuiescence: true},
+		}, seed, built)
 
-		fres, _ := fmmbRun(o, d, c, a, seed, true)
-		fm := metrics.Collect(d, fres.Engine.Instances(), fres.Engine.Trace())
+		fm := mustTrialOn(scenario.Spec{
+			Topology:  topo,
+			Workload:  workload,
+			Algorithm: scenario.AlgorithmSpec{Name: "fmmb", Params: topology.Params{"c": c}},
+			Model:     model,
+			Run:       scenario.RunSpec{Check: o.Check},
+		}, seed, built)
+		fmm := metrics.Collect(fm.Built.Dual, fm.Result.Engine.Instances(), fm.Result.Engine.Trace())
 		return trial{
-			bB:     float64(bres.Broadcasts),
-			fB:     float64(fm.TotalInstances),
-			fAbort: float64(fm.Aborted),
-			fGrey:  float64(fm.GreyDeliveries),
+			bB:     float64(bm.Result.Broadcasts),
+			fB:     float64(fmm.TotalInstances),
+			fAbort: float64(fmm.Aborted),
+			fGrey:  float64(fmm.GreyDeliveries),
 		}
 	})
 	for pi, p := range pts {

@@ -3,16 +3,20 @@ package harness
 import (
 	"fmt"
 	"math"
-	"math/rand"
 
 	"amac/internal/core"
 	"amac/internal/graph"
-	"amac/internal/mac"
-	"amac/internal/sched"
+	"amac/internal/scenario"
 	"amac/internal/sim"
 	"amac/internal/stats"
 	"amac/internal/topology"
 )
+
+// The Fig1*/Fig2* experiments below are declarative sweep definitions: each
+// data point is a scenario.Spec (topology, workload, algorithm and scheduler
+// all resolved by name through the registries) plus its display cells and
+// bound formula, executed by the generic RunSweep. Adding a sweep point is a
+// data change.
 
 // shapeThreshold is the maximum relative growth of the measured/bound ratio
 // across a sweep before the harness declares the bound's shape violated.
@@ -44,18 +48,22 @@ func verdict(t *Table, sweep, measured, bound []float64) {
 		ok, trend, shapeThreshold)
 }
 
+// bmmbSpec is the common BMMB scenario skeleton of the Figure 1 sweeps.
+func bmmbSpec(topo scenario.TopologySpec, w scenario.WorkloadSpec, s scenario.SchedulerSpec) scenario.Spec {
+	return scenario.Spec{
+		Topology:  topo,
+		Workload:  w,
+		Algorithm: scenario.AlgorithmSpec{Name: "bmmb"},
+		Scheduler: s,
+	}
+}
+
 // Fig1StdReliable reproduces the G′ = G cell of Figure 1 (bound from [30]):
 // BMMB solves MMB in O(D·Fprog + k·Fack). Two sweeps on reliable lines
 // under the Sync scheduler (receives at Fprog, acks at the full Fack — the
 // worst legal timing).
 func Fig1StdReliable(o Options) *Table {
 	o = o.withDefaults()
-	t := &Table{
-		ID:         "fig1-std-reliable",
-		Title:      "BMMB, standard model, G' = G",
-		PaperClaim: "O(D·Fprog + k·Fack)  [Figure 1; bound from KLN'11]",
-		Columns:    []string{"sweep", "n", "D", "k", "time", "bound", "ratio"},
-	}
 	bound := func(d, k int) float64 {
 		return float64(sim.Time(d)*o.Fprog + sim.Time(k)*o.Fack)
 	}
@@ -64,44 +72,45 @@ func Fig1StdReliable(o Options) *Table {
 		sizes = []int{8, 16, 32}
 	}
 	const kD = 4
-	var sweep, meas, bnd []float64
-	ms := pointMeans(o, len(sizes), func(pi int, seed int64) float64 {
-		n := sizes[pi]
-		return float64(bmmbRun(o, topology.Line(n), &sched.Sync{},
-			core.SingleSource(n, 0, kD), seed).CompletionTime)
-	})
-	for i, n := range sizes {
-		m := ms[i]
-		b := bound(n-1, kD)
-		t.AddRow("D", fmt.Sprint(n), fmt.Sprint(n-1), fmt.Sprint(kD),
-			ticksStr(m), ticksStr(b), ratioStr(m, b))
-		sweep = append(sweep, float64(n-1))
-		meas = append(meas, m)
-		bnd = append(bnd, b)
+	var dPoints []SweepPoint
+	for _, n := range sizes {
+		dPoints = append(dPoints, SweepPoint{
+			Spec: bmmbSpec(
+				scenario.TopologySpec{Name: "line", Params: topology.Params{"n": float64(n)}},
+				scenario.WorkloadSpec{Kind: scenario.WorkloadSingleSource, K: kD, Origin: 0},
+				scenario.SchedulerSpec{Name: "sync"},
+			),
+			X:     float64(n - 1),
+			Cells: cells("D", fmt.Sprint(n), fmt.Sprint(n-1), fmt.Sprint(kD)),
+			Bound: staticBound(bound(n-1, kD)),
+		})
 	}
-	verdict(t, sweep, meas, bnd)
 	ks := []int{1, 2, 4, 8, 16}
 	if o.Quick {
 		ks = []int{1, 4, 8}
 	}
 	const nK = 32
-	sweep, meas, bnd = nil, nil, nil
-	ms = pointMeans(o, len(ks), func(pi int, seed int64) float64 {
-		k := ks[pi]
-		return float64(bmmbRun(o, topology.Line(nK), &sched.Sync{},
-			core.SingleSource(nK, 0, k), seed).CompletionTime)
-	})
-	for i, k := range ks {
-		m := ms[i]
-		b := bound(nK-1, k)
-		t.AddRow("k", fmt.Sprint(nK), fmt.Sprint(nK-1), fmt.Sprint(k),
-			ticksStr(m), ticksStr(b), ratioStr(m, b))
-		sweep = append(sweep, float64(k))
-		meas = append(meas, m)
-		bnd = append(bnd, b)
+	var kPoints []SweepPoint
+	for _, k := range ks {
+		kPoints = append(kPoints, SweepPoint{
+			Spec: bmmbSpec(
+				scenario.TopologySpec{Name: "line", Params: topology.Params{"n": float64(nK)}},
+				scenario.WorkloadSpec{Kind: scenario.WorkloadSingleSource, K: k, Origin: 0},
+				scenario.SchedulerSpec{Name: "sync"},
+			),
+			X:     float64(k),
+			Cells: cells("k", fmt.Sprint(nK), fmt.Sprint(nK-1), fmt.Sprint(k)),
+			Bound: staticBound(bound(nK-1, k)),
+		})
 	}
-	verdict(t, sweep, meas, bnd)
-	return t
+	return RunSweep(o, SweepDef{
+		ID:         "fig1-std-reliable",
+		Title:      "BMMB, standard model, G' = G",
+		PaperClaim: "O(D·Fprog + k·Fack)  [Figure 1; bound from KLN'11]",
+		Columns:    []string{"sweep", "n", "D", "k", "time", "bound", "ratio"},
+		Segments:   []SweepSegment{{Points: dPoints}, {Points: kPoints}},
+		Verdict:    VerdictUpper,
+	})
 }
 
 // Fig1StdRRestricted reproduces the r-restricted cell of Figure 1 (Theorem
@@ -110,12 +119,6 @@ func Fig1StdReliable(o Options) *Table {
 // r-restricted G′ under both benign and contention schedulers.
 func Fig1StdRRestricted(o Options) *Table {
 	o = o.withDefaults()
-	t := &Table{
-		ID:         "fig1-std-rrestricted",
-		Title:      "BMMB, standard model, r-restricted G'",
-		PaperClaim: "O(D·Fprog + r·k·Fack)  [Theorem 3.2]",
-		Columns:    []string{"sched", "n", "r", "k", "time", "bound", "ratio"},
-	}
 	n, k := 33, 6
 	rs := []int{1, 2, 4, 8}
 	if o.Quick {
@@ -125,45 +128,38 @@ func Fig1StdRRestricted(o Options) *Table {
 	bound := func(r int) float64 {
 		return float64(sim.Time(n-1)*o.Fprog + sim.Time(r*k)*o.Fack)
 	}
+	var segments []SweepSegment
 	for _, schedName := range []string{"sync", "contention"} {
-		var sweep, meas, bnd []float64
-		ms := pointMeans(o, len(rs), func(pi int, seed int64) float64 {
-			r := rs[pi]
-			rng := rand.New(rand.NewSource(seed))
-			d := topology.LineRRestricted(n, r, 0.6, rng)
-			var s mac.Scheduler
-			if schedName == "sync" {
-				s = &sched.Sync{Rel: sched.Bernoulli{P: 0.5}}
-			} else {
-				s = &sched.Contention{Rel: sched.Bernoulli{P: 0.5}}
-			}
-			a := core.Singleton(n, sources(n, k))
-			return float64(bmmbRun(o, d, s, a, seed).CompletionTime)
-		})
-		for i, r := range rs {
-			m := ms[i]
-			b := bound(r)
-			t.AddRow(schedName, fmt.Sprint(n), fmt.Sprint(r), fmt.Sprint(k),
-				ticksStr(m), ticksStr(b), ratioStr(m, b))
-			sweep = append(sweep, float64(r))
-			meas = append(meas, m)
-			bnd = append(bnd, b)
+		var points []SweepPoint
+		for _, r := range rs {
+			points = append(points, SweepPoint{
+				Spec: bmmbSpec(
+					scenario.TopologySpec{Name: "rline",
+						Params: topology.Params{"n": float64(n), "r": float64(r), "p": 0.6}},
+					scenario.WorkloadSpec{Kind: scenario.WorkloadSingleton, K: k},
+					scenario.SchedulerSpec{Name: schedName, Params: topology.Params{"rel": 0.5}},
+				),
+				X:     float64(r),
+				Cells: cells(schedName, fmt.Sprint(n), fmt.Sprint(r), fmt.Sprint(k)),
+				Bound: staticBound(bound(r)),
+			})
 		}
-		verdict(t, sweep, meas, bnd)
+		segments = append(segments, SweepSegment{Points: points})
 	}
-	return t
+	return RunSweep(o, SweepDef{
+		ID:         "fig1-std-rrestricted",
+		Title:      "BMMB, standard model, r-restricted G'",
+		PaperClaim: "O(D·Fprog + r·k·Fack)  [Theorem 3.2]",
+		Columns:    []string{"sched", "n", "r", "k", "time", "bound", "ratio"},
+		Segments:   segments,
+		Verdict:    VerdictUpper,
+	})
 }
 
 // Fig1StdArbitrary reproduces the arbitrary-G′ cell of Figure 1 (Theorem
 // 3.1): BMMB solves MMB in O((D + k)·Fack) with no constraint on G′.
 func Fig1StdArbitrary(o Options) *Table {
 	o = o.withDefaults()
-	t := &Table{
-		ID:         "fig1-std-arbitrary",
-		Title:      "BMMB, standard model, arbitrary G'",
-		PaperClaim: "O((D + k)·Fack)  [Theorem 3.1]",
-		Columns:    []string{"n", "extra-G'", "k", "time", "bound", "ratio"},
-	}
 	n := 33
 	ks := []int{2, 4, 8, 16}
 	if o.Quick {
@@ -171,35 +167,28 @@ func Fig1StdArbitrary(o Options) *Table {
 		ks = []int{2, 4, 8}
 	}
 	extra := n
-	var sweep, meas, bnd []float64
-	ms := pointMeans(o, len(ks), func(pi int, seed int64) float64 {
-		k := ks[pi]
-		rng := rand.New(rand.NewSource(seed))
-		d := topology.ArbitraryNoise(topology.Line(n).G, extra, rng,
-			fmt.Sprintf("line+%d-wild-edges", extra))
-		a := core.Singleton(n, sources(n, k))
-		return float64(bmmbRun(o, d, &sched.Contention{Rel: sched.Bernoulli{P: 0.5}}, a, seed).CompletionTime)
+	var points []SweepPoint
+	for _, k := range ks {
+		points = append(points, SweepPoint{
+			Spec: bmmbSpec(
+				scenario.TopologySpec{Name: "noisy-line",
+					Params: topology.Params{"n": float64(n), "extra": float64(extra)}},
+				scenario.WorkloadSpec{Kind: scenario.WorkloadSingleton, K: k},
+				scenario.SchedulerSpec{Name: "contention", Params: topology.Params{"rel": 0.5}},
+			),
+			X:     float64(k),
+			Cells: cells(fmt.Sprint(n), fmt.Sprint(extra), fmt.Sprint(k)),
+			Bound: staticBound(float64(sim.Time(n-1+k) * o.Fack)),
+		})
+	}
+	return RunSweep(o, SweepDef{
+		ID:         "fig1-std-arbitrary",
+		Title:      "BMMB, standard model, arbitrary G'",
+		PaperClaim: "O((D + k)·Fack)  [Theorem 3.1]",
+		Columns:    []string{"n", "extra-G'", "k", "time", "bound", "ratio"},
+		Segments:   []SweepSegment{{Points: points}},
+		Verdict:    VerdictUpper,
 	})
-	for i, k := range ks {
-		m := ms[i]
-		b := float64(sim.Time(n-1+k) * o.Fack)
-		t.AddRow(fmt.Sprint(n), fmt.Sprint(extra), fmt.Sprint(k),
-			ticksStr(m), ticksStr(b), ratioStr(m, b))
-		sweep = append(sweep, float64(k))
-		meas = append(meas, m)
-		bnd = append(bnd, b)
-	}
-	verdict(t, sweep, meas, bnd)
-	return t
-}
-
-// sources spreads k message origins evenly over the n nodes.
-func sources(n, k int) []graph.NodeID {
-	out := make([]graph.NodeID, k)
-	for i := range out {
-		out[i] = graph.NodeID(i * n / k)
-	}
-	return out
 }
 
 // Fig2LowerBound reproduces the grey-zone lower bound (Theorem 3.17) by
@@ -209,69 +198,46 @@ func sources(n, k int) []graph.NodeID {
 // exceed the formula — these are lower bounds, so ratio ≥ 1 is the verdict.
 func Fig2LowerBound(o Options) *Table {
 	o = o.withDefaults()
-	t := &Table{
-		ID:         "fig1-std-greyzone-lb",
-		Title:      "Lower bound executions, standard model, grey zone G'",
-		PaperClaim: "Ω((D + k)·Fack)  [Theorem 3.17; Figure 2 network]",
-		Columns:    []string{"construction", "param", "time", "formula", "ratio"},
-	}
 	ds := []int{4, 8, 16, 32}
 	ks := []int{2, 4, 8, 16}
 	if o.Quick {
 		ds = []int{4, 8, 16}
 		ks = []int{2, 4, 8}
 	}
-	allOK := true
-	dMeans := pointMeans(o, len(ds), func(pi int, seed int64) float64 {
-		d := ds[pi]
-		c := topology.NewParallelLinesC(d)
-		m0 := core.Msg{ID: 0, Origin: c.A(1)}
-		m1 := core.Msg{ID: 1, Origin: c.B(1)}
-		a := make(core.Assignment, c.N())
-		a[c.A(1)] = []core.Msg{m0}
-		a[c.B(1)] = []core.Msg{m1}
-		s := &sched.ParallelLines{
-			Net:  c,
-			IsM0: func(p any) bool { return p == m0 },
-			IsM1: func(p any) bool { return p == m1 },
-		}
-		return float64(bmmbRun(o, c.Dual, s, a, seed).CompletionTime)
+	var dPoints []SweepPoint
+	for _, d := range ds {
+		dPoints = append(dPoints, SweepPoint{
+			Spec: bmmbSpec(
+				scenario.TopologySpec{Name: "parallel-lines", Params: topology.Params{"d": float64(d)}},
+				scenario.WorkloadSpec{Kind: scenario.WorkloadConstruction},
+				scenario.SchedulerSpec{Name: "adversary"},
+			),
+			X:     float64(d),
+			Cells: cells("parallel-lines (Fig 2)", fmt.Sprintf("D=%d", d)),
+			Bound: staticBound(float64(sim.Time(d-1) * o.Fack)),
+		})
+	}
+	var kPoints []SweepPoint
+	for _, k := range ks {
+		kPoints = append(kPoints, SweepPoint{
+			Spec: bmmbSpec(
+				scenario.TopologySpec{Name: "star-choke", Params: topology.Params{"k": float64(k)}},
+				scenario.WorkloadSpec{Kind: scenario.WorkloadConstruction},
+				scenario.SchedulerSpec{Name: "sync"},
+			),
+			X:     float64(k),
+			Cells: cells("star-choke (Lemma 3.18)", fmt.Sprintf("k=%d", k)),
+			Bound: staticBound(float64(sim.Time(k-1) * o.Fack)),
+		})
+	}
+	return RunSweep(o, SweepDef{
+		ID:         "fig1-std-greyzone-lb",
+		Title:      "Lower bound executions, standard model, grey zone G'",
+		PaperClaim: "Ω((D + k)·Fack)  [Theorem 3.17; Figure 2 network]",
+		Columns:    []string{"construction", "param", "time", "formula", "ratio"},
+		Segments:   []SweepSegment{{Points: dPoints}, {Points: kPoints}},
+		Verdict:    VerdictLower,
 	})
-	for i, d := range ds {
-		m := dMeans[i]
-		f := float64(sim.Time(d-1) * o.Fack)
-		if m < f {
-			allOK = false
-		}
-		t.AddRow("parallel-lines (Fig 2)", fmt.Sprintf("D=%d", d),
-			ticksStr(m), ticksStr(f), ratioStr(m, f))
-	}
-	kMeans := pointMeans(o, len(ks), func(pi int, seed int64) float64 {
-		k := ks[pi]
-		s := topology.NewStarChoke(k)
-		a := make(core.Assignment, s.N())
-		for i := 1; i < k; i++ {
-			v := s.Source(i)
-			a[v] = []core.Msg{{ID: i - 1, Origin: v}}
-		}
-		a[s.Hub()] = []core.Msg{{ID: k - 1, Origin: s.Hub()}}
-		return float64(bmmbRun(o, s.Dual, &sched.Sync{}, a, seed).CompletionTime)
-	})
-	for i, k := range ks {
-		m := kMeans[i]
-		f := float64(sim.Time(k-1) * o.Fack)
-		if m < f {
-			allOK = false
-		}
-		t.AddRow("star-choke (Lemma 3.18)", fmt.Sprintf("k=%d", k),
-			ticksStr(m), ticksStr(f), ratioStr(m, f))
-	}
-	if allOK {
-		t.AddNote("lower bound HOLDS: every adversarial execution takes at least its formula")
-	} else {
-		t.AddNote("lower bound VIOLATED: some execution beat the adversarial schedule")
-	}
-	return t
 }
 
 // Fig1EnhGreyZone reproduces the enhanced-model cell of Figure 1 (Theorem
@@ -279,12 +245,6 @@ func Fig2LowerBound(o Options) *Table {
 // grey-zone networks, with no Fack term at all.
 func Fig1EnhGreyZone(o Options) *Table {
 	o = o.withDefaults()
-	t := &Table{
-		ID:         "fig1-enh-greyzone",
-		Title:      "FMMB, enhanced model, grey zone G'",
-		PaperClaim: "O((D·log n + k·log n + log³n)·Fprog), w.h.p.  [Theorem 4.1]",
-		Columns:    []string{"sweep", "n", "D", "k", "rounds", "bound-rounds", "ratio"},
-	}
 	const c = 1.6
 	bound := func(d, k, n int) float64 {
 		ln := float64(core.Log2Ceil(n))
@@ -304,53 +264,54 @@ func Fig1EnhGreyZone(o Options) *Table {
 		npoints = npoints[:3]
 		kpoints = kpoints[:3]
 	}
-	type trial struct {
-		completion, diam float64
-	}
-	run := func(sweepName string, pts []point, sweepOf func(point, int) float64) {
-		res := collectTrials(o, len(pts), func(pi int, seed int64) trial {
-			p := pts[pi]
-			rng := rand.New(rand.NewSource(seed * 1237))
-			d := topology.ConnectedRandomGeometric(p.n, p.side, c, 0.5, rng, 200)
-			if d == nil {
-				panic("harness: no connected geometric instance")
-			}
-			diam := float64(d.G.Diameter())
-			a := core.Singleton(d.N(), sources(d.N(), p.k))
-			r, _ := fmmbRun(o, d, c, a, seed, true)
-			return trial{completion: float64(r.CompletionTime), diam: diam}
-		})
-		var sweep, meas, bnd []float64
-		for pi, p := range pts {
-			var sum float64
-			for _, tr := range res[pi] {
-				sum += tr.completion
-			}
-			m := sum / float64(o.Trials)
-			// The instance topology (and so the diameter) is seed-keyed;
-			// report the last trial's, matching the sequential harness.
-			diam := res[pi][o.Trials-1].diam
-			rounds := m / float64(o.Fprog)
-			b := bound(int(diam), p.k, p.n)
-			t.AddRow(sweepName, fmt.Sprint(p.n), fmt.Sprintf("%.0f", diam), fmt.Sprint(p.k),
-				ticksStr(rounds), ticksStr(b), ratioStr(rounds, b))
-			sweep = append(sweep, sweepOf(p, int(diam)))
-			meas = append(meas, rounds)
-			bnd = append(bnd, b)
+	segment := func(sweepName string, pts []point, sweepOf func(point) float64) SweepSegment {
+		var points []SweepPoint
+		for _, p := range pts {
+			p := p
+			points = append(points, SweepPoint{
+				Spec: scenario.Spec{
+					Topology: scenario.TopologySpec{Name: "rgg",
+						Params:     topology.Params{"n": float64(p.n), "side": p.side, "c": c, "p": 0.5},
+						SeedFactor: 1237},
+					Workload:  scenario.WorkloadSpec{Kind: scenario.WorkloadSingleton, K: p.k},
+					Algorithm: scenario.AlgorithmSpec{Name: "fmmb", Params: topology.Params{"c": c}},
+				},
+				X: sweepOf(p),
+				Cells: func(r *scenario.Report) []string {
+					// The instance topology (and so the diameter) is
+					// seed-keyed; report the last trial's, matching the
+					// sequential harness.
+					return []string{sweepName, fmt.Sprint(p.n),
+						fmt.Sprintf("%.0f", lastDiameter(r)), fmt.Sprint(p.k)}
+				},
+				Measure: meanRounds(o.Fprog),
+				Bound: func(r *scenario.Report) float64 {
+					return bound(int(lastDiameter(r)), p.k, p.n)
+				},
+			})
 		}
-		verdict(t, sweep, meas, bnd)
+		return SweepSegment{Points: points}
 	}
-	run("n", npoints, func(p point, _ int) float64 { return float64(p.n) })
-	run("k", kpoints, func(p point, _ int) float64 { return float64(p.k) })
-	t.AddNote("completion has no Fack term: see ablation-bmmb-vs-fmmb for the Fack sweep")
-	return t
+	return RunSweep(o, SweepDef{
+		ID:         "fig1-enh-greyzone",
+		Title:      "FMMB, enhanced model, grey zone G'",
+		PaperClaim: "O((D·log n + k·log n + log³n)·Fprog), w.h.p.  [Theorem 4.1]",
+		Columns:    []string{"sweep", "n", "D", "k", "rounds", "bound-rounds", "ratio"},
+		Segments: []SweepSegment{
+			segment("n", npoints, func(p point) float64 { return float64(p.n) }),
+			segment("k", kpoints, func(p point) float64 { return float64(p.k) }),
+		},
+		Verdict:    VerdictUpper,
+		FinalNotes: []string{"completion has no Fack term: see ablation-bmmb-vs-fmmb for the Fack sweep"},
+	})
 }
 
 // AblationFackRatio reproduces the headline comparison implied by Figure 1:
 // as Fack/Fprog grows (the realistic regime, Fprog ≪ Fack), BMMB's
 // completion time on the standard layer grows with Fack while FMMB on the
 // enhanced layer is Fack-independent — the paper's argument for the abort
-// interface.
+// interface. Both sides of each point are scenario specs sharing one pinned
+// grey-zone instance.
 func AblationFackRatio(o Options) *Table {
 	o = o.withDefaults()
 	t := &Table{
@@ -363,23 +324,41 @@ func AblationFackRatio(o Options) *Table {
 	if o.Quick {
 		ratios = []int{2, 8, 32}
 	}
-	rng := rand.New(rand.NewSource(424242))
 	const c = 1.6
-	d := topology.ConnectedRandomGeometric(30, 3.8, c, 0.5, rng, 200)
-	if d == nil {
-		panic("harness: no connected geometric instance")
-	}
-	k := 4
-	a := core.Singleton(d.N(), sources(d.N(), k))
+	const k = 4
+	topo := scenario.TopologySpec{Name: "rgg",
+		Params: topology.Params{"n": 30, "side": 3.8, "c": c, "p": 0.5},
+		Seed:   424242}
+	workload := scenario.WorkloadSpec{Kind: scenario.WorkloadSingleton, K: k}
 	type trial struct {
 		bmmb, fmmb float64
 	}
+	// The topology is pinned by its seed: one instance serves every trial.
+	built, err := scenario.BuildTopology(scenario.Spec{Topology: topo}, o.Seed)
+	if err != nil {
+		panic(fmt.Sprintf("harness: %v", err))
+	}
 	res := collectTrials(o, len(ratios), func(pi int, seed int64) trial {
-		oo := o
-		oo.Fack = oo.Fprog * sim.Time(ratios[pi])
-		bm := float64(bmmbRun(oo, d, &sched.Sync{Rel: sched.Bernoulli{P: 0.5}}, a, seed).CompletionTime)
-		fres, _ := fmmbRun(oo, d, c, a, seed, true)
-		return trial{bmmb: bm, fmmb: float64(fres.CompletionTime)}
+		model := scenario.ModelSpec{Fprog: int64(o.Fprog), Fack: int64(o.Fprog) * int64(ratios[pi])}
+		bm := mustTrialOn(scenario.Spec{
+			Topology:  topo,
+			Workload:  workload,
+			Algorithm: scenario.AlgorithmSpec{Name: "bmmb"},
+			Scheduler: scenario.SchedulerSpec{Name: "sync", Params: topology.Params{"rel": 0.5}},
+			Model:     model,
+			Run:       scenario.RunSpec{Check: o.Check},
+		}, seed, built)
+		fm := mustTrialOn(scenario.Spec{
+			Topology:  topo,
+			Workload:  workload,
+			Algorithm: scenario.AlgorithmSpec{Name: "fmmb", Params: topology.Params{"c": c}},
+			Model:     model,
+			Run:       scenario.RunSpec{Check: o.Check},
+		}, seed, built)
+		return trial{
+			bmmb: float64(bm.Result.CompletionTime),
+			fmmb: float64(fm.Result.CompletionTime),
+		}
 	})
 	var bs, fs []float64
 	for pi, r := range ratios {
@@ -409,6 +388,27 @@ func AblationFackRatio(o Options) *Table {
 	return t
 }
 
+// mustTrialOn executes one scenario trial on a pre-built network instance
+// with the harness's fail-fast contract: spec errors, unsolved runs and
+// model violations all panic.
+func mustTrialOn(s scenario.Spec, seed int64, built *topology.Built) *scenario.TrialResult {
+	tr, err := scenario.TrialOn(s, seed, built)
+	if err != nil {
+		panic(fmt.Sprintf("harness: %v", err))
+	}
+	countSimEvents(tr.Result.Steps)
+	if !tr.Result.Solved {
+		panic(fmt.Sprintf("harness: %s failed on %s seed %d (%d/%d delivered by %v)",
+			s.Algorithm.Name, tr.Built.Dual.Name, seed,
+			tr.Result.Delivered, tr.Result.Required, tr.Result.End))
+	}
+	if tr.Result.Report != nil && !tr.Result.Report.OK() {
+		panic(fmt.Sprintf("harness: model violation on %s: %v",
+			tr.Built.Dual.Name, tr.Result.Report.Violations[0]))
+	}
+	return tr
+}
+
 // MISExperiment measures the MIS subroutine (Section 4.2) standalone:
 // validity of the constructed set and rounds until the last node decides,
 // against the paper's O(c⁴·log³ n) schedule.
@@ -431,12 +431,13 @@ func MISExperiment(o Options) *Table {
 	}
 	res := collectTrials(o, len(sizes), func(pi int, seed int64) trial {
 		n := sizes[pi]
-		rng := rand.New(rand.NewSource(seed * 7717))
 		side := math.Sqrt(float64(n)) * 0.72
-		d := topology.ConnectedRandomGeometric(n, side, c, 0.5, rng, 200)
-		if d == nil {
-			panic("harness: no connected geometric instance")
+		built, err := topology.Build("rgg", topology.Params{
+			"n": float64(n), "side": side, "c": c, "p": 0.5, "seed": float64(seed * 7717)})
+		if err != nil {
+			panic(fmt.Sprintf("harness: %v", err))
 		}
+		d := built.Dual
 		set, decideAt, total := runMIS(o, d, c, seed)
 		return trial{
 			misSize:      float64(len(set)),
@@ -493,13 +494,13 @@ func SubroutineExperiment(o Options) *Table {
 	}
 	res := collectTrials(o, len(ks), func(pi int, seed int64) trial {
 		k := ks[pi]
-		rng := rand.New(rand.NewSource(seed * 31337))
-		d := topology.ConnectedRandomGeometric(36, 4.2, c, 0.5, rng, 200)
-		if d == nil {
-			panic("harness: no connected geometric instance")
+		built, err := topology.Build("rgg", topology.Params{
+			"n": 36, "side": 4.2, "c": c, "p": 0.5, "seed": float64(seed * 31337)})
+		if err != nil {
+			panic(fmt.Sprintf("harness: %v", err))
 		}
-		a := core.Singleton(d.N(), sources(d.N(), k))
-		gu, gb, su, sb := runStages(o, d, c, a, seed)
+		a := core.Singleton(built.Dual.N(), sources(built.Dual.N(), k))
+		gu, gb, su, sb := runStages(o, built.Dual, c, a, seed)
 		return trial{gUsed: gu, gBudget: gb, sUsed: su, sBudget: sb}
 	})
 	for pi, k := range ks {
@@ -516,4 +517,13 @@ func SubroutineExperiment(o Options) *Table {
 	}
 	t.AddNote("used ≤ budget in every row confirms the lemmas' schedules suffice")
 	return t
+}
+
+// sources spreads k message origins evenly over the n nodes.
+func sources(n, k int) []graph.NodeID {
+	out := make([]graph.NodeID, k)
+	for i := range out {
+		out[i] = graph.NodeID(i * n / k)
+	}
+	return out
 }

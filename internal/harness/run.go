@@ -3,11 +3,7 @@ package harness
 import (
 	"fmt"
 
-	"amac/internal/core"
-	"amac/internal/mac"
-	"amac/internal/sched"
 	"amac/internal/sim"
-	"amac/internal/topology"
 )
 
 // Options configures the experiment harness.
@@ -50,67 +46,6 @@ func (o Options) withDefaults() Options {
 		o.Parallelism = 1
 	}
 	return o
-}
-
-// bmmbRun executes BMMB once and returns the result, panicking on a failed
-// run: experiments are calibrated so every run must solve the instance.
-func bmmbRun(o Options, d *topology.Dual, s mac.Scheduler, a core.Assignment, seed int64) *core.Result {
-	res := core.Run(core.RunConfig{
-		Dual:             d,
-		Fack:             o.Fack,
-		Fprog:            o.Fprog,
-		Scheduler:        s,
-		Seed:             seed,
-		Assignment:       a,
-		Automata:         core.NewBMMBFleet(d.N()),
-		HaltOnCompletion: true,
-		Check:            o.Check,
-	})
-	countSimEvents(res.Steps)
-	if !res.Solved {
-		panic(fmt.Sprintf("harness: BMMB failed on %s (%d/%d delivered by %v)",
-			d.Name, res.Delivered, res.Required, res.End))
-	}
-	if res.Report != nil && !res.Report.OK() {
-		panic(fmt.Sprintf("harness: model violation on %s: %v", d.Name, res.Report.Violations[0]))
-	}
-	return res
-}
-
-// fmmbRun executes FMMB once in the enhanced model.
-func fmmbRun(o Options, d *topology.Dual, c float64, a core.Assignment, seed int64, halt bool) (*core.Result, core.FMMBConfig) {
-	cfg := core.FMMBConfig{N: d.N(), K: a.K(), D: d.G.Diameter(), C: c}
-	res := core.Run(core.RunConfig{
-		Dual:             d,
-		Fack:             o.Fack,
-		Fprog:            o.Fprog,
-		Scheduler:        &sched.Slot{},
-		Mode:             mac.Enhanced,
-		Seed:             seed,
-		Assignment:       a,
-		Automata:         core.NewFMMBFleet(d.N(), cfg),
-		Horizon:          sim.Time(cfg.Rounds()+2) * o.Fprog,
-		StepLimit:        1 << 62,
-		HaltOnCompletion: halt,
-		Check:            o.Check,
-	})
-	countSimEvents(res.Steps)
-	if !res.Solved {
-		panic(fmt.Sprintf("harness: FMMB failed on %s seed %d (%d/%d delivered by %v)",
-			d.Name, seed, res.Delivered, res.Required, res.End))
-	}
-	if res.Report != nil && !res.Report.OK() {
-		panic(fmt.Sprintf("harness: model violation on %s: %v", d.Name, res.Report.Violations[0]))
-	}
-	return res, cfg
-}
-
-// meanCompletion averages completion time over trials, varying the seed.
-// Trials run on the options' worker pool; the reduction is in trial order.
-func meanCompletion(o Options, run func(seed int64) sim.Time) float64 {
-	return pointMeans(o, 1, func(_ int, seed int64) float64 {
-		return float64(run(seed))
-	})[0]
 }
 
 // ticksStr formats a tick count.

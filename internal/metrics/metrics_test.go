@@ -15,7 +15,7 @@ import (
 func runSample(t *testing.T) (*core.Result, *topology.Dual) {
 	t.Helper()
 	d := topology.LineRRestricted(10, 2, 1.0, nil)
-	res := core.Run(core.RunConfig{
+	res := core.MustRun(core.RunConfig{
 		Dual:             d,
 		Fack:             200,
 		Fprog:            10,
@@ -101,7 +101,7 @@ func TestCollectAborts(t *testing.T) {
 	// FMMB aborts collided broadcasts; the report must count them.
 	d := topology.Grid(3, 3)
 	cfg := core.FMMBConfig{N: 9, K: 2, D: d.G.Diameter(), C: 1.0}
-	res := core.Run(core.RunConfig{
+	res := core.MustRun(core.RunConfig{
 		Dual:             d,
 		Fack:             200,
 		Fprog:            10,
@@ -148,7 +148,7 @@ func TestBusiestNode(t *testing.T) {
 		a[v] = []core.Msg{{ID: i - 1, Origin: v}}
 	}
 	a[s.Hub()] = []core.Msg{{ID: 5, Origin: s.Hub()}}
-	res := core.Run(core.RunConfig{
+	res := core.MustRun(core.RunConfig{
 		Dual: s.Dual, Fack: 200, Fprog: 10,
 		Scheduler: &sched.Sync{}, Seed: 2,
 		Assignment: a, Automata: core.NewBMMBFleet(s.N()),

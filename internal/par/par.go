@@ -1,0 +1,58 @@
+// Package par provides the bounded deterministic worker pool shared by the
+// experiment harness and the scenario runner. It lives below both so
+// neither has to import the other.
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// For runs fn(i) for every i in [0, n) using up to p concurrent workers and
+// returns when all have finished; p <= 1 (or n <= 1) runs inline. Work is
+// handed out through an atomic index, so the set of indices executed is
+// exactly [0, n) at any parallelism. A panic in any worker is re-raised in
+// the caller once the pool drains.
+func For(p, n int, fn func(i int)) {
+	if p > n {
+		p = n
+	}
+	if p <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicked any
+	)
+	wg.Add(p)
+	for w := 0; w < p; w++ {
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicked == nil {
+						panicked = r
+					}
+					panicMu.Unlock()
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}

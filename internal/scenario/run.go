@@ -1,0 +1,357 @@
+package scenario
+
+import (
+	"fmt"
+
+	"amac/internal/core"
+	"amac/internal/graph"
+	"amac/internal/par"
+	"amac/internal/sched"
+	"amac/internal/sim"
+	"amac/internal/topology"
+)
+
+// TrialResult is one executed seed of a scenario.
+type TrialResult struct {
+	// Seed is the run seed of this trial.
+	Seed int64
+	// Built is the topology the trial ran on (randomized families draw a
+	// fresh instance per trial unless the spec pins the topology seed).
+	Built *topology.Built
+	// Workload is the resolved arrival schedule.
+	Workload *core.Workload
+	// SchedulerName is the resolved scheduler's self-description.
+	SchedulerName string
+	// Result is the execution outcome.
+	Result *core.Result
+}
+
+// Report is the outcome of Run: the resolved spec plus one result per trial,
+// in seed order. All aggregate accessors reduce in that order, so reports
+// are byte-stable at any parallelism.
+type Report struct {
+	Spec   Spec
+	Trials []*TrialResult
+}
+
+// Solved counts solved trials.
+func (r *Report) Solved() int {
+	n := 0
+	for _, t := range r.Trials {
+		if t.Result.Solved {
+			n++
+		}
+	}
+	return n
+}
+
+// MeanCompletion averages completion time over the solved trials (0 when
+// none solved).
+func (r *Report) MeanCompletion() float64 {
+	sum, n := 0.0, 0
+	for _, t := range r.Trials {
+		if t.Result.Solved {
+			sum += float64(t.Result.CompletionTime)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// WorstCompletion returns the maximum completion time over solved trials.
+func (r *Report) WorstCompletion() float64 {
+	worst := 0.0
+	for _, t := range r.Trials {
+		if t.Result.Solved && float64(t.Result.CompletionTime) > worst {
+			worst = float64(t.Result.CompletionTime)
+		}
+	}
+	return worst
+}
+
+// Steps totals simulation events across all trials.
+func (r *Report) Steps() uint64 {
+	var s uint64
+	for _, t := range r.Trials {
+		s += t.Result.Steps
+	}
+	return s
+}
+
+// Run validates the spec and executes its trials on a worker pool of
+// Run.Parallelism, returning per-trial results in seed order. Every trial is
+// an independent deterministic simulation keyed by its seed, so the report
+// is a pure function of the spec at any parallelism.
+func Run(s Spec) (*Report, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	r := s.WithDefaults()
+	// A pinned topology is identical across trials: build the read-only
+	// instance once and share it with the pool.
+	var shared *topology.Built
+	if topologyPinned(r) {
+		var err error
+		if shared, err = buildTopology(r, r.Run.Seed); err != nil {
+			return nil, err
+		}
+	}
+	trials := make([]*TrialResult, r.Run.Trials)
+	errs := make([]error, r.Run.Trials)
+	par.For(r.Run.Parallelism, r.Run.Trials, func(i int) {
+		seed := r.Run.Seed + int64(i)
+		if shared != nil {
+			trials[i], errs[i] = trialOn(s, seed, shared)
+		} else {
+			trials[i], errs[i] = Trial(s, seed)
+		}
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("scenario: trial with seed %d: %w", r.Run.Seed+int64(i), err)
+		}
+	}
+	return &Report{Spec: r, Trials: trials}, nil
+}
+
+// Sweep executes a grid of specs, flattening every (spec, trial) pair onto
+// one worker pool of the given parallelism, and returns one report per spec
+// in input order. Each spec's own Run.Parallelism is ignored; everything
+// else (seeds, trials) applies per spec.
+func Sweep(specs []Spec, parallelism int) ([]*Report, error) {
+	resolved := make([]Spec, len(specs))
+	shared := make([]*topology.Built, len(specs))
+	offsets := make([]int, len(specs)+1)
+	for i, s := range specs {
+		if err := s.Validate(); err != nil {
+			return nil, fmt.Errorf("scenario: spec %d (%s): %w", i, s.Name, err)
+		}
+		resolved[i] = s.WithDefaults()
+		if topologyPinned(resolved[i]) {
+			var err error
+			if shared[i], err = buildTopology(resolved[i], resolved[i].Run.Seed); err != nil {
+				return nil, fmt.Errorf("scenario: spec %d (%s): %w", i, s.Name, err)
+			}
+		}
+		offsets[i+1] = offsets[i] + resolved[i].Run.Trials
+	}
+	total := offsets[len(specs)]
+	trials := make([]*TrialResult, total)
+	errs := make([]error, total)
+	par.For(parallelism, total, func(task int) {
+		// Binary search is overkill: sweeps are small, scan.
+		si := 0
+		for offsets[si+1] <= task {
+			si++
+		}
+		seed := resolved[si].Run.Seed + int64(task-offsets[si])
+		if shared[si] != nil {
+			trials[task], errs[task] = trialOn(specs[si], seed, shared[si])
+		} else {
+			trials[task], errs[task] = Trial(specs[si], seed)
+		}
+	})
+	for task, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("scenario: sweep task %d: %w", task, err)
+		}
+	}
+	out := make([]*Report, len(specs))
+	for i := range specs {
+		out[i] = &Report{Spec: resolved[i], Trials: trials[offsets[i]:offsets[i+1]]}
+	}
+	return out, nil
+}
+
+// Trial executes one seed of the scenario: build the topology (seeded per
+// trial unless pinned), resolve the workload, instantiate a fresh fleet and
+// scheduler, and run. It does not re-validate; Run and Sweep do, and direct
+// callers get build-time errors for anything malformed.
+func Trial(s Spec, seed int64) (*TrialResult, error) {
+	built, err := buildTopology(s.WithDefaults(), seed)
+	if err != nil {
+		return nil, err
+	}
+	return trialOn(s, seed, built)
+}
+
+// BuildTopology constructs the network instance that trial `seed` of the
+// spec would run on. Callers replaying one pinned instance across many
+// hand-rolled trials build it once here and pass it to TrialOn; Run and
+// Sweep already do this automatically for pinned topologies.
+func BuildTopology(s Spec, seed int64) (*topology.Built, error) {
+	return buildTopology(s.WithDefaults(), seed)
+}
+
+// TrialOn executes one seed of the scenario on an already-built network
+// instance (see BuildTopology). The instance is treated as read-only.
+func TrialOn(s Spec, seed int64, built *topology.Built) (*TrialResult, error) {
+	return trialOn(s, seed, built)
+}
+
+// buildTopology constructs the trial's network instance.
+func buildTopology(r Spec, seed int64) (*topology.Built, error) {
+	topoSeed := r.Topology.Seed
+	if topoSeed == 0 {
+		topoSeed = seed * r.Topology.SeedFactor
+	}
+	tp := r.Topology.Params.Clone()
+	if !tp.Has("seed") {
+		tp["seed"] = float64(topoSeed)
+	}
+	return topology.Build(r.Topology.Name, tp)
+}
+
+// topologyPinned reports whether every trial of the spec sees the same
+// network instance, letting Run and Sweep build it once.
+func topologyPinned(r Spec) bool {
+	return r.Topology.Seed != 0 || r.Topology.Params.Has("seed")
+}
+
+// trialOn executes one seed of the scenario on an already-built network.
+func trialOn(s Spec, seed int64, built *topology.Built) (*TrialResult, error) {
+	r := s.WithDefaults()
+
+	assignment, workload, err := buildWorkload(r, built)
+	if err != nil {
+		return nil, err
+	}
+	if workload == nil {
+		workload = core.FromAssignment(assignment)
+	}
+	k := workload.K()
+
+	alg, ok := core.LookupAlgorithm(r.Algorithm.Name)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown algorithm %q (registered: %v)",
+			r.Algorithm.Name, core.AlgorithmNames())
+	}
+	automata, err := alg.NewFleet(built.Dual, k, r.Algorithm.Params)
+	if err != nil {
+		return nil, err
+	}
+
+	schedName := r.Scheduler.Name
+	if schedName == "" {
+		schedName = alg.DefaultScheduler
+	}
+	payloads := make([]any, 0, k)
+	for _, ar := range workload.Arrivals() {
+		payloads = append(payloads, ar.Msg)
+	}
+	scheduler, err := sched.Build(schedName, sched.Env{
+		Dual:     built.Dual,
+		Artifact: built.Artifact,
+		Payloads: payloads,
+		Fprog:    sim.Time(r.Model.Fprog),
+		Fack:     sim.Time(r.Model.Fack),
+	}, r.Scheduler.Params)
+	if err != nil {
+		return nil, err
+	}
+
+	fprog := sim.Time(r.Model.Fprog)
+	horizon := sim.Time(r.Run.Horizon)
+	if horizon == 0 && alg.Horizon != nil {
+		horizon = alg.Horizon(built.Dual, k, fprog, r.Algorithm.Params)
+	}
+	stepLimit := r.Run.StepLimit
+	if stepLimit == 0 {
+		stepLimit = alg.StepLimit
+	}
+
+	res, err := core.Run(core.RunConfig{
+		Dual:             built.Dual,
+		Fack:             sim.Time(r.Model.Fack),
+		Fprog:            fprog,
+		Scheduler:        scheduler,
+		Mode:             alg.Mode,
+		Seed:             seed,
+		Workload:         workload,
+		Automata:         automata,
+		Horizon:          horizon,
+		StepLimit:        stepLimit,
+		HaltOnCompletion: !r.Run.ToQuiescence,
+		Check:            r.Run.Check,
+		NoTrace:          r.Run.NoTrace,
+		EpsAbort:         sim.Time(r.Model.EpsAbort),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &TrialResult{
+		Seed:          seed,
+		Built:         built,
+		Workload:      workload,
+		SchedulerName: scheduler.Name(),
+		Result:        res,
+	}, nil
+}
+
+// buildWorkload resolves the workload spec against the built topology. It
+// returns either an assignment (time-zero workloads) or a timed workload.
+func buildWorkload(r Spec, built *topology.Built) (core.Assignment, *core.Workload, error) {
+	n := built.Dual.N()
+	w := r.Workload
+	switch w.Kind {
+	case WorkloadSingleton:
+		origins := make([]graph.NodeID, 0, len(w.Origins))
+		if len(w.Origins) > 0 {
+			for i, o := range w.Origins {
+				if o < 0 || o >= n {
+					return nil, nil, fmt.Errorf("scenario: workload: origin %d (index %d) outside [0,%d)", o, i, n)
+				}
+				origins = append(origins, graph.NodeID(o))
+			}
+		} else {
+			for i := 0; i < w.K; i++ {
+				origins = append(origins, graph.NodeID(i*n/w.K))
+			}
+		}
+		return core.Singleton(n, origins), nil, nil
+	case WorkloadSingleSource:
+		if w.Origin >= n {
+			return nil, nil, fmt.Errorf("scenario: workload: origin %d outside [0,%d)", w.Origin, n)
+		}
+		return core.SingleSource(n, graph.NodeID(w.Origin), w.K), nil, nil
+	case WorkloadPoisson:
+		wseed := w.Seed
+		if wseed == 0 {
+			wseed = r.Run.Seed
+		}
+		return nil, core.PoissonWorkload(n, w.K, sim.Time(w.Span), wseed), nil
+	case WorkloadExplicit:
+		wl := &core.Workload{}
+		for i, ar := range w.Arrivals {
+			if ar.Node >= n {
+				return nil, nil, fmt.Errorf("scenario: workload: arrival %d at node %d outside [0,%d)", i, ar.Node, n)
+			}
+			wl.Add(sim.Time(ar.At), graph.NodeID(ar.Node), core.Msg{ID: i, Origin: graph.NodeID(ar.Node)})
+		}
+		return nil, wl, nil
+	case WorkloadConstruction:
+		switch art := built.Artifact.(type) {
+		case *topology.ParallelLinesC:
+			a := make(core.Assignment, n)
+			a[art.A(1)] = []core.Msg{{ID: 0, Origin: art.A(1)}}
+			a[art.B(1)] = []core.Msg{{ID: 1, Origin: art.B(1)}}
+			return a, nil, nil
+		case *topology.StarChoke:
+			a := make(core.Assignment, n)
+			for i := 1; i < art.K; i++ {
+				v := art.Source(i)
+				a[v] = []core.Msg{{ID: i - 1, Origin: v}}
+			}
+			a[art.Hub()] = []core.Msg{{ID: art.K - 1, Origin: art.Hub()}}
+			return a, nil, nil
+		default:
+			return nil, nil, fmt.Errorf("scenario: workload: topology %q has no canonical construction workload (artifact %T)",
+				r.Topology.Name, built.Artifact)
+		}
+	default:
+		return nil, nil, fmt.Errorf("scenario: workload: unknown kind %q", w.Kind)
+	}
+}

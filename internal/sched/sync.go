@@ -1,6 +1,8 @@
 package sched
 
 import (
+	"fmt"
+
 	"amac/internal/mac"
 	"amac/internal/sim"
 )
@@ -40,44 +42,71 @@ func (s *Sync) Name() string {
 	return "sync(rel=" + rel + ")"
 }
 
-// Attach implements mac.Scheduler, resolving defaulted delays.
-func (s *Sync) Attach(api mac.API) {
-	s.api = api
-	if s.RecvDelay == 0 {
-		s.RecvDelay = api.Fprog()
+// resolveDelays returns the delays with defaults filled from the model
+// constants, or an error when a configured delay is out of range. It is the
+// single source of truth for both Attach (panic on violation) and the
+// registry factory (error on violation).
+func (s *Sync) resolveDelays(fprog, fack sim.Time) (recv, grey, ack sim.Time, err error) {
+	recv, grey, ack = s.RecvDelay, s.GreyDelay, s.AckDelay
+	if recv == 0 {
+		recv = fprog
 	}
-	if s.AckDelay == 0 {
-		s.AckDelay = api.Fack()
+	if ack == 0 {
+		ack = fack
 	}
-	if s.GreyDelay == 0 {
-		s.GreyDelay = s.RecvDelay
+	if grey == 0 {
+		grey = recv
 	}
 	switch {
-	case s.RecvDelay < 1 || s.RecvDelay > api.Fprog():
-		panic("sched: Sync.RecvDelay outside [1, Fprog]")
-	case s.AckDelay < s.RecvDelay || s.AckDelay > api.Fack():
-		panic("sched: Sync.AckDelay outside [RecvDelay, Fack]")
-	case s.GreyDelay < 1 || s.GreyDelay > s.AckDelay:
-		panic("sched: Sync.GreyDelay outside [1, AckDelay]")
+	case recv < 1 || recv > fprog:
+		return 0, 0, 0, fmt.Errorf("sched: sync recv-delay %d outside [1, fprog=%d]", recv, fprog)
+	case ack < recv || ack > fack:
+		return 0, 0, 0, fmt.Errorf("sched: sync ack-delay %d outside [recv-delay=%d, fack=%d]", ack, recv, fack)
+	case grey < 1 || grey > ack:
+		return 0, 0, 0, fmt.Errorf("sched: sync grey-delay %d outside [1, ack-delay=%d]", grey, ack)
 	}
+	return recv, grey, ack, nil
 }
 
-// OnBcast implements mac.Scheduler.
+// Attach implements mac.Scheduler, resolving defaulted delays.
+func (s *Sync) Attach(api mac.API) {
+	recv, grey, ack, err := s.resolveDelays(api.Fprog(), api.Fack())
+	if err != nil {
+		panic(err)
+	}
+	s.api = api
+	s.RecvDelay, s.GreyDelay, s.AckDelay = recv, grey, ack
+}
+
+// OnBcast implements mac.Scheduler. Scheduling cost is O(1) events and
+// closures per broadcast, not per neighbor: one batched delivery event
+// covers the whole reliable neighborhood, one the selected grey targets,
+// and one the ack. Per-neighbor delivery order within a batch matches the
+// per-neighbor events the scheduler used to enqueue (neighbor order, then
+// grey-selection order), so executions are unchanged.
 func (s *Sync) OnBcast(b *mac.Instance) {
 	api := s.api
 	now := api.Now()
-	deliver := func(to mac.NodeID) func() {
-		return func() {
-			if b.Term == mac.Active {
-				api.Deliver(b, to)
+	api.At(now+s.RecvDelay, func() {
+		for _, j := range api.Dual().G.Neighbors(b.Sender) {
+			if b.Term != mac.Active {
+				return
 			}
+			api.Deliver(b, j)
 		}
-	}
-	for _, j := range api.Dual().G.Neighbors(b.Sender) {
-		api.At(now+s.RecvDelay, deliver(j))
-	}
-	for _, j := range greyTargets(api, b, s.Rel) {
-		api.At(now+s.GreyDelay, deliver(j))
+	})
+	// Grey targets are drawn now (one Rel consultation per candidate at
+	// broadcast time, preserving the random stream) but delivered at
+	// GreyDelay.
+	if grey := greyTargets(api, b, s.Rel); len(grey) > 0 {
+		api.At(now+s.GreyDelay, func() {
+			for _, j := range grey {
+				if b.Term != mac.Active {
+					return
+				}
+				api.Deliver(b, j)
+			}
+		})
 	}
 	api.At(now+s.AckDelay, func() {
 		if b.Term == mac.Active {

@@ -1,0 +1,294 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Params carries the named numeric parameters of a registry-built artifact.
+// All values are float64 so parameter sets round-trip through JSON without a
+// schema; integral parameters are truncated with Int. Missing keys select
+// the builder's documented default.
+type Params map[string]float64
+
+// Has reports whether the parameter is present.
+func (p Params) Has(name string) bool { _, ok := p[name]; return ok }
+
+// Float returns the parameter, or def when absent.
+func (p Params) Float(name string, def float64) float64 {
+	if v, ok := p[name]; ok {
+		return v
+	}
+	return def
+}
+
+// Int returns the parameter truncated to int, or def when absent.
+func (p Params) Int(name string, def int) int {
+	if v, ok := p[name]; ok {
+		return int(v)
+	}
+	return def
+}
+
+// Int64 returns the parameter truncated to int64, or def when absent.
+func (p Params) Int64(name string, def int64) int64 {
+	if v, ok := p[name]; ok {
+		return int64(v)
+	}
+	return def
+}
+
+// Clone returns a copy of the parameter set (nil-safe).
+func (p Params) Clone() Params {
+	out := make(Params, len(p)+1)
+	for k, v := range p {
+		out[k] = v
+	}
+	return out
+}
+
+// Built is the product of a registered topology builder: the dual network
+// plus, for the structured lower-bound constructions, the generator-specific
+// artifact (e.g. *ParallelLinesC or *StarChoke) that downstream consumers —
+// canonical workloads, the adversarial scheduler — key off.
+type Built struct {
+	Dual *Dual
+	// Artifact optionally exposes the construction behind the dual.
+	Artifact any
+}
+
+// Builder constructs a network family member from its parameters. Builders
+// must be deterministic: equal parameter sets (including "seed" for
+// randomized families) yield equal networks.
+type Builder func(p Params) (*Built, error)
+
+type registration struct {
+	params  map[string]bool
+	builder Builder
+}
+
+var registry = map[string]registration{}
+
+// Register adds a named topology family to the registry, declaring the
+// parameter names it accepts; Build rejects parameters outside that set.
+// Every family implicitly accepts "seed" (deterministic families ignore it),
+// so callers can thread per-trial seeds uniformly. Register panics on
+// duplicate names (a wiring bug, caught at init).
+func Register(name string, params []string, b Builder) {
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("topology: duplicate registration of %q", name))
+	}
+	ps := make(map[string]bool, len(params)+1)
+	for _, p := range params {
+		ps[p] = true
+	}
+	ps["seed"] = true
+	registry[name] = registration{params: ps, builder: b}
+}
+
+// Names returns the registered topology names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ValidateSpec checks that name is registered and every parameter is one the
+// family accepts, without building anything.
+func ValidateSpec(name string, p Params) error {
+	reg, ok := registry[name]
+	if !ok {
+		return fmt.Errorf("topology: unknown topology %q (registered: %v)", name, Names())
+	}
+	for k := range p {
+		if !reg.params[k] {
+			return fmt.Errorf("topology: %q does not accept parameter %q (accepted: %v)",
+				name, k, sortedKeys(reg.params))
+		}
+	}
+	return nil
+}
+
+// Build constructs the named topology from its parameters, validating the
+// parameter names first.
+func Build(name string, p Params) (*Built, error) {
+	if err := ValidateSpec(name, p); err != nil {
+		return nil, err
+	}
+	return registry[name].builder(p)
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// seededRand builds the deterministic random stream of a randomized family
+// from the "seed" parameter (default 1).
+func seededRand(p Params) *rand.Rand {
+	return rand.New(rand.NewSource(p.Int64("seed", 1)))
+}
+
+// gridDims resolves the shared grid sizing parameters: explicit rows/cols,
+// or the largest square that fits in "n" (amacsim's historical heuristic).
+func gridDims(p Params) (rows, cols int, err error) {
+	rows, cols = p.Int("rows", 0), p.Int("cols", 0)
+	if rows == 0 && cols == 0 {
+		n := p.Int("n", 32)
+		if n < 1 {
+			return 0, 0, fmt.Errorf("topology: grid needs n >= 1, got %d", n)
+		}
+		side := 1
+		for (side+1)*(side+1) <= n {
+			side++
+		}
+		rows, cols = side, side
+	}
+	if cols == 0 {
+		cols = rows
+	}
+	if rows < 1 || cols < 1 {
+		return 0, 0, fmt.Errorf("topology: grid needs rows, cols >= 1, got %dx%d", rows, cols)
+	}
+	return rows, cols, nil
+}
+
+func init() {
+	Register("line", []string{"n"}, func(p Params) (*Built, error) {
+		n := p.Int("n", 32)
+		if n < 1 {
+			return nil, fmt.Errorf("topology: line needs n >= 1, got %d", n)
+		}
+		return &Built{Dual: Line(n)}, nil
+	})
+	Register("ring", []string{"n"}, func(p Params) (*Built, error) {
+		n := p.Int("n", 32)
+		if n < 3 {
+			return nil, fmt.Errorf("topology: ring needs n >= 3, got %d", n)
+		}
+		return &Built{Dual: Ring(n)}, nil
+	})
+	Register("star", []string{"n"}, func(p Params) (*Built, error) {
+		n := p.Int("n", 32)
+		if n < 2 {
+			return nil, fmt.Errorf("topology: star needs n >= 2, got %d", n)
+		}
+		return &Built{Dual: Star(n)}, nil
+	})
+	Register("tree", []string{"n"}, func(p Params) (*Built, error) {
+		n := p.Int("n", 32)
+		if n < 1 {
+			return nil, fmt.Errorf("topology: tree needs n >= 1, got %d", n)
+		}
+		return &Built{Dual: CompleteBinaryTree(n)}, nil
+	})
+	Register("grid", []string{"rows", "cols", "n"}, func(p Params) (*Built, error) {
+		rows, cols, err := gridDims(p)
+		if err != nil {
+			return nil, err
+		}
+		return &Built{Dual: Grid(rows, cols)}, nil
+	})
+	Register("rgg", []string{"n", "side", "c", "p", "seed", "max-tries"}, func(p Params) (*Built, error) {
+		n := p.Int("n", 32)
+		if n < 1 {
+			return nil, fmt.Errorf("topology: rgg needs n >= 1, got %d", n)
+		}
+		side := p.Float("side", 0)
+		if side == 0 {
+			side = DefaultRGGSide(n)
+		}
+		c := p.Float("c", 1.6)
+		prob := p.Float("p", 0.5)
+		tries := p.Int("max-tries", 200)
+		d := ConnectedRandomGeometric(n, side, c, prob, seededRand(p), tries)
+		if d == nil {
+			return nil, fmt.Errorf("topology: no connected rgg instance for n=%d side=%.2f in %d tries (density too low)",
+				n, side, tries)
+		}
+		return &Built{Dual: d}, nil
+	})
+	Register("rline", []string{"n", "r", "p", "seed"}, func(p Params) (*Built, error) {
+		n, r := p.Int("n", 32), p.Int("r", 2)
+		if n < 1 || r < 1 {
+			return nil, fmt.Errorf("topology: rline needs n, r >= 1, got n=%d r=%d", n, r)
+		}
+		return &Built{Dual: LineRRestricted(n, r, p.Float("p", 0.6), seededRand(p))}, nil
+	})
+	Register("noisy-line", []string{"n", "extra", "seed"}, func(p Params) (*Built, error) {
+		n := p.Int("n", 32)
+		if n < 1 {
+			return nil, fmt.Errorf("topology: noisy-line needs n >= 1, got %d", n)
+		}
+		extra := p.Int("extra", n)
+		return &Built{Dual: ArbitraryNoise(Line(n).G, extra, seededRand(p),
+			fmt.Sprintf("line+%d-wild-edges", extra))}, nil
+	})
+	Register("grid-crosstalk", []string{"rows", "cols", "n", "r", "p", "seed"}, func(p Params) (*Built, error) {
+		rows, cols, err := gridDims(p)
+		if err != nil {
+			return nil, err
+		}
+		r := p.Int("r", 2)
+		if r < 1 {
+			return nil, fmt.Errorf("topology: grid-crosstalk needs r >= 1, got %d", r)
+		}
+		base := Grid(rows, cols)
+		d := RRestricted(base.G, r, p.Float("p", 0.5), seededRand(p),
+			fmt.Sprintf("grid-crosstalk(%dx%d,r=%d)", rows, cols, r))
+		d.Embed = base.Embed
+		return &Built{Dual: d}, nil
+	})
+	Register("parallel-lines", []string{"d", "n"}, func(p Params) (*Built, error) {
+		d := p.Int("d", 0)
+		if d == 0 {
+			d = p.Int("n", 16) / 2
+		}
+		if d < 2 {
+			return nil, fmt.Errorf("topology: parallel-lines needs line length d >= 2, got %d", d)
+		}
+		c := NewParallelLinesC(d)
+		return &Built{Dual: c.Dual, Artifact: c}, nil
+	})
+	Register("star-choke", []string{"k"}, func(p Params) (*Built, error) {
+		k := p.Int("k", 2)
+		if k < 2 {
+			return nil, fmt.Errorf("topology: star-choke needs k >= 2, got %d", k)
+		}
+		s := NewStarChoke(k)
+		return &Built{Dual: s.Dual, Artifact: s}, nil
+	})
+}
+
+// DefaultRGGSide is the square-side heuristic amacsim has always used for
+// connected random geometric networks: roomy enough to be interesting,
+// dense enough that connected instances exist.
+func DefaultRGGSide(n int) float64 {
+	l := log2i(n)
+	side := 0.72 * float64(n) / float64(l*l+1)
+	if side < 2 {
+		side = 2
+	}
+	return side
+}
+
+// log2i returns ⌈log₂ n⌉ with a floor of 1.
+func log2i(n int) int {
+	l, v := 0, 1
+	for v < n {
+		v <<= 1
+		l++
+	}
+	if l < 1 {
+		l = 1
+	}
+	return l
+}
