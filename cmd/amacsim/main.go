@@ -24,8 +24,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 
@@ -36,36 +38,55 @@ import (
 	"amac/internal/topology"
 )
 
+// errUsage signals a flag-parse failure whose message the FlagSet already
+// printed; main must not print it again.
+var errUsage = errors.New("usage")
+
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, errUsage) {
+			os.Exit(2)
+		}
 		fmt.Fprintf(os.Stderr, "amacsim: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+// run parses args, resolves the scenario and executes it, writing the report
+// to out. It is main minus the process boundary, so tests drive it directly
+// with a fresh flag set per call.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("amacsim", flag.ContinueOnError)
 	var (
-		scenarioPath = flag.String("scenario", "", "run a saved scenario spec (JSON file) instead of assembling one from flags")
-		dump         = flag.Bool("dump", false, "print the assembled scenario spec as JSON and exit")
-		topo         = flag.String("topology", "line", "registered topology: line | ring | star | grid | tree | rgg | rline | noisy-line | grid-crosstalk | parallel-lines | star-choke")
-		n            = flag.Int("n", 32, "number of nodes (grid uses the nearest square)")
-		k            = flag.Int("k", 2, "number of MMB messages")
-		r            = flag.Int("r", 2, "restriction radius for -topology rline")
-		algName      = flag.String("alg", "bmmb", "registered algorithm: bmmb | fmmb")
-		sname        = flag.String("sched", "", "registered scheduler: sync | random | contention | slot | adversary (default: the algorithm's)")
-		rel          = flag.Float64("rel", 0.5, "unreliable-link delivery probability for sync/random/contention")
-		span         = flag.Int64("span", 0, "online mode: spread arrivals over the first span ticks (bmmb only)")
-		fprog        = flag.Int64("fprog", 10, "progress bound in ticks")
-		fack         = flag.Int64("fack", 200, "acknowledgment bound in ticks")
-		seed         = flag.Int64("seed", 1, "random seed")
-		trials       = flag.Int("trials", 1, "replay the run across this many consecutive seeds")
-		par          = flag.Int("parallel", runtime.NumCPU(), "worker pool size for -trials > 1")
-		doCheck      = flag.Bool("check", true, "verify the abstract MAC layer guarantees")
-		stats        = flag.Bool("stats", false, "print per-node and per-message metrics")
-		trace        = flag.Bool("trace", false, "dump the event trace")
-		cGrey        = flag.Float64("c", 1.6, "grey zone constant for -topology rgg")
+		scenarioPath = fs.String("scenario", "", "run a saved scenario spec (JSON file) instead of assembling one from flags")
+		dump         = fs.Bool("dump", false, "print the assembled scenario spec as JSON and exit")
+		topo         = fs.String("topology", "line", "registered topology: line | ring | star | grid | tree | rgg | rline | noisy-line | grid-crosstalk | parallel-lines | star-choke")
+		n            = fs.Int("n", 32, "number of nodes (grid uses the nearest square)")
+		k            = fs.Int("k", 2, "number of MMB messages")
+		r            = fs.Int("r", 2, "restriction radius for -topology rline")
+		algName      = fs.String("alg", "bmmb", "registered algorithm: bmmb | fmmb")
+		sname        = fs.String("sched", "", "registered scheduler: sync | random | contention | slot | adversary (default: the algorithm's)")
+		rel          = fs.Float64("rel", 0.5, "unreliable-link delivery probability for sync/random/contention")
+		span         = fs.Int64("span", 0, "online mode: spread arrivals over the first span ticks (bmmb only)")
+		fprog        = fs.Int64("fprog", 10, "progress bound in ticks")
+		fack         = fs.Int64("fack", 200, "acknowledgment bound in ticks")
+		seed         = fs.Int64("seed", 1, "random seed")
+		trials       = fs.Int("trials", 1, "replay the run across this many consecutive seeds")
+		par          = fs.Int("parallel", runtime.NumCPU(), "worker pool size for -trials > 1")
+		doCheck      = fs.Bool("check", true, "verify the abstract MAC layer guarantees")
+		stats        = fs.Bool("stats", false, "print per-node and per-message metrics")
+		trace        = fs.Bool("trace", false, "dump the event trace")
+		cGrey        = fs.Float64("c", 1.6, "grey zone constant for -topology rgg")
 	)
-	flag.Parse()
+	switch err := fs.Parse(args); {
+	case err == nil:
+	case errors.Is(err, flag.ErrHelp):
+		// Usage was already printed; -h is a successful invocation.
+		return nil
+	default:
+		// The FlagSet printed the error and usage; just set the exit code.
+		return errUsage
+	}
 
 	var spec scenario.Spec
 	if *scenarioPath != "" {
@@ -79,7 +100,7 @@ func run() error {
 		// *content* flags conflict with the file and error rather than
 		// being silently ignored.
 		var conflict error
-		flag.Visit(func(f *flag.Flag) {
+		fs.Visit(func(f *flag.Flag) {
 			switch f.Name {
 			case "seed":
 				if *seed == 0 && conflict == nil {
@@ -117,7 +138,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		os.Stdout.Write(buf)
+		out.Write(buf)
 		return nil
 	}
 	if spec.Run.Parallelism == 0 {
@@ -128,7 +149,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	return printReport(report, *stats, *trace)
+	return printReport(out, report, *stats, *trace)
 }
 
 // specFromFlags assembles the declarative scenario the legacy flag set
@@ -206,50 +227,50 @@ func specFromFlags(topo string, n, k, r int, algName, sname string, rel float64,
 }
 
 // printReport renders the scenario outcome in amacsim's report format.
-func printReport(rep *scenario.Report, stats, trace bool) error {
+func printReport(out io.Writer, rep *scenario.Report, stats, trace bool) error {
 	spec := rep.Spec
 	first := rep.Trials[0]
 	d := first.Built.Dual
 	alg, _ := core.LookupAlgorithm(spec.Algorithm.Name)
 
-	fmt.Printf("network    : %s (n=%d, D=%d, |E|=%d, |E'\\E|=%d)\n",
+	fmt.Fprintf(out, "network    : %s (n=%d, D=%d, |E|=%d, |E'\\E|=%d)\n",
 		d.Name, d.N(), d.G.Diameter(), d.G.M(), len(d.UnreliableEdges()))
 	if spec.Workload.Kind == scenario.WorkloadPoisson {
-		fmt.Printf("workload   : k=%d messages arriving online over the first %d ticks\n",
+		fmt.Fprintf(out, "workload   : k=%d messages arriving online over the first %d ticks\n",
 			first.Workload.K(), spec.Workload.Span)
 	} else {
-		fmt.Printf("workload   : k=%d messages at time zero\n", first.Workload.K())
+		fmt.Fprintf(out, "workload   : k=%d messages at time zero\n", first.Workload.K())
 	}
-	fmt.Printf("algorithm  : %s (%s model)\n", spec.Algorithm.Name, alg.Mode)
-	fmt.Printf("scheduler  : %s\n", first.SchedulerName)
-	fmt.Printf("bounds     : Fprog=%d Fack=%d ticks\n", spec.Model.Fprog, spec.Model.Fack)
+	fmt.Fprintf(out, "algorithm  : %s (%s model)\n", spec.Algorithm.Name, alg.Mode)
+	fmt.Fprintf(out, "scheduler  : %s\n", first.SchedulerName)
+	fmt.Fprintf(out, "bounds     : Fprog=%d Fack=%d ticks\n", spec.Model.Fprog, spec.Model.Fack)
 
 	if len(rep.Trials) > 1 {
-		return printTrials(rep)
+		return printTrials(out, rep)
 	}
 
 	res := first.Result
 	fprog, fack := float64(spec.Model.Fprog), float64(spec.Model.Fack)
-	fmt.Printf("solved     : %v (%d/%d deliveries)\n", res.Solved, res.Delivered, res.Required)
+	fmt.Fprintf(out, "solved     : %v (%d/%d deliveries)\n", res.Solved, res.Delivered, res.Required)
 	if res.Solved {
-		fmt.Printf("completion : %d ticks (= %.1f Fprog, %.2f Fack)\n",
+		fmt.Fprintf(out, "completion : %d ticks (= %.1f Fprog, %.2f Fack)\n",
 			int64(res.CompletionTime),
 			float64(res.CompletionTime)/fprog,
 			float64(res.CompletionTime)/fack)
 	}
-	fmt.Printf("broadcasts : %d instances over %d simulation events\n", res.Broadcasts, res.Steps)
+	fmt.Fprintf(out, "broadcasts : %d instances over %d simulation events\n", res.Broadcasts, res.Steps)
 	if res.Report != nil {
-		printCheckReport(res.Report)
+		printCheckReport(out, res.Report)
 	}
 	if len(res.MMBViolations) > 0 {
-		fmt.Printf("MMB violations: %v\n", res.MMBViolations)
+		fmt.Fprintf(out, "MMB violations: %v\n", res.MMBViolations)
 	}
 	if stats {
 		m := metrics.Collect(d, res.Engine.Instances(), res.Engine.Trace())
-		fmt.Print(m.String())
+		fmt.Fprint(out, m.String())
 	}
 	if trace {
-		fmt.Print(res.Engine.Trace().String())
+		fmt.Fprint(out, res.Engine.Trace().String())
 	}
 	if !res.Solved {
 		return fmt.Errorf("MMB not solved within the horizon")
@@ -260,9 +281,9 @@ func printReport(rep *scenario.Report, stats, trace bool) error {
 // printTrials renders the Monte-Carlo report: per-seed summaries in seed
 // order plus the aggregate. Each run is an independent deterministic
 // simulation, so the report is identical at any parallelism.
-func printTrials(rep *scenario.Report) error {
+func printTrials(out io.Writer, rep *scenario.Report) error {
 	spec := rep.Spec
-	fmt.Printf("trials     : %d seeds starting at %d, %d workers\n",
+	fmt.Fprintf(out, "trials     : %d seeds starting at %d, %d workers\n",
 		spec.Run.Trials, spec.Run.Seed, spec.Run.Parallelism)
 	solved := 0
 	var sum, worst float64
@@ -273,7 +294,7 @@ func printTrials(rep *scenario.Report) error {
 		if !res.Solved {
 			status = "UNSOLVED"
 		}
-		fmt.Printf("  seed %-5d: %s in %d ticks (%d/%d deliveries, %d events)\n",
+		fmt.Fprintf(out, "  seed %-5d: %s in %d ticks (%d/%d deliveries, %d events)\n",
 			tr.Seed, status, int64(res.CompletionTime), res.Delivered, res.Required, res.Steps)
 		if res.Solved {
 			solved++
@@ -288,11 +309,11 @@ func printTrials(rep *scenario.Report) error {
 		}
 	}
 	if solved == 0 {
-		fmt.Printf("aggregate  : 0/%d solved, %d events total\n", spec.Run.Trials, steps)
+		fmt.Fprintf(out, "aggregate  : 0/%d solved, %d events total\n", spec.Run.Trials, steps)
 		return fmt.Errorf("all %d trials unsolved", spec.Run.Trials)
 	}
 	fack := float64(spec.Model.Fack)
-	fmt.Printf("aggregate  : %d/%d solved, mean completion %.1f ticks (%.2f Fack), worst %.0f, %d events total\n",
+	fmt.Fprintf(out, "aggregate  : %d/%d solved, mean completion %.1f ticks (%.2f Fack), worst %.0f, %d events total\n",
 		solved, spec.Run.Trials, sum/float64(solved), sum/float64(solved)/fack, worst, steps)
 	if solved != spec.Run.Trials {
 		return fmt.Errorf("%d of %d trials unsolved", spec.Run.Trials-solved, spec.Run.Trials)
@@ -300,17 +321,17 @@ func printTrials(rep *scenario.Report) error {
 	return nil
 }
 
-func printCheckReport(rep *check.Report) {
+func printCheckReport(out io.Writer, rep *check.Report) {
 	if rep.OK() {
-		fmt.Println("model check: all guarantees hold (receive/ack correctness, termination, Fack bound, Fprog bound)")
+		fmt.Fprintln(out, "model check: all guarantees hold (receive/ack correctness, termination, Fack bound, Fprog bound)")
 		return
 	}
-	fmt.Printf("model check: %d violations\n", len(rep.Violations))
+	fmt.Fprintf(out, "model check: %d violations\n", len(rep.Violations))
 	for i, v := range rep.Violations {
 		if i == 5 {
-			fmt.Printf("  ... and %d more\n", len(rep.Violations)-5)
+			fmt.Fprintf(out, "  ... and %d more\n", len(rep.Violations)-5)
 			break
 		}
-		fmt.Printf("  %s\n", v.Error())
+		fmt.Fprintf(out, "  %s\n", v.Error())
 	}
 }

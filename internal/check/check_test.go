@@ -10,9 +10,13 @@ import (
 
 // inst builds a bare instance record over n nodes. The reliable-degree
 // counter is irrelevant here: the checkers re-derive every property from
-// the dual graph, never from the instance's own ack-readiness counter.
+// the dual graph, never from the instance's own ack-readiness counter. No
+// neighbor row is attached, so every mark goes through the instance's
+// overflow path — these tests deliberately build histories the engine
+// would reject.
 func inst(id int, sender mac.NodeID, start sim.Time, n int) *mac.Instance {
-	return mac.NewInstance(mac.InstanceID(id), sender, nil, start, n, 0)
+	_ = n
+	return mac.NewInstance(mac.InstanceID(id), sender, nil, start, nil, 0)
 }
 
 func params() Params {

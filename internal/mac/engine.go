@@ -51,6 +51,10 @@ type Scheduler interface {
 }
 
 // API is the engine surface exposed to schedulers.
+//
+// The Schedule* family posts typed, pooled events on the simulation queue —
+// the closure-free steady-state path every shipped scheduler runs on. At
+// remains as the closure escape hatch for tests and bespoke schedulers.
 type API interface {
 	// Now returns current virtual time.
 	Now() sim.Time
@@ -62,8 +66,29 @@ type API interface {
 	Dual() *topology.Dual
 	// Rand returns the scheduler's deterministic random stream.
 	Rand() *rand.Rand
-	// At schedules fn at absolute virtual time t.
+	// At schedules fn at absolute virtual time t. It allocates one closure
+	// per call; hot paths use the typed Schedule* methods instead.
 	At(t sim.Time, fn func()) sim.Handle
+	// ScheduleDeliver posts a guarded delivery of b to a single receiver at
+	// time t: it fires only if b is still active and to has not received.
+	ScheduleDeliver(t sim.Time, b *Instance, to NodeID)
+	// ScheduleReliableDeliveries posts one batched event at time t that
+	// delivers b to every G-neighbor of its sender in neighbor order,
+	// stopping if the instance terminates mid-batch.
+	ScheduleReliableDeliveries(t sim.Time, b *Instance)
+	// ScheduleGreyDeliveries posts one batched event at time t delivering b
+	// to targets in order (same mid-batch termination guard). The slice is
+	// retained by the instance until the batch fires; at most one grey
+	// batch may be pending per instance.
+	ScheduleGreyDeliveries(t sim.Time, b *Instance, targets []NodeID)
+	// ScheduleAck posts the acknowledgment of b at time t, skipped if the
+	// instance has terminated by then.
+	ScheduleAck(t sim.Time, b *Instance)
+	// ScheduleTimer posts a typed callback at time t that is routed to the
+	// scheduler's OnTimer method with the given operands. The scheduler
+	// must implement TimerScheduler; the first ScheduleTimer call panics
+	// otherwise.
+	ScheduleTimer(t sim.Time, obj any, a, b int64) sim.Handle
 	// Deliver performs a rcv event for instance b at node to, now.
 	// It enforces receive correctness and panics on violations (a
 	// scheduler bug, not a model behavior).
@@ -74,18 +99,50 @@ type API interface {
 	Ack(b *Instance)
 }
 
+// TimerScheduler is implemented by schedulers that use API.ScheduleTimer:
+// OnTimer receives the posted operands when the timer fires.
+type TimerScheduler interface {
+	OnTimer(obj any, a, b int64)
+}
+
 // Engine composes a dual network, one automaton per node, and a scheduler
 // into an executable abstract MAC layer system.
 type Engine struct {
-	cfg       Config
-	sim       *sim.Engine
-	nodes     []*nodeState
-	trace     sim.Trace
-	insts     []*Instance
-	nextID    InstanceID
-	schedRand *rand.Rand
-	watchers  []func(sim.TraceEvent)
+	cfg        Config
+	sim        *sim.Engine
+	nodes      []*nodeState
+	trace      sim.Trace
+	insts      []*Instance
+	nextID     InstanceID
+	schedRand  *rand.Rand
+	watchers   []func(sim.TraceEvent)
+	timerSched TimerScheduler // cfg.Scheduler, when it implements OnTimer
 }
+
+// Typed event kinds the MAC engine registers on the simulation queue.
+// Everything the shipped schedulers and the engine itself schedule in steady
+// state is one of these — plain pooled structs, no closures.
+const (
+	// evWakeup fires Automaton.Wakeup at node A.
+	evWakeup sim.EventKind = iota + 1
+	// evArrive delivers the environment input Obj to node A.
+	evArrive
+	// evDeliverOne delivers instance Obj to node A if still active and
+	// undelivered there.
+	evDeliverOne
+	// evDeliverReliable delivers instance Obj to every G-neighbor of its
+	// sender, in neighbor order, stopping on termination.
+	evDeliverReliable
+	// evDeliverGrey delivers instance Obj to its drawn grey targets, in
+	// draw order, stopping on termination.
+	evDeliverGrey
+	// evAck acknowledges instance Obj if still active.
+	evAck
+	// evTimer fires TimerHandler.Timer at node A with tag Obj.
+	evTimer
+	// evSchedTimer routes (Obj, A, B) to the scheduler's OnTimer.
+	evSchedTimer
+)
 
 type nodeState struct {
 	eng       *Engine
@@ -127,6 +184,8 @@ func NewEngine(cfg Config, automata []Automaton) *Engine {
 		cfg: cfg,
 		sim: sim.NewEngine(cfg.Seed),
 	}
+	e.sim.SetDispatcher(e)
+	e.timerSched, _ = cfg.Scheduler.(TimerScheduler)
 	if cfg.TraceCap > 0 {
 		e.trace.SetCap(cfg.TraceCap)
 	}
@@ -189,9 +248,8 @@ func (e *Engine) emit(kind string, node NodeID, arg any) {
 // Start schedules the wake-up event for every node at time zero. It must be
 // called exactly once, before Run.
 func (e *Engine) Start() {
-	for _, ns := range e.nodes {
-		ns := ns
-		e.sim.At(0, func() { ns.automaton.Wakeup(ns) })
+	for i := range e.nodes {
+		e.sim.Post(0, evWakeup, nil, int64(i), 0)
 	}
 }
 
@@ -199,14 +257,60 @@ func (e *Engine) Start() {
 // at time t. The automaton must implement Arriver.
 func (e *Engine) Arrive(v NodeID, payload any, t sim.Time) {
 	ns := e.node(v)
-	ar, ok := ns.automaton.(Arriver)
-	if !ok {
+	if _, ok := ns.automaton.(Arriver); !ok {
 		panic(fmt.Sprintf("mac: node %d automaton does not accept arrive events", v))
 	}
-	e.sim.At(t, func() {
-		e.emit("arrive", v, payload)
-		ar.Arrive(ns, payload)
-	})
+	e.sim.Post(t, evArrive, payload, int64(v), 0)
+}
+
+// Dispatch implements sim.Dispatcher: the typed-event switch at the bottom
+// of the run loop. Each case mirrors exactly the closure the corresponding
+// call site used to schedule, so executions are unchanged event for event.
+func (e *Engine) Dispatch(kind sim.EventKind, op sim.Op) {
+	switch kind {
+	case evWakeup:
+		ns := e.nodes[op.A]
+		ns.automaton.Wakeup(ns)
+	case evArrive:
+		ns := e.nodes[op.A]
+		e.emit("arrive", ns.id, op.Obj)
+		ns.automaton.(Arriver).Arrive(ns, op.Obj)
+	case evDeliverOne:
+		b := op.Obj.(*Instance)
+		if to := NodeID(op.A); b.Term == Active && !b.WasDelivered(to) {
+			e.Deliver(b, to)
+		}
+	case evDeliverReliable:
+		b := op.Obj.(*Instance)
+		for _, j := range e.cfg.Dual.G.Neighbors(b.Sender) {
+			if b.Term != Active {
+				return
+			}
+			e.Deliver(b, j)
+		}
+	case evDeliverGrey:
+		b := op.Obj.(*Instance)
+		grey := b.grey
+		b.grey = nil
+		for _, j := range grey {
+			if b.Term != Active {
+				return
+			}
+			e.Deliver(b, j)
+		}
+	case evAck:
+		b := op.Obj.(*Instance)
+		if b.Term == Active {
+			e.Ack(b)
+		}
+	case evTimer:
+		ns := e.nodes[op.A]
+		ns.automaton.(TimerHandler).Timer(ns, op.Obj)
+	case evSchedTimer:
+		e.timerSched.OnTimer(op.Obj, op.A, op.B)
+	default:
+		panic(fmt.Sprintf("mac: dispatch of unknown event kind %d", kind))
+	}
 }
 
 // Run executes the system until the event queue drains, the horizon is
@@ -247,6 +351,41 @@ func (e *Engine) Rand() *rand.Rand {
 
 // At schedules fn at absolute time t on the simulation clock.
 func (e *Engine) At(t sim.Time, fn func()) sim.Handle { return e.sim.At(t, fn) }
+
+// ScheduleDeliver posts a guarded single delivery (see API).
+func (e *Engine) ScheduleDeliver(t sim.Time, b *Instance, to NodeID) {
+	e.sim.Post(t, evDeliverOne, b, int64(to), 0)
+}
+
+// ScheduleReliableDeliveries posts the batched reliable delivery (see API).
+func (e *Engine) ScheduleReliableDeliveries(t sim.Time, b *Instance) {
+	e.sim.Post(t, evDeliverReliable, b, 0, 0)
+}
+
+// ScheduleGreyDeliveries posts the batched grey delivery (see API). The
+// targets slice is parked on the instance until the batch fires.
+func (e *Engine) ScheduleGreyDeliveries(t sim.Time, b *Instance, targets []NodeID) {
+	if b.grey != nil {
+		panic(fmt.Sprintf("mac: instance %d already has a grey batch pending", b.ID))
+	}
+	b.grey = targets
+	e.sim.Post(t, evDeliverGrey, b, 0, 0)
+}
+
+// ScheduleAck posts the guarded acknowledgment (see API).
+func (e *Engine) ScheduleAck(t sim.Time, b *Instance) {
+	e.sim.Post(t, evAck, b, 0, 0)
+}
+
+// ScheduleTimer posts a typed scheduler timer (see API). The configured
+// scheduler must implement TimerScheduler.
+func (e *Engine) ScheduleTimer(t sim.Time, obj any, a, b int64) sim.Handle {
+	if e.timerSched == nil {
+		panic(fmt.Sprintf("mac: scheduler %s uses ScheduleTimer but does not implement TimerScheduler",
+			e.cfg.Scheduler.Name()))
+	}
+	return e.sim.Post(t, evSchedTimer, obj, a, b)
+}
 
 // Deliver performs the rcv event for b at node to. The engine enforces
 // receive correctness (Section 3.2.1): the receiver must be a G′ neighbor
@@ -329,7 +468,7 @@ func (ns *nodeState) Bcast(payload any) {
 	}
 	e := ns.eng
 	b := NewInstance(e.nextID, ns.id, payload, e.sim.Now(),
-		e.cfg.Dual.N(), e.cfg.Dual.G.Degree(ns.id))
+		e.cfg.Dual.GPrime.Neighbors(ns.id), e.cfg.Dual.G.Degree(ns.id))
 	e.nextID++
 	e.insts = append(e.insts, b)
 	ns.pending = b
@@ -390,11 +529,11 @@ func (ns *nodeState) Fprog() sim.Time {
 // SetTimer schedules a Timer callback (enhanced mode only).
 func (ns *nodeState) SetTimer(d sim.Duration, tag any) sim.Handle {
 	ns.requireEnhanced("SetTimer")
-	th, ok := ns.automaton.(TimerHandler)
-	if !ok {
+	if _, ok := ns.automaton.(TimerHandler); !ok {
 		panic(fmt.Sprintf("mac: node %d sets a timer but does not implement TimerHandler", ns.id))
 	}
-	return ns.eng.sim.After(d, func() { th.Timer(ns, tag) })
+	e := ns.eng
+	return e.sim.Post(e.sim.Now()+d, evTimer, tag, int64(ns.id), 0)
 }
 
 // Abort aborts the pending broadcast (enhanced mode only); no-op if none.

@@ -141,12 +141,16 @@ const (
 // Instance records one broadcast instance: the bcast event and everything
 // the cause function maps to it. Checkers consume these records.
 //
-// Delivery state is a dense per-node time slice plus a remaining-reliable
-// counter, so the hot path's delivery lookups and the ack-readiness check
-// are O(1) with no map traffic (the previous map representation made every
-// delivery rescan the sender's G-neighborhood against map probes, O(d²) per
-// degree-d instance). Construct instances with NewInstance and record
-// deliveries with MarkDelivered.
+// Delivery state is degree-indexed, CSR style: the instance shares the
+// sender's sorted G′ adjacency row with the topology and keeps one rcv time
+// per neighbor slot, so per-instance memory is O(deg′(sender)) — O(m) over
+// any workload — instead of the dense O(n) slice that dominated memory on
+// large sparse networks. Lookups binary-search the row (O(log d)); the
+// remaining-reliable counter keeps the ack-readiness check O(1). Marks
+// addressed outside the row (checkers deliberately build invalid histories)
+// spill into a lazily allocated overflow map that real executions never
+// touch. Construct instances with NewInstance and record deliveries with
+// MarkDelivered.
 type Instance struct {
 	ID      InstanceID
 	Sender  NodeID
@@ -157,27 +161,56 @@ type Instance struct {
 	TermAt sim.Time
 	Term   Status
 
-	// deliveredAt[v] is the rcv time at node v plus one; zero means not
+	// nbrs is the sender's sorted G′ neighbor row, owned by the topology.
+	nbrs []NodeID
+	// deliveredAt[i] is the rcv time at nbrs[i] plus one; zero means not
 	// delivered. The +1 bias lets the slice start as plain zeroed memory
 	// (rcv times are ≥ 0), so NewInstance is a single make with no fill.
 	deliveredAt []sim.Time
+	// overflow records marks at nodes outside nbrs (invalid-history
+	// construction by checker tests); nil in every real execution.
+	overflow map[NodeID]sim.Time
+	// grey holds the drawn unreliable targets of a pending batch delivery
+	// (see API.ScheduleGreyDeliveries).
+	grey []NodeID
 	// receivers lists delivered nodes in delivery order.
 	receivers []NodeID
 	// remainingReliable counts the sender's G-neighbors yet to receive.
 	remainingReliable int
 }
 
-// NewInstance returns an instance record for a network of n nodes whose
-// sender has reliableDeg G-neighbors.
-func NewInstance(id InstanceID, sender NodeID, payload any, start sim.Time, n, reliableDeg int) *Instance {
+// NewInstance returns an instance record for a sender whose sorted G′
+// adjacency row is gPrimeNbrs (shared, not copied) and who has reliableDeg
+// G-neighbors. A nil row is legal and routes every mark through the
+// overflow map — checker tests building histories without a topology use
+// that.
+func NewInstance(id InstanceID, sender NodeID, payload any, start sim.Time, gPrimeNbrs []NodeID, reliableDeg int) *Instance {
 	return &Instance{
 		ID:                id,
 		Sender:            sender,
 		Payload:           payload,
 		Start:             start,
-		deliveredAt:       make([]sim.Time, n),
+		nbrs:              gPrimeNbrs,
+		deliveredAt:       make([]sim.Time, len(gPrimeNbrs)),
 		remainingReliable: reliableDeg,
 	}
+}
+
+// slot returns the index of to in the sender's neighbor row, or -1.
+func (b *Instance) slot(to NodeID) int {
+	lo, hi := 0, len(b.nbrs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if b.nbrs[mid] < to {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(b.nbrs) && b.nbrs[lo] == to {
+		return lo
+	}
+	return -1
 }
 
 // MarkDelivered records the rcv of the instance at node to at time at.
@@ -186,10 +219,20 @@ func NewInstance(id InstanceID, sender NodeID, payload any, start sim.Time, n, r
 // (mac.Engine.Deliver does; checkers deliberately build invalid histories)
 // but panics on duplicates, which every caller is expected to screen out.
 func (b *Instance) MarkDelivered(to NodeID, at sim.Time, reliable bool) {
-	if b.deliveredAt[to] != 0 {
-		panic(fmt.Sprintf("mac: duplicate MarkDelivered of instance %d at %d", b.ID, to))
+	if s := b.slot(to); s >= 0 {
+		if b.deliveredAt[s] != 0 {
+			panic(fmt.Sprintf("mac: duplicate MarkDelivered of instance %d at %d", b.ID, to))
+		}
+		b.deliveredAt[s] = at + 1
+	} else {
+		if _, dup := b.overflow[to]; dup {
+			panic(fmt.Sprintf("mac: duplicate MarkDelivered of instance %d at %d", b.ID, to))
+		}
+		if b.overflow == nil {
+			b.overflow = make(map[NodeID]sim.Time)
+		}
+		b.overflow[to] = at + 1
 	}
-	b.deliveredAt[to] = at + 1
 	b.receivers = append(b.receivers, to)
 	if reliable {
 		b.remainingReliable--
@@ -198,15 +241,24 @@ func (b *Instance) MarkDelivered(to NodeID, at sim.Time, reliable bool) {
 
 // WasDelivered reports whether node to has received the instance.
 func (b *Instance) WasDelivered(to NodeID) bool {
-	return int(to) < len(b.deliveredAt) && b.deliveredAt[to] != 0
+	if s := b.slot(to); s >= 0 {
+		return b.deliveredAt[s] != 0
+	}
+	return b.overflow[to] != 0
 }
 
 // DeliveredAt returns the rcv time at node to, and whether it received.
 func (b *Instance) DeliveredAt(to NodeID) (sim.Time, bool) {
-	if !b.WasDelivered(to) {
+	var biased sim.Time
+	if s := b.slot(to); s >= 0 {
+		biased = b.deliveredAt[s]
+	} else {
+		biased = b.overflow[to]
+	}
+	if biased == 0 {
 		return 0, false
 	}
-	return b.deliveredAt[to] - 1, true
+	return biased - 1, true
 }
 
 // Receivers returns the nodes that received the instance, in delivery

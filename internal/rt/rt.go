@@ -342,7 +342,7 @@ func (n *rtNode) Bcast(payload any) {
 	e := n.eng
 	e.mu.Lock()
 	b := mac.NewInstance(e.nextID, n.id, payload, sim.Time(time.Since(e.start)),
-		e.cfg.Dual.N(), e.cfg.Dual.G.Degree(n.id))
+		e.cfg.Dual.GPrime.Neighbors(n.id), e.cfg.Dual.G.Degree(n.id))
 	e.nextID++
 	e.insts = append(e.insts, b)
 	e.mu.Unlock()

@@ -116,7 +116,10 @@ func (rs *receiverState) peekLive(h *candHeap) (candidate, bool) {
 	return (*h)[0], true
 }
 
-var _ mac.Scheduler = (*Contention)(nil)
+var (
+	_ mac.Scheduler      = (*Contention)(nil)
+	_ mac.TimerScheduler = (*Contention)(nil)
+)
 
 // Name implements mac.Scheduler.
 func (c *Contention) Name() string {
@@ -144,11 +147,7 @@ func (c *Contention) OnBcast(b *mac.Instance) {
 	}
 	if c.api.Dual().G.Degree(b.Sender) == 0 {
 		// No reliable neighbors to wait for: ack after one progress window.
-		c.api.At(b.Start+c.api.Fprog(), func() {
-			if b.Term == mac.Active {
-				c.api.Ack(b)
-			}
-		})
+		c.api.ScheduleAck(b.Start+c.api.Fprog(), b)
 	}
 }
 
@@ -178,12 +177,20 @@ func (c *Contention) schedule(j mac.NodeID, at sim.Time) {
 	rs := &c.rcv[j]
 	rs.scheduled = true
 	rs.nextAt = at
-	c.api.At(at, func() {
-		if rs.nextAt == at && rs.scheduled {
-			rs.scheduled = false
-			c.process(j)
-		}
-	})
+	c.api.ScheduleTimer(at, nil, int64(j), int64(at))
+}
+
+// OnTimer implements mac.TimerScheduler: a receiver's processing slot. Only
+// the most recently booked slot fires; superseded bookings (a sooner slot
+// was scheduled after this one) are recognized by the nextAt mismatch and
+// dropped.
+func (c *Contention) OnTimer(_ any, a, b int64) {
+	j, at := mac.NodeID(a), sim.Time(b)
+	rs := &c.rcv[j]
+	if rs.nextAt == at && rs.scheduled {
+		rs.scheduled = false
+		c.process(j)
+	}
 }
 
 // process runs one receive slot for j: deliver the earliest-deadline live

@@ -65,18 +65,27 @@ func (f *Flaky) Deliver(rng *rand.Rand, b *mac.Instance, to mac.NodeID) bool {
 	}
 	es, ok := f.edges[key]
 	if !ok {
+		// Draw the edge's phase at time zero and that phase's end. The end
+		// draw must happen here, not in the advance loop below: the loop
+		// toggles before extending, so entering it with until = 0 would flip
+		// the freshly drawn phase and the draw would mean its opposite.
 		es = &edgeState{up: rng.Intn(2) == 0}
+		es.until = 1 + sim.Time(rng.Int63n(int64(2*f.mean(es.up))))
 		f.edges[key] = es
 	}
 	// Advance the phase chain to the instance's start time.
 	for es.until <= b.Start {
-		mean := f.meanDown()
-		if !es.up { // next phase is up
-			mean = f.meanUp()
-		}
 		es.up = !es.up
 		// Geometric-ish phase length: uniform in [1, 2·mean].
-		es.until += 1 + sim.Time(rng.Int63n(int64(2*mean)))
+		es.until += 1 + sim.Time(rng.Int63n(int64(2*f.mean(es.up))))
 	}
 	return es.up
+}
+
+// mean returns the configured mean length of an up or down phase.
+func (f *Flaky) mean(up bool) sim.Time {
+	if up {
+		return f.meanUp()
+	}
+	return f.meanDown()
 }

@@ -10,6 +10,54 @@ import (
 	"amac/internal/topology"
 )
 
+// TestFlakyInitialPhaseHonorsDraw is the regression test for the
+// initial-phase bug: the randomly drawn time-zero state used to be toggled
+// by the first advance-loop iteration (until started at 0 ≤ Start), so the
+// draw meant the opposite phase. A probe at Start=0 must now report exactly
+// what a same-seeded stream draws first.
+func TestFlakyInitialPhaseHonorsDraw(t *testing.T) {
+	for seed := int64(0); seed < 32; seed++ {
+		want := rand.New(rand.NewSource(seed)).Intn(2) == 0
+		f := &sched.Flaky{MeanUp: 25, MeanDown: 25}
+		got := f.Deliver(rand.New(rand.NewSource(seed)), &mac.Instance{Sender: 0, Start: 0}, 1)
+		if got != want {
+			t.Errorf("seed %d: phase at t=0 is %v, initial draw was %v", seed, got, want)
+		}
+	}
+}
+
+// TestFlakyPhaseSequencePinned pins the whole phase chain at a fixed seed
+// against an independently advanced twin: the phase at time t is the drawn
+// initial phase extended by lengths drawn for each phase as it is entered.
+func TestFlakyPhaseSequencePinned(t *testing.T) {
+	const meanUp, meanDown = 8, 4
+	mean := func(up bool) int64 {
+		if up {
+			return meanUp
+		}
+		return meanDown
+	}
+	f := &sched.Flaky{MeanUp: meanUp, MeanDown: meanDown}
+	rng := rand.New(rand.NewSource(42))
+	twin := rand.New(rand.NewSource(42))
+	up := twin.Intn(2) == 0
+	until := sim.Time(1 + twin.Int63n(2*mean(up)))
+	transitions := 0
+	for start := sim.Time(0); start < 500; start++ {
+		for until <= start {
+			up = !up
+			until += sim.Time(1 + twin.Int63n(2*mean(up)))
+			transitions++
+		}
+		if got := f.Deliver(rng, &mac.Instance{Sender: 0, Start: start}, 1); got != up {
+			t.Fatalf("phase at t=%d: Deliver says up=%v, chain says up=%v", start, got, up)
+		}
+	}
+	if transitions < 10 {
+		t.Fatalf("only %d phase transitions in 500 ticks; chain not advancing", transitions)
+	}
+}
+
 func TestFlakyAlternates(t *testing.T) {
 	f := &sched.Flaky{MeanUp: 20, MeanDown: 20}
 	rng := rand.New(rand.NewSource(1))

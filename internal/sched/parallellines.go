@@ -37,7 +37,10 @@ type ParallelLines struct {
 	bFront int // highest 1-based index on line B that has received m1
 }
 
-var _ mac.Scheduler = (*ParallelLines)(nil)
+var (
+	_ mac.Scheduler      = (*ParallelLines)(nil)
+	_ mac.TimerScheduler = (*ParallelLines)(nil)
+)
 
 // Name implements mac.Scheduler.
 func (p *ParallelLines) Name() string { return "parallel-lines-adversary" }
@@ -96,47 +99,47 @@ func (p *ParallelLines) instant(b *mac.Instance) {
 func (p *ParallelLines) stretch(b *mac.Instance, line byte, idx int) {
 	api := p.api
 	now := api.Now()
-	var prev, next, diag mac.NodeID
+	var prev, diag mac.NodeID
 	havePrev := idx > 1
 	if line == 'a' {
 		if havePrev {
 			prev = p.Net.A(idx - 1)
 		}
-		next = p.Net.A(idx + 1)
 		diag = p.Net.B(idx + 1)
 	} else {
 		if havePrev {
 			prev = p.Net.B(idx - 1)
 		}
-		next = p.Net.B(idx + 1)
 		diag = p.Net.A(idx + 1)
 	}
 
-	deliver := func(to mac.NodeID) func() {
-		return func() {
-			if b.Term == mac.Active && !b.WasDelivered(to) {
-				api.Deliver(b, to)
-			}
-		}
-	}
 	if havePrev {
-		api.At(now+api.Fprog(), deliver(prev))
+		api.ScheduleDeliver(now+api.Fprog(), b, prev)
 	}
-	api.At(now+api.Fprog(), deliver(diag))
-	api.At(now+api.Fack(), func() {
-		if b.Term != mac.Active {
-			return
-		}
-		// Advance the frontier first so the receiver's re-broadcast is
-		// recognized as the new frontier instance.
-		if line == 'a' {
-			p.aFront = idx + 1
-		} else {
-			p.bFront = idx + 1
-		}
-		if !b.WasDelivered(next) {
-			api.Deliver(b, next)
-		}
-		api.Ack(b)
-	})
+	api.ScheduleDeliver(now+api.Fprog(), b, diag)
+	api.ScheduleTimer(now+api.Fack(), b, int64(idx), int64(line))
+}
+
+// OnTimer implements mac.TimerScheduler: the Fack-deadline finale of a
+// stretched frontier broadcast. The frontier index advances before the
+// final delivery so the receiver's immediate re-broadcast is classified as
+// the new frontier.
+func (p *ParallelLines) OnTimer(obj any, a, c int64) {
+	b := obj.(*mac.Instance)
+	idx, line := int(a), byte(c)
+	if b.Term != mac.Active {
+		return
+	}
+	var next mac.NodeID
+	if line == 'a' {
+		p.aFront = idx + 1
+		next = p.Net.A(idx + 1)
+	} else {
+		p.bFront = idx + 1
+		next = p.Net.B(idx + 1)
+	}
+	if !b.WasDelivered(next) {
+		p.api.Deliver(b, next)
+	}
+	p.api.Ack(b)
 }

@@ -45,29 +45,18 @@ func (r *Random) OnBcast(b *mac.Instance) {
 	}
 
 	maxRecv := sim.Time(1)
-	deliver := func(to mac.NodeID) func() {
-		return func() {
-			if b.Term == mac.Active {
-				api.Deliver(b, to)
-			}
-		}
-	}
 	for _, j := range api.Dual().G.Neighbors(b.Sender) {
 		d := uniform(1, api.Fprog())
 		if d > maxRecv {
 			maxRecv = d
 		}
-		api.At(now+d, deliver(j))
+		api.ScheduleDeliver(now+d, b, j)
 	}
 	ackDelay := uniform(maxRecv, api.Fack())
 	for _, j := range greyTargets(api, b, r.Rel) {
-		api.At(now+uniform(1, ackDelay), deliver(j))
+		api.ScheduleDeliver(now+uniform(1, ackDelay), b, j)
 	}
-	api.At(now+ackDelay, func() {
-		if b.Term == mac.Active {
-			api.Ack(b)
-		}
-	})
+	api.ScheduleAck(now+ackDelay, b)
 }
 
 // OnAbort implements mac.Scheduler.

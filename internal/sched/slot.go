@@ -34,7 +34,10 @@ type Slot struct {
 	armed map[sim.Time]bool
 }
 
-var _ mac.Scheduler = (*Slot)(nil)
+var (
+	_ mac.Scheduler      = (*Slot)(nil)
+	_ mac.TimerScheduler = (*Slot)(nil)
+)
 
 // Name implements mac.Scheduler.
 func (s *Slot) Name() string { return "slot" }
@@ -76,10 +79,14 @@ func (s *Slot) armSlot() {
 		return
 	}
 	s.armed[fire] = true
-	s.api.At(fire, func() {
-		delete(s.armed, fire)
-		s.handleSlot(fire)
-	})
+	s.api.ScheduleTimer(fire, nil, int64(fire), 0)
+}
+
+// OnTimer implements mac.TimerScheduler: the end-of-slot handler.
+func (s *Slot) OnTimer(_ any, a, _ int64) {
+	fire := sim.Time(a)
+	delete(s.armed, fire)
+	s.handleSlot(fire)
 }
 
 // handleSlot performs all deliveries and acks for the slot ending just
@@ -159,10 +166,7 @@ func (s *Slot) handleSlot(fire sim.Time) {
 		next := fire + api.Fprog()
 		if !s.armed[next] {
 			s.armed[next] = true
-			s.api.At(next, func() {
-				delete(s.armed, next)
-				s.handleSlot(next)
-			})
+			s.api.ScheduleTimer(next, nil, int64(next), 0)
 		}
 	}
 }

@@ -78,41 +78,23 @@ func (s *Sync) Attach(api mac.API) {
 	s.RecvDelay, s.GreyDelay, s.AckDelay = recv, grey, ack
 }
 
-// OnBcast implements mac.Scheduler. Scheduling cost is O(1) events and
-// closures per broadcast, not per neighbor: one batched delivery event
-// covers the whole reliable neighborhood, one the selected grey targets,
-// and one the ack. Per-neighbor delivery order within a batch matches the
-// per-neighbor events the scheduler used to enqueue (neighbor order, then
+// OnBcast implements mac.Scheduler. Scheduling cost is O(1) typed events
+// and zero closures per broadcast: one batched delivery event covers the
+// whole reliable neighborhood, one the selected grey targets, and one the
+// ack. Per-neighbor delivery order within a batch matches the per-neighbor
+// events the scheduler originally enqueued (neighbor order, then
 // grey-selection order), so executions are unchanged.
 func (s *Sync) OnBcast(b *mac.Instance) {
 	api := s.api
 	now := api.Now()
-	api.At(now+s.RecvDelay, func() {
-		for _, j := range api.Dual().G.Neighbors(b.Sender) {
-			if b.Term != mac.Active {
-				return
-			}
-			api.Deliver(b, j)
-		}
-	})
+	api.ScheduleReliableDeliveries(now+s.RecvDelay, b)
 	// Grey targets are drawn now (one Rel consultation per candidate at
 	// broadcast time, preserving the random stream) but delivered at
 	// GreyDelay.
 	if grey := greyTargets(api, b, s.Rel); len(grey) > 0 {
-		api.At(now+s.GreyDelay, func() {
-			for _, j := range grey {
-				if b.Term != mac.Active {
-					return
-				}
-				api.Deliver(b, j)
-			}
-		})
+		api.ScheduleGreyDeliveries(now+s.GreyDelay, b, grey)
 	}
-	api.At(now+s.AckDelay, func() {
-		if b.Term == mac.Active {
-			api.Ack(b)
-		}
-	})
+	api.ScheduleAck(now+s.AckDelay, b)
 }
 
 // OnAbort implements mac.Scheduler. Pending deliveries self-cancel via the

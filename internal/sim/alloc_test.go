@@ -34,6 +34,73 @@ func TestScheduleStepAllocationFree(t *testing.T) {
 	}
 }
 
+// countingDispatcher re-posts a chain of typed events, mimicking a
+// scheduler's steady state: every dispatched event schedules the next.
+type countingDispatcher struct {
+	e *Engine
+	n int
+}
+
+func (d *countingDispatcher) Dispatch(kind EventKind, op Op) {
+	if kind != EventKind(1) {
+		panic("unexpected kind")
+	}
+	if d.n < 100 {
+		d.n++
+		d.e.Post(d.e.Now()+1, 1, op.Obj, op.A+1, op.B)
+	}
+}
+
+// TestTypedPostStepAllocationFree pins the typed steady-state path: posting
+// and dispatching typed events — the path every shipped scheduler runs on —
+// must not allocate at all once the pool is warm. Unlike the closure path,
+// this holds even when each event carries a fresh payload (kind + operands
+// are plain fields; the obj pointer boxes for free).
+func TestTypedPostStepAllocationFree(t *testing.T) {
+	e := NewEngine(1)
+	d := &countingDispatcher{e: e}
+	e.SetDispatcher(d)
+	payload := &struct{ x int }{42}
+	run := func() {
+		d.n = 0
+		e.Post(e.Now(), 1, payload, 0, 0)
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm the pool and the heap's backing array
+	allocs := testing.AllocsPerRun(100, run)
+	if allocs != 0 {
+		t.Fatalf("steady-state typed post+dispatch allocates %.1f times per 100-event burst, want 0", allocs)
+	}
+}
+
+// TestEventPoolBounded pins the free-list cap: a delivery burst must not pin
+// its peak event count for the rest of the run. After draining a large
+// burst, the pool must have shrunk back to the 2×live+floor bound instead
+// of retaining all burst events.
+func TestEventPoolBounded(t *testing.T) {
+	e := NewEngine(1)
+	const burst = 10_000
+	for i := 0; i < burst; i++ {
+		e.At(Time(i%97), func() {})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got, limit := len(e.queue.free), 2*len(e.queue.items)+freeFloor; got > limit {
+		t.Fatalf("after a %d-event burst the free list holds %d events, bound is %d", burst, got, limit)
+	}
+	// The bound tracks the live queue: with events in flight the pool may
+	// keep proportionally more.
+	for i := 0; i < 50; i++ {
+		e.At(e.Now()+Time(i+1), func() {})
+	}
+	if got, limit := len(e.queue.free), 2*e.queue.Len()+freeFloor; got > limit {
+		t.Fatalf("free list %d exceeds bound %d with %d live events", got, limit, e.queue.Len())
+	}
+}
+
 // TestHandleStaleAfterReuse verifies the pool's generation guard: a handle
 // for a fired event must not cancel the recycled event that now occupies
 // the same struct.

@@ -9,21 +9,49 @@ import (
 // ErrHalted is returned by Run when the simulation is stopped early via Halt.
 var ErrHalted = errors.New("sim: halted")
 
+// EventKind tags a typed event payload. Kind zero (KindFunc) is the closure
+// escape hatch; every other kind is owned by the engine's Dispatcher, which
+// defines the vocabulary (the abstract MAC engine registers one dispatcher
+// covering deliveries, acks, wakeups and scheduler timers).
+type EventKind uint8
+
+// KindFunc marks an event carrying a plain closure. It exists as an escape
+// hatch for tests and one-shot setup; the steady-state scheduling path posts
+// typed events only.
+const KindFunc EventKind = 0
+
+// Op is the operand set of a typed event: one object handle (always a
+// pointer in practice, so boxing it into the interface allocates nothing)
+// and two small scalars whose meaning the kind defines — a receiver id, a
+// slot boundary, a delay class.
+type Op struct {
+	Obj  any
+	A, B int64
+}
+
+// Dispatcher executes typed events. The engine calls Dispatch once per
+// popped typed event with the event's kind and operands; implementations
+// switch on the kind. A single dispatcher serves the whole engine.
+type Dispatcher interface {
+	Dispatch(kind EventKind, op Op)
+}
+
 // Engine is a single-threaded discrete-event simulator. Callbacks scheduled
 // with At/After run in non-decreasing virtual-time order; ties fire in
 // scheduling order. The Engine is not safe for concurrent use: the intended
 // pattern is that all state lives inside callbacks, exactly like a timed
 // automaton execution.
 type Engine struct {
-	now     Time
-	queue   eventQueue
-	seq     uint64
-	rng     *rand.Rand
-	seed    int64
-	halted  bool
-	stepped uint64
-	limit   uint64 // safety valve: max events processed, 0 = unlimited
-	horizon Time   // events strictly after the horizon are not executed
+	now      Time
+	queue    eventQueue
+	seq      uint64
+	rng      *rand.Rand
+	seed     int64
+	halted   bool
+	stepped  uint64
+	limit    uint64 // safety valve: max events processed, 0 = unlimited
+	horizon  Time   // events strictly after the horizon are not executed
+	dispatch Dispatcher
 }
 
 // NewEngine returns an engine whose random stream is seeded with seed.
@@ -97,14 +125,20 @@ func (h Handle) Cancel() {
 // Active reports whether the event is still pending.
 func (h Handle) Active() bool { return h.ev != nil && h.ev.gen == h.gen && !h.ev.dead }
 
+// SetDispatcher installs the typed-event dispatcher. It must be set before
+// the first Post and not changed afterwards (the MAC engine installs itself
+// at construction time).
+func (e *Engine) SetDispatcher(d Dispatcher) { e.dispatch = d }
+
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
 // it would violate causality and always indicates a bug in a scheduler.
+//
+// At is the KindFunc escape hatch: each call carries a closure. Hot paths
+// post typed events via Post instead, which schedules nothing but pooled
+// plain-data structs.
 func (e *Engine) At(t Time, fn func()) Handle {
-	if t < e.now {
-		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, e.now))
-	}
-	ev := e.queue.alloc(t, e.seq, fn)
-	e.seq++
+	ev := e.schedule(t)
+	ev.fn = fn
 	e.queue.push(ev)
 	return Handle{ev: ev, gen: ev.gen}
 }
@@ -112,6 +146,28 @@ func (e *Engine) At(t Time, fn func()) Handle {
 // After schedules fn to run d ticks from now.
 func (e *Engine) After(d Duration, fn func()) Handle {
 	return e.At(e.now+d, fn)
+}
+
+// Post schedules a typed event at absolute time t: kind selects the
+// dispatcher's handler, (obj, a, b) are its operands. Scheduling in the past
+// panics, exactly like At. Posting KindFunc or posting without a dispatcher
+// installed panics at dispatch time.
+func (e *Engine) Post(t Time, kind EventKind, obj any, a, b int64) Handle {
+	ev := e.schedule(t)
+	ev.kind, ev.obj, ev.a, ev.b = kind, obj, a, b
+	e.queue.push(ev)
+	return Handle{ev: ev, gen: ev.gen}
+}
+
+// schedule allocates a pooled event for time t with the next sequence
+// number; the caller fills the payload and pushes it.
+func (e *Engine) schedule(t Time) *event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, e.now))
+	}
+	ev := e.queue.alloc(t, e.seq)
+	e.seq++
+	return ev
 }
 
 // Halt stops the run loop after the current event completes.
@@ -171,12 +227,19 @@ func (e *Engine) Step() bool {
 		}
 		e.now = ev.at
 		e.stepped++
-		fn := ev.fn
-		// Recycle before running: fn may schedule (and the pool hand the
-		// struct straight back out), which is safe because the generation
-		// bump in release has already invalidated this tenancy's handles.
-		e.queue.release(ev)
-		fn()
+		// Recycle before running: the callback may schedule (and the pool
+		// hand the struct straight back out), which is safe because the
+		// generation bump in release has already invalidated this tenancy's
+		// handles. The payload is copied out first.
+		if ev.kind == KindFunc {
+			fn := ev.fn
+			e.queue.release(ev)
+			fn()
+		} else {
+			kind, op := ev.kind, Op{Obj: ev.obj, A: ev.a, B: ev.b}
+			e.queue.release(ev)
+			e.dispatch.Dispatch(kind, op)
+		}
 		return true
 	}
 }

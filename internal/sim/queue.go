@@ -3,6 +3,12 @@ package sim
 // event is a scheduled callback in virtual time. Events with equal times fire
 // in insertion order (seq), which makes executions fully deterministic.
 //
+// An event is either typed — kind plus the small fixed operand set (obj, a,
+// b), executed by the engine's Dispatcher — or the KindFunc escape hatch
+// carrying an arbitrary closure. The steady-state scheduling path of the
+// simulator uses only typed events, so it allocates no closures at all;
+// KindFunc remains for tests and one-shot setup work.
+//
 // Events are pooled: once popped and executed (or skipped as dead), the
 // engine recycles the struct through a free list, so steady-state scheduling
 // performs no heap allocation. gen guards recycled structs against stale
@@ -11,10 +17,17 @@ package sim
 type event struct {
 	at   Time
 	seq  uint64
-	fn   func()
+	fn   func() // KindFunc payload
+	obj  any    // typed payload: object operand (a pointer; boxing is free)
+	a, b int64  // typed payload: scalar operands
+	kind EventKind
 	gen  uint32
 	dead bool // set by cancel; dead events are skipped when popped
 }
+
+// freeFloor is the minimum free-list length the shrink rule never cuts
+// below, so small engines keep a warm pool across bursts.
+const freeFloor = 64
 
 // eventQueue is a binary min-heap of events ordered by (at, seq). It is a
 // hand-rolled heap rather than container/heap to keep the hot path free of
@@ -28,25 +41,38 @@ type eventQueue struct {
 // that have not yet been popped.
 func (q *eventQueue) Len() int { return len(q.items) }
 
-// alloc returns a recycled event or a fresh one when the pool is empty.
-func (q *eventQueue) alloc(at Time, seq uint64, fn func()) *event {
+// alloc returns a recycled event or a fresh one when the pool is empty. The
+// caller fills in the payload (kind + operands, or fn).
+func (q *eventQueue) alloc(at Time, seq uint64) *event {
 	if n := len(q.free); n > 0 {
 		ev := q.free[n-1]
 		q.free[n-1] = nil
 		q.free = q.free[:n-1]
-		ev.at, ev.seq, ev.fn, ev.dead = at, seq, fn, false
+		ev.at, ev.seq, ev.dead = at, seq, false
 		return ev
 	}
-	return &event{at: at, seq: seq, fn: fn}
+	return &event{at: at, seq: seq}
 }
 
 // release returns a popped event to the pool. Bumping gen invalidates every
-// outstanding Handle for this tenancy; dropping fn releases the closure.
+// outstanding Handle for this tenancy; dropping fn/obj releases the payload
+// references. The pool is bounded: a delivery burst must not pin its peak
+// event count for the rest of the run, so whenever the free list exceeds
+// twice the live queue (plus a small floor), the excess structs are dropped
+// for the collector.
 func (q *eventQueue) release(ev *event) {
 	ev.fn = nil
+	ev.obj = nil
+	ev.kind = KindFunc
 	ev.dead = false
 	ev.gen++
 	q.free = append(q.free, ev)
+	if limit := 2*len(q.items) + freeFloor; len(q.free) > limit {
+		for i := limit; i < len(q.free); i++ {
+			q.free[i] = nil
+		}
+		q.free = q.free[:limit]
+	}
 }
 
 func (q *eventQueue) less(i, j int) bool {
