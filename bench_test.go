@@ -17,6 +17,7 @@ import (
 	"amac/internal/graph"
 	"amac/internal/harness"
 	"amac/internal/mac"
+	"amac/internal/scenario"
 	"amac/internal/sched"
 	"amac/internal/sim"
 	"amac/internal/topology"
@@ -286,6 +287,46 @@ func BenchmarkEngineThroughputSparse(b *testing.B) {
 	}
 	b.ReportMetric(float64(steps)/float64(b.N), "events/op")
 	b.ReportMetric(float64(steps)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchmarkSweepPinnedTopology measures repeated trials of one pinned
+// topology through scenario.Sweep — the shape of every figure sweep in this
+// repo — with the warm run-arena path on (default) and off (the -no-arena
+// escape hatch). B/op is the headline metric: warm trials reuse the fleet,
+// the engine and its node states, the flat CSR delivery rows and the trace
+// buffer, so per-trial allocation collapses to per-event work.
+func BenchmarkSweepPinnedTopology(b *testing.B) {
+	spec := scenario.Spec{
+		Name: "pinned-rline-sweep",
+		Topology: scenario.TopologySpec{
+			Name:   "rline",
+			Params: topology.Params{"n": 48, "r": 2, "p": 0.6},
+			Seed:   7,
+		},
+		Workload:  scenario.WorkloadSpec{Kind: scenario.WorkloadSingleton, K: 4},
+		Algorithm: scenario.AlgorithmSpec{Name: "bmmb"},
+		Scheduler: scenario.SchedulerSpec{Name: "sync", Params: topology.Params{"rel": 0.5}},
+		Model:     scenario.ModelSpec{Fprog: 10, Fack: 200},
+		Run:       scenario.RunSpec{Seed: 1, Trials: 16},
+	}
+	for _, mode := range []struct {
+		name    string
+		noArena bool
+	}{{"arena", false}, {"cold", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				reports, err := scenario.SweepWithOptions([]scenario.Spec{spec},
+					scenario.SweepOptions{Parallelism: 1, NoArena: mode.noArena})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if got := reports[0].Solved(); got != spec.Run.Trials {
+					b.Fatalf("%d/%d trials solved", got, spec.Run.Trials)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkHarnessParallelism measures experiment wall-time scaling with

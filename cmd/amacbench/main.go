@@ -7,16 +7,18 @@
 // Usage:
 //
 //	amacbench [-quick] [-trials N] [-seed S] [-check] [-parallel P]
-//	          [-only id-substring] [-json BENCH.json]
+//	          [-no-arena] [-only id-substring] [-json BENCH.json]
 //
 // -parallel runs each experiment's (sweep point, trial) simulations on a
 // bounded worker pool; tables are byte-identical at any parallelism.
+// -no-arena disables cross-trial run-arena and fleet reuse for pinned
+// topologies (a debugging escape hatch; output is identical either way).
 // -json appends a machine-readable perf record per experiment (wall time,
-// simulation events, events/sec, allocations), the repo's perf trajectory.
+// simulation events, events/sec, allocations), the repo's perf trajectory;
+// cmd/benchdiff compares two such records and gates CI on regressions.
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,28 +27,8 @@ import (
 	"time"
 
 	"amac/internal/harness"
+	"amac/internal/perfrecord"
 )
-
-// benchRecord is one experiment's perf sample for BENCH.json.
-type benchRecord struct {
-	ID           string  `json:"id"`
-	WallSeconds  float64 `json:"wall_seconds"`
-	SimEvents    uint64  `json:"sim_events"`
-	EventsPerSec float64 `json:"events_per_sec"`
-	Allocs       uint64  `json:"allocs"`
-	AllocBytes   uint64  `json:"alloc_bytes"`
-}
-
-// benchFile is the BENCH.json document.
-type benchFile struct {
-	GeneratedAt string        `json:"generated_at"`
-	GoVersion   string        `json:"go_version"`
-	Parallelism int           `json:"parallelism"`
-	Quick       bool          `json:"quick"`
-	Trials      int           `json:"trials"`
-	Seed        int64         `json:"seed"`
-	Experiments []benchRecord `json:"experiments"`
-}
 
 func main() {
 	quick := flag.Bool("quick", false, "use the reduced sweep sizes (as the benchmarks do)")
@@ -54,6 +36,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "base random seed")
 	checkFlag := flag.Bool("check", false, "verify the abstract MAC layer guarantees on every run (slower)")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "worker pool size for sweep points and trials")
+	noArena := flag.Bool("no-arena", false, "disable cross-trial run-arena and fleet reuse for pinned topologies (debugging)")
 	only := flag.String("only", "", "run only experiments whose id contains this substring")
 	jsonPath := flag.String("json", "", "write a machine-readable perf record (events/sec, allocs) to this path")
 	flag.Parse()
@@ -64,6 +47,7 @@ func main() {
 		Seed:        *seed,
 		Check:       *checkFlag,
 		Parallelism: *parallel,
+		NoArena:     *noArena,
 	}
 
 	experiments := harness.Experiments()
@@ -72,13 +56,14 @@ func main() {
 	fmt.Printf("# options: quick=%v trials=%d seed=%d check=%v parallel=%d\n\n",
 		*quick, *trials, *seed, *checkFlag, *parallel)
 
-	bench := benchFile{
+	bench := perfrecord.File{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
 		Parallelism: *parallel,
 		Quick:       *quick,
 		Trials:      *trials,
 		Seed:        *seed,
+		NoArena:     *noArena,
 	}
 	ran := 0
 	for _, e := range experiments {
@@ -98,7 +83,7 @@ func main() {
 		fmt.Printf("  (%s in %v, %d sim events, %.0f events/sec)\n\n",
 			e.ID, wall.Round(time.Millisecond), events,
 			float64(events)/wall.Seconds())
-		bench.Experiments = append(bench.Experiments, benchRecord{
+		bench.Experiments = append(bench.Experiments, perfrecord.Record{
 			ID:           e.ID,
 			WallSeconds:  wall.Seconds(),
 			SimEvents:    events,
@@ -113,14 +98,8 @@ func main() {
 		os.Exit(1)
 	}
 	if *jsonPath != "" {
-		buf, err := json.MarshalIndent(bench, "", "  ")
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "amacbench: marshal bench record: %v\n", err)
-			os.Exit(1)
-		}
-		buf = append(buf, '\n')
-		if err := os.WriteFile(*jsonPath, buf, 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "amacbench: write %s: %v\n", *jsonPath, err)
+		if err := bench.WriteFile(*jsonPath); err != nil {
+			fmt.Fprintf(os.Stderr, "amacbench: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Printf("# perf record written to %s\n", *jsonPath)

@@ -1,0 +1,94 @@
+// Command benchdiff compares two amacbench perf records (BENCH.json) and
+// fails when any experiment's throughput regressed past the threshold —
+// the CI regression gate. It matches experiments by id, reports events/sec
+// side by side, and exits non-zero on a regression or on an experiment that
+// disappeared from the new record.
+//
+// Usage:
+//
+//	benchdiff -base old/BENCH.json -new BENCH.json [-threshold 0.15] [-min-wall 0.05]
+//
+// Experiments whose wall time fell below -min-wall seconds in either record
+// are reported but not gated: at millisecond scale, events/sec measures the
+// scheduler, not the simulator. An experiment missing from the new record
+// fails the gate regardless.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"amac/internal/perfrecord"
+)
+
+func main() {
+	base := flag.String("base", "", "baseline perf record (required)")
+	next := flag.String("new", "", "candidate perf record (required)")
+	threshold := flag.Float64("threshold", 0.15, "maximum tolerated events/sec drop as a fraction (0.15 = 15%)")
+	minWall := flag.Float64("min-wall", 0.05, "minimum wall seconds (in both records) for an experiment to be gated rather than just reported")
+	flag.Parse()
+	if *base == "" || *next == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: both -base and -new are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *threshold < 0 || *threshold >= 1 {
+		fmt.Fprintf(os.Stderr, "benchdiff: -threshold must be in [0, 1), got %g\n", *threshold)
+		os.Exit(2)
+	}
+
+	bf, err := perfrecord.Load(*base)
+	if err != nil {
+		fail(err)
+	}
+	nf, err := perfrecord.Load(*next)
+	if err != nil {
+		fail(err)
+	}
+	if bf.Quick != nf.Quick || bf.Trials != nf.Trials || bf.Seed != nf.Seed ||
+		bf.Parallelism != nf.Parallelism || bf.NoArena != nf.NoArena {
+		fmt.Printf("note: records were taken under different options — throughput deltas may reflect configuration, not code\n"+
+			"  base: quick=%v trials=%d seed=%d parallel=%d no-arena=%v\n"+
+			"  new:  quick=%v trials=%d seed=%d parallel=%d no-arena=%v\n",
+			bf.Quick, bf.Trials, bf.Seed, bf.Parallelism, bf.NoArena,
+			nf.Quick, nf.Trials, nf.Seed, nf.Parallelism, nf.NoArena)
+	}
+
+	deltas := perfrecord.Compare(bf, nf)
+	if len(deltas) == 0 {
+		fail(fmt.Errorf("baseline %s contains no experiments", *base))
+	}
+	fmt.Printf("%-28s %14s %14s %8s\n", "experiment", "base ev/s", "new ev/s", "ratio")
+	regressed := 0
+	for _, d := range deltas {
+		switch {
+		case d.Missing:
+			fmt.Printf("%-28s %14.0f %14s %8s  MISSING from new record\n",
+				d.ID, d.BaseEventsPerSec, "-", "-")
+			regressed++
+		case d.Noisy(*minWall):
+			fmt.Printf("%-28s %14.0f %14.0f %8.3f  not gated (ran < %.0fms, events/sec is noise)\n",
+				d.ID, d.BaseEventsPerSec, d.NewEventsPerSec, d.Ratio, *minWall*1000)
+		case d.Regressed(*threshold):
+			fmt.Printf("%-28s %14.0f %14.0f %8.3f  REGRESSION (> %.0f%% drop)\n",
+				d.ID, d.BaseEventsPerSec, d.NewEventsPerSec, d.Ratio, *threshold*100)
+			regressed++
+		default:
+			fmt.Printf("%-28s %14.0f %14.0f %8.3f  ok\n",
+				d.ID, d.BaseEventsPerSec, d.NewEventsPerSec, d.Ratio)
+		}
+	}
+	if regressed > 0 {
+		fmt.Printf("\nbenchdiff: %d of %d experiments regressed past the %.0f%% threshold\n",
+			regressed, len(deltas), *threshold*100)
+		os.Exit(1)
+	}
+	fmt.Printf("\nbenchdiff: all %d experiments within the %.0f%% threshold\n",
+		len(deltas), *threshold*100)
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+	os.Exit(1)
+}

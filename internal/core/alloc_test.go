@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"amac/internal/mac"
 	"amac/internal/sched"
 	"amac/internal/topology"
 )
@@ -41,5 +42,84 @@ func TestBMMBFloodAllocationBudget(t *testing.T) {
 	})
 	if allocs > budget {
 		t.Fatalf("BMMB flood allocates %.0f times per run, budget %d", allocs, budget)
+	}
+}
+
+// TestWarmArenaTrialAllocations is the warm-path regression guard: the
+// second and later trials of a pinned topology on a core.Runner must do
+// zero fleet-construction allocations. Fleet reset is asserted exactly
+// zero; the full warm run is held to a budget calibrated so that any
+// reconstruction — automata (~2n allocs for a BMMB fleet), node states
+// (n), instance records or delivery rows (one per broadcast) — blows it
+// immediately. At the time of writing a warm 64-node, k=2 flood costs ~380
+// allocations, all per-event payload boxing; a cold run of the same
+// configuration costs ~1280.
+func TestWarmArenaTrialAllocations(t *testing.T) {
+	const (
+		n          = 64
+		warmBudget = 650
+	)
+	d := topology.Line(n)
+	assignment := SingleSource(n, 0, 2)
+	fleet := NewBMMBFleet(n)
+	scheduler := &sched.Sync{}
+	rn := NewRunner(d)
+
+	warmRun := func() {
+		for _, a := range fleet {
+			a.(mac.Resettable).Reset()
+		}
+		res, err := rn.Run(RunConfig{
+			Dual:             d,
+			Fack:             200,
+			Fprog:            10,
+			Scheduler:        scheduler,
+			Seed:             7,
+			Assignment:       assignment,
+			Automata:         fleet,
+			HaltOnCompletion: true,
+			NoTrace:          true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Solved {
+			t.Fatalf("flood not solved: %d/%d", res.Delivered, res.Required)
+		}
+	}
+	warmRun() // fill the arena pools
+
+	if allocs := testing.AllocsPerRun(20, func() {
+		for _, a := range fleet {
+			a.(mac.Resettable).Reset()
+		}
+	}); allocs != 0 {
+		t.Fatalf("fleet reset allocates %.0f times, want 0", allocs)
+	}
+
+	warm := testing.AllocsPerRun(20, warmRun)
+	if warm > warmBudget {
+		t.Fatalf("warm-arena trial allocates %.0f times per run, budget %d (fleet or engine construction crept back in)",
+			warm, warmBudget)
+	}
+
+	cold := testing.AllocsPerRun(20, func() {
+		res := MustRun(RunConfig{
+			Dual:             d,
+			Fack:             200,
+			Fprog:            10,
+			Scheduler:        &sched.Sync{},
+			Seed:             7,
+			Assignment:       assignment,
+			Automata:         NewBMMBFleet(n),
+			HaltOnCompletion: true,
+			NoTrace:          true,
+		})
+		if !res.Solved {
+			t.Fatal("flood not solved")
+		}
+	})
+	if warm >= cold/2 {
+		t.Fatalf("warm trial allocates %.0f times vs %.0f cold — arena reuse is not amortizing construction", warm, cold)
 	}
 }

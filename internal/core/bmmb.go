@@ -20,13 +20,22 @@ type BMMB struct {
 }
 
 var (
-	_ mac.Automaton = (*BMMB)(nil)
-	_ mac.Arriver   = (*BMMB)(nil)
+	_ mac.Automaton  = (*BMMB)(nil)
+	_ mac.Arriver    = (*BMMB)(nil)
+	_ mac.Resettable = (*BMMB)(nil)
 )
 
 // NewBMMB returns a fresh BMMB process.
 func NewBMMB() *BMMB {
 	return &BMMB{rcvd: make(map[Msg]bool)}
+}
+
+// Reset implements mac.Resettable: the process returns to its initial
+// state (empty queue, empty rcvd set), keeping map buckets and queue
+// capacity so reused fleets run allocation-free.
+func (b *BMMB) Reset() {
+	b.bcastq = b.bcastq[:0]
+	clear(b.rcvd)
 }
 
 // Queue returns the current queue contents (a copy), for tests and debug

@@ -165,6 +165,7 @@ var (
 	_ mac.Automaton    = (*FMMB)(nil)
 	_ mac.Arriver      = (*FMMB)(nil)
 	_ mac.TimerHandler = (*FMMB)(nil)
+	_ mac.Resettable   = (*FMMB)(nil)
 )
 
 // NewFMMB returns a fresh FMMB process.
@@ -177,6 +178,28 @@ func NewFMMB(cfg FMMBConfig) *FMMB {
 		have:      make(map[Msg]bool),
 		sent:      make(map[Msg]bool),
 	}
+}
+
+// Reset implements mac.Resettable: every stage's state returns to its
+// initial value (the resolved config is kept), clearing rather than
+// reallocating the maps and slices so reused fleets run allocation-free.
+func (f *FMMB) Reset() {
+	*f.mis = misState{cfg: f.mis.cfg}
+	f.round = 0
+	if f.gSet != nil {
+		clear(f.gSet)
+	}
+	clear(f.delivered)
+	f.owned = f.owned[:0]
+	f.polled = false
+	f.ackOut = nil
+	clear(f.have)
+	clear(f.sent)
+	f.inbox = f.inbox[:0]
+	f.cur = nil
+	f.curAcked = false
+	f.curActive = false
+	f.relay = nil
 }
 
 // NewFMMBFleet returns one FMMB automaton per node.
@@ -194,9 +217,12 @@ func (f *FMMB) InMIS() bool { return f.mis.InMIS }
 // Holds reports whether the node holds m in its message set.
 func (f *FMMB) Holds(m Msg) bool { return f.have[m] }
 
-// Wakeup implements mac.Automaton.
+// Wakeup implements mac.Automaton. The G-neighbor set map is kept across
+// Reset and refilled here, so warm-fleet wakeups allocate nothing.
 func (f *FMMB) Wakeup(ctx mac.Context) {
-	f.gSet = make(map[mac.NodeID]bool, len(ctx.GNeighbors()))
+	if f.gSet == nil {
+		f.gSet = make(map[mac.NodeID]bool, len(ctx.GNeighbors()))
+	}
 	for _, v := range ctx.GNeighbors() {
 		f.gSet[v] = true
 	}

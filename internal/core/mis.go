@@ -209,11 +209,22 @@ type MISNode struct {
 var (
 	_ mac.Automaton    = (*MISNode)(nil)
 	_ mac.TimerHandler = (*MISNode)(nil)
+	_ mac.Resettable   = (*MISNode)(nil)
 )
 
 // NewMISNode returns a standalone MIS automaton.
 func NewMISNode(cfg MISConfig) *MISNode {
 	return &MISNode{cfg: cfg.withDefaults(), state: newMISState(cfg)}
+}
+
+// Reset implements mac.Resettable: the node returns to its pre-run state
+// (the resolved config is kept), so MIS fleets can be reused across trials.
+func (mn *MISNode) Reset() {
+	*mn.state = misState{cfg: mn.state.cfg}
+	mn.round = 0
+	if mn.gSet != nil {
+		clear(mn.gSet)
+	}
 }
 
 // NewMISFleet returns one MISNode per node.
@@ -231,9 +242,12 @@ func (mn *MISNode) InMIS() bool { return mn.state.InMIS }
 // Covered reports whether this node learned of an MIS G-neighbor.
 func (mn *MISNode) Covered() bool { return mn.state.Covered }
 
-// Wakeup implements mac.Automaton.
+// Wakeup implements mac.Automaton. The G-neighbor set map is kept across
+// Reset and refilled here, so warm-fleet wakeups allocate nothing.
 func (mn *MISNode) Wakeup(ctx mac.Context) {
-	mn.gSet = make(map[mac.NodeID]bool, len(ctx.GNeighbors()))
+	if mn.gSet == nil {
+		mn.gSet = make(map[mac.NodeID]bool, len(ctx.GNeighbors()))
+	}
 	for _, v := range ctx.GNeighbors() {
 		mn.gSet[v] = true
 	}

@@ -74,7 +74,11 @@ type Result struct {
 	// MMBViolations lists violations of the MMB problem's own
 	// correctness conditions (duplicate or unsolicited delivers).
 	MMBViolations []string
-	// Engine exposes the underlying engine for post-run inspection.
+	// Engine exposes the underlying engine for post-run inspection. For
+	// executions on a warm Runner the engine is pooled: it stays valid
+	// only until the Runner's next Run recycles it, so inspect (or copy
+	// out of) it before starting another trial. Plain core.Run results
+	// keep their engine indefinitely.
 	Engine *mac.Engine
 }
 
@@ -142,9 +146,143 @@ func (cfg *RunConfig) resolve() (*Workload, error) {
 // returns the result. Invalid configurations return a descriptive error
 // (see Validate) rather than panicking; fail-fast callers use MustRun.
 func Run(cfg RunConfig) (*Result, error) {
+	return runWith(cfg, nil)
+}
+
+// Runner executes repeated MMB configurations on one pinned network with
+// warm state: a mac.Arena (pooled engine, node states, flat CSR delivery
+// rows, warm event pool), the component index of G, and the runner's own
+// completion-tracking maps, all reused across Run calls. The first Run is a
+// normal cold execution that fills the pools; subsequent runs skip engine
+// and fleet-scaffolding allocation entirely. Executions are byte-identical
+// to core.Run at equal configuration — the golden-trace suite and
+// TestRunnerWarmMatchesCold pin that.
+//
+// A Runner serves one execution at a time and is not safe for concurrent
+// use; parallel trial pools hold one Runner per worker. Each Run recycles
+// the previous Result's Engine (see Result.Engine).
+type Runner struct {
+	dual      *topology.Dual
+	arena     *mac.Arena
+	compOf    []int
+	compSizes []int
+	st        runState
+	watch     func(sim.TraceEvent)
+}
+
+// NewRunner returns a warm runner for the given network. It panics on an
+// invalid dual, exactly like mac.NewEngine: runners are constructed from
+// already-built topologies, so this is a programming error.
+func NewRunner(d *topology.Dual) *Runner {
+	r := &Runner{dual: d, arena: mac.NewArena(d)}
+	r.compOf, r.compSizes = componentIndex(d.G)
+	r.watch = r.st.onEvent
+	return r
+}
+
+// Fork returns a sibling runner on the same network: it shares the
+// immutable topology-derived state — the arena's CSR position index and
+// the component index of G — but owns its own warm storage and watcher
+// maps. Parallel trial pools fork one prototype runner per topology so the
+// indexes are derived once; Fork only reads immutable state and is safe to
+// call from multiple goroutines.
+func (r *Runner) Fork() *Runner {
+	nr := &Runner{
+		dual:      r.dual,
+		arena:     r.arena.Fork(),
+		compOf:    r.compOf,
+		compSizes: r.compSizes,
+	}
+	nr.watch = nr.st.onEvent
+	return nr
+}
+
+// Dual returns the network the runner was built for.
+func (r *Runner) Dual() *topology.Dual { return r.dual }
+
+// Run executes cfg against the runner's warm arena. cfg.Dual must be the
+// exact network the runner was built for (pointer identity — a structurally
+// equal copy would invalidate the precomputed CSR index anyway).
+func (r *Runner) Run(cfg RunConfig) (*Result, error) {
+	return runWith(cfg, r)
+}
+
+// componentIndex maps each node to its G-component index and each component
+// index to its size.
+func componentIndex(g *graph.Graph) (compOf, compSizes []int) {
+	comps := g.Components()
+	compOf = make([]int, g.N())
+	compSizes = make([]int, len(comps))
+	for ci, comp := range comps {
+		compSizes[ci] = len(comp)
+		for _, v := range comp {
+			compOf[v] = ci
+		}
+	}
+	return compOf, compSizes
+}
+
+// runState is the completion-watcher state of one execution: it counts
+// required deliveries, flags MMB violations and halts on completion. Cold
+// runs allocate one per execution; a Runner owns one and recycles its maps.
+type runState struct {
+	res      *Result
+	eng      *mac.Engine
+	compOf   []int
+	required int
+	halt     bool
+	seen     map[deliverKey]bool
+	arrived  map[Msg]bool
+}
+
+// onEvent observes every trace event of the execution.
+func (st *runState) onEvent(ev sim.TraceEvent) {
+	switch ev.Kind {
+	case "arrive":
+		st.arrived[ev.Arg.(Msg)] = true
+	case DeliverKind:
+		m, ok := ev.Arg.(Msg)
+		if !ok {
+			return
+		}
+		key := deliverKey{node: mac.NodeID(ev.Node), msg: m}
+		if st.seen[key] {
+			st.res.MMBViolations = append(st.res.MMBViolations,
+				fmt.Sprintf("duplicate deliver of %v at node %d", m, ev.Node))
+			return
+		}
+		if !st.arrived[m] {
+			st.res.MMBViolations = append(st.res.MMBViolations,
+				fmt.Sprintf("deliver of %v at node %d before any arrive", m, ev.Node))
+		}
+		st.seen[key] = true
+		// Count only deliveries required by the problem (same component
+		// as the origin); cross-component leakage through G'-edges is
+		// legal but not required.
+		if st.compOf[key.node] == st.compOf[m.Origin] {
+			st.res.Delivered++
+			if st.res.Delivered == st.required {
+				st.res.Solved = true
+				st.res.CompletionTime = ev.At
+				if st.halt {
+					st.eng.Halt()
+				}
+			}
+		}
+	}
+}
+
+// runWith is the shared implementation of Run (rn == nil, everything
+// allocated fresh) and Runner.Run (rn's arena, component index and watcher
+// state recycled).
+func runWith(cfg RunConfig, rn *Runner) (*Result, error) {
 	workload, err := cfg.resolve()
 	if err != nil {
 		return nil, err
+	}
+	if rn != nil && cfg.Dual != rn.dual {
+		return nil, fmt.Errorf("core: Runner was built for dual %q, not %q (pass the identical built topology)",
+			rn.dual.Name, cfg.Dual.Name)
 	}
 	cfg.Workload = workload
 	n := cfg.Dual.N()
@@ -161,7 +299,7 @@ func Run(cfg RunConfig) (*Result, error) {
 		cfg.StepLimit = uint64(n+1) * uint64(cfg.Horizon/cfg.Fprog+1) * 64
 	}
 
-	eng := mac.NewEngine(mac.Config{
+	mcfg := mac.Config{
 		Dual:      cfg.Dual,
 		Fack:      cfg.Fack,
 		Fprog:     cfg.Fprog,
@@ -170,66 +308,53 @@ func Run(cfg RunConfig) (*Result, error) {
 		Seed:      cfg.Seed,
 		EpsAbort:  cfg.EpsAbort,
 		NoTrace:   cfg.NoTrace && !cfg.Check,
-	}, cfg.Automata)
+	}
+	if rn != nil {
+		mcfg.Arena = rn.arena
+	}
+	eng := mac.NewEngine(mcfg, cfg.Automata)
 
 	// Required deliveries: every message must reach every node in its
 	// origin's G-component.
-	compOf := make([]int, n)
-	for ci, comp := range cfg.Dual.G.Components() {
-		for _, v := range comp {
-			compOf[v] = ci
-		}
+	var compOf, compSizes []int
+	if rn != nil {
+		compOf, compSizes = rn.compOf, rn.compSizes
+	} else {
+		compOf, compSizes = componentIndex(cfg.Dual.G)
 	}
-	compSize := make(map[int]int)
-	for _, ci := range compOf {
-		compSize[ci]++
-	}
+	arrivals := cfg.Workload.Arrivals()
 	required := 0
-	for _, ar := range cfg.Workload.Arrivals() {
-		required += compSize[compOf[ar.Msg.Origin]]
+	for _, ar := range arrivals {
+		required += compSizes[compOf[ar.Msg.Origin]]
 	}
 
 	res := &Result{Required: required, Engine: eng}
-	seen := make(map[deliverKey]bool, required)
-	arrived := make(map[Msg]bool, k)
-	eng.Watch(func(ev sim.TraceEvent) {
-		switch ev.Kind {
-		case "arrive":
-			arrived[ev.Arg.(Msg)] = true
-		case DeliverKind:
-			m, ok := ev.Arg.(Msg)
-			if !ok {
-				return
-			}
-			key := deliverKey{node: mac.NodeID(ev.Node), msg: m}
-			if seen[key] {
-				res.MMBViolations = append(res.MMBViolations,
-					fmt.Sprintf("duplicate deliver of %v at node %d", m, ev.Node))
-				return
-			}
-			if !arrived[m] {
-				res.MMBViolations = append(res.MMBViolations,
-					fmt.Sprintf("deliver of %v at node %d before any arrive", m, ev.Node))
-			}
-			seen[key] = true
-			// Count only deliveries required by the problem (same
-			// component as the origin); cross-component leakage through
-			// G'-edges is legal but not required.
-			if compOf[key.node] == compOf[m.Origin] {
-				res.Delivered++
-				if res.Delivered == required {
-					res.Solved = true
-					res.CompletionTime = ev.At
-					if cfg.HaltOnCompletion {
-						eng.Halt()
-					}
-				}
-			}
+	var st *runState
+	if rn != nil {
+		st = &rn.st
+		if st.seen == nil {
+			st.seen = make(map[deliverKey]bool, required)
+			st.arrived = make(map[Msg]bool, k)
+		} else {
+			clear(st.seen)
+			clear(st.arrived)
 		}
-	})
+	} else {
+		st = &runState{
+			seen:    make(map[deliverKey]bool, required),
+			arrived: make(map[Msg]bool, k),
+		}
+	}
+	st.res, st.eng, st.compOf = res, eng, compOf
+	st.required, st.halt = required, cfg.HaltOnCompletion
+	if rn != nil {
+		eng.Watch(rn.watch)
+	} else {
+		eng.Watch(st.onEvent)
+	}
 
 	eng.Start()
-	for _, ar := range cfg.Workload.Arrivals() {
+	for _, ar := range arrivals {
 		eng.Arrive(ar.Node, ar.Msg, ar.At)
 	}
 	eng.Sim().SetHorizon(cfg.Horizon)

@@ -1,0 +1,99 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"amac/internal/core"
+	"amac/internal/sched"
+	"amac/internal/topology"
+)
+
+// snapshot renders one execution's observable outcome — scalar results plus
+// the full trace text — for byte-for-byte comparison.
+func snapshot(res *core.Result) string {
+	return fmt.Sprintf("solved=%v t=%d end=%d delivered=%d required=%d bcasts=%d steps=%d ok=%v\n%s",
+		res.Solved, res.CompletionTime, res.End, res.Delivered, res.Required,
+		res.Broadcasts, res.Steps, res.Report.OK(), res.Engine.Trace().String())
+}
+
+// TestRunnerWarmMatchesCold replays the same seeds through fresh core.Run
+// calls and through one warm Runner (arena, pooled engine, reused fleet),
+// comparing the full execution snapshot — trace text included — byte for
+// byte. This is the core-level half of the "byte-identical with arena reuse
+// on and off" guarantee; the scenario golden-trace suite pins the other
+// half end to end.
+func TestRunnerWarmMatchesCold(t *testing.T) {
+	d := topology.LineRRestricted(16, 2, 0.7, rand.New(rand.NewSource(9)))
+	assignment := core.SingleSource(16, 0, 3)
+	seeds := []int64{1, 2, 3, 4}
+
+	cold := make([]string, len(seeds))
+	for i, seed := range seeds {
+		res, err := core.Run(core.RunConfig{
+			Dual:             d,
+			Fack:             200,
+			Fprog:            10,
+			Scheduler:        &sched.Sync{Rel: sched.Bernoulli{P: 0.5}},
+			Seed:             seed,
+			Assignment:       assignment,
+			Automata:         core.NewBMMBFleet(16),
+			HaltOnCompletion: true,
+			Check:            true,
+		})
+		if err != nil {
+			t.Fatalf("cold run seed %d: %v", seed, err)
+		}
+		if !res.Solved {
+			t.Fatalf("cold run seed %d unsolved", seed)
+		}
+		cold[i] = snapshot(res)
+	}
+
+	rn := core.NewRunner(d)
+	fleet := core.NewBMMBFleet(16)
+	for i, seed := range seeds {
+		for _, a := range fleet {
+			a.(interface{ Reset() }).Reset()
+		}
+		res, err := rn.Run(core.RunConfig{
+			Dual:             d,
+			Fack:             200,
+			Fprog:            10,
+			Scheduler:        &sched.Sync{Rel: sched.Bernoulli{P: 0.5}},
+			Seed:             seed,
+			Assignment:       assignment,
+			Automata:         fleet,
+			HaltOnCompletion: true,
+			Check:            true,
+		})
+		if err != nil {
+			t.Fatalf("warm run seed %d: %v", seed, err)
+		}
+		// Snapshot before the next Run recycles the pooled engine.
+		if got := snapshot(res); got != cold[i] {
+			t.Fatalf("warm run seed %d diverged from cold run:\nwarm:\n%.300s\ncold:\n%.300s",
+				seed, got, cold[i])
+		}
+	}
+}
+
+// TestRunnerRejectsForeignDual pins the pointer-identity contract: a Runner
+// only runs configurations on the exact network it was built for.
+func TestRunnerRejectsForeignDual(t *testing.T) {
+	rn := core.NewRunner(topology.Line(8))
+	other := topology.Line(8)
+	_, err := rn.Run(core.RunConfig{
+		Dual:       other,
+		Fack:       200,
+		Fprog:      10,
+		Scheduler:  &sched.Sync{},
+		Seed:       1,
+		Assignment: core.SingleSource(8, 0, 1),
+		Automata:   core.NewBMMBFleet(8),
+	})
+	if err == nil {
+		t.Fatal("Runner accepted a structurally equal but distinct dual")
+	}
+}

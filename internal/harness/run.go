@@ -27,6 +27,10 @@ type Options struct {
 	// are reduced in index order, so rendered tables are byte-identical at
 	// any Parallelism.
 	Parallelism int
+	// NoArena disables cross-trial run-arena and fleet reuse for pinned
+	// topologies (amacbench -no-arena). Executions and rendered tables
+	// are byte-identical either way; this is the debugging escape hatch.
+	NoArena bool
 }
 
 func (o Options) withDefaults() Options {

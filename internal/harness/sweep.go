@@ -76,7 +76,10 @@ func RunSweep(o Options, def SweepDef) *Table {
 			specs = append(specs, withOptions(pt.Spec, o))
 		}
 	}
-	reports, err := scenario.Sweep(specs, o.Parallelism)
+	reports, err := scenario.SweepWithOptions(specs, scenario.SweepOptions{
+		Parallelism: o.Parallelism,
+		NoArena:     o.NoArena,
+	})
 	if err != nil {
 		panic(fmt.Sprintf("harness: %s: %v", def.ID, err))
 	}

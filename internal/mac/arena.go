@@ -1,0 +1,202 @@
+package mac
+
+import (
+	"fmt"
+
+	"amac/internal/sim"
+	"amac/internal/topology"
+)
+
+// csrIndex is the per-topology delivery-position index an Arena derives from
+// G′ once and shares, read-only, with every instance of every execution on
+// that topology: for each directed G′ arc (sender, to) it precomputes the
+// slot of to in the sender's sorted neighbor row and whether the arc is
+// reliable (a G edge). Instance delivery lookups and the engine's Deliver
+// validation become one hash probe each — O(1) — instead of binary searches
+// over the adjacency rows.
+type csrIndex struct {
+	// pos maps arcKey(sender, to) → slot<<1 | reliableBit.
+	pos map[uint64]int32
+	// arcs is the total directed-arc count 2m′ — the delivery block's
+	// growth floor (one row per node's first broadcast is exactly one
+	// full arc space).
+	arcs int
+}
+
+// arcKey packs a directed (sender, to) pair into one map key.
+func arcKey(sender, to NodeID) uint64 {
+	return uint64(uint32(sender))<<32 | uint64(uint32(to))
+}
+
+func newCSRIndex(d *topology.Dual) *csrIndex {
+	idx := &csrIndex{
+		pos:  make(map[uint64]int32, 2*d.GPrime.M()),
+		arcs: 2 * d.GPrime.M(),
+	}
+	for v := 0; v < d.N(); v++ {
+		for s, u := range d.GPrime.Neighbors(NodeID(v)) {
+			val := int32(s) << 1
+			if d.G.HasEdge(NodeID(v), u) {
+				val |= 1
+			}
+			idx.pos[arcKey(NodeID(v), u)] = val
+		}
+	}
+	return idx
+}
+
+// Arena owns the reusable run state for repeated executions on one pinned
+// dual network: the precomputed CSR position index, a single flat backing
+// block that all instance delivery rows are carved from, the pooled
+// broadcast-instance records, the per-node engine state and the simulation
+// engine itself (whose event pool stays warm across runs). Passing an Arena
+// through Config makes the second and later engines on the same topology
+// allocation-free to construct and run trials against warm storage.
+//
+// An Arena serves one execution at a time: acquiring a new engine (via
+// NewEngine with Config.Arena set) recycles everything the previous
+// execution allocated, including the engine exposed through its results. It
+// is not safe for concurrent use — parallel trial pools hold one Arena per
+// worker.
+type Arena struct {
+	dual *topology.Dual
+	csr  *csrIndex
+	eng  *Engine
+
+	// block is the flat CSR delivery storage: every instance's deliveredAt
+	// row is block[used:used+deg]. Reset zeroes the used prefix instead of
+	// reallocating, so warm runs write into recycled memory.
+	block []sim.Time
+	used  int
+
+	// insts pools the instance records of past runs (pointers are stable;
+	// the structs are recycled field-by-field, keeping their receivers
+	// capacity). next is the reuse cursor of the current run.
+	insts []*Instance
+	next  int
+}
+
+// NewArena builds the reusable run state for the given dual network. It
+// panics on an invalid dual, exactly like NewEngine (which then skips
+// re-validation for arena-backed configurations).
+func NewArena(d *topology.Dual) *Arena {
+	if d == nil {
+		panic("mac: nil dual")
+	}
+	if err := d.Validate(); err != nil {
+		panic(fmt.Sprintf("mac: invalid dual: %v", err))
+	}
+	return &Arena{dual: d, csr: newCSRIndex(d)}
+}
+
+// Dual returns the network the arena was built for.
+func (a *Arena) Dual() *topology.Dual { return a.dual }
+
+// Fork returns a sibling arena for the same dual: it shares the read-only
+// CSR position index — built once, O(m′) — but owns fresh run storage.
+// Parallel trial pools fork one prototype arena per topology instead of
+// re-deriving the index per worker. Fork only reads immutable state, so it
+// is safe to call from multiple goroutines.
+func (a *Arena) Fork() *Arena { return &Arena{dual: a.dual, csr: a.csr} }
+
+// reset recycles the storage of the previous execution: the delivery block
+// is zeroed up to its high-water mark (rows are handed out pre-zeroed, like
+// a fresh make) and the instance cursor rewinds.
+func (a *Arena) reset() {
+	clear(a.block[:a.used])
+	a.used = 0
+	a.next = 0
+}
+
+// row carves the next deg slots out of the flat delivery block. Growth
+// doubles (with a floor of one full arc space — the exact demand of a
+// single flood where every node broadcasts once), so steady state performs
+// no allocation. The old contents are not copied: previously handed-out
+// rows keep aliasing their original backing for the rest of the run, and
+// the fresh block arrives pre-zeroed.
+func (a *Arena) row(deg int) []sim.Time {
+	if need := a.used + deg; need > len(a.block) {
+		newLen := 2 * len(a.block)
+		if newLen < a.csr.arcs {
+			newLen = a.csr.arcs
+		}
+		if newLen < need {
+			newLen = need
+		}
+		a.block = make([]sim.Time, newLen)
+	}
+	r := a.block[a.used : a.used+deg : a.used+deg]
+	a.used += deg
+	return r
+}
+
+// instance returns a broadcast-instance record backed by arena storage:
+// the delivery row comes from the flat block, the struct from the pool, and
+// the CSR index makes its lookups O(1).
+func (a *Arena) instance(id InstanceID, sender NodeID, payload any, start sim.Time) *Instance {
+	row := a.dual.GPrime.Neighbors(sender)
+	fresh := Instance{
+		ID:                id,
+		Sender:            sender,
+		Payload:           payload,
+		Start:             start,
+		nbrs:              row,
+		deliveredAt:       a.row(len(row)),
+		csr:               a.csr,
+		remainingReliable: a.dual.G.Degree(sender),
+	}
+	if a.next < len(a.insts) {
+		b := a.insts[a.next]
+		a.next++
+		fresh.receivers = b.receivers[:0]
+		*b = fresh
+		return b
+	}
+	// new + copy rather than &fresh: taking fresh's address would force it
+	// to the heap on every call, including the pooled path above.
+	b := new(Instance)
+	*b = fresh
+	a.insts = append(a.insts, b)
+	a.next++
+	return b
+}
+
+// engineFor returns the arena's engine configured for cfg: built once on
+// first use, then recycled — simulation clock and event pool reset, trace
+// truncated in place, node states and instance storage rewound — so warm
+// acquisition allocates nothing. The caller (NewEngine) has already
+// validated cfg.
+func (a *Arena) engineFor(cfg Config, automata []Automaton) *Engine {
+	a.reset()
+	e := a.eng
+	if e == nil {
+		e = &Engine{
+			cfg:   cfg,
+			sim:   sim.NewEngine(cfg.Seed),
+			arena: a,
+			nodes: make([]nodeState, cfg.Dual.N()),
+		}
+		e.sim.SetDispatcher(e)
+		a.eng = e
+	} else {
+		e.cfg = cfg
+		e.sim.Reset(cfg.Seed)
+		e.trace.Reset()
+		e.insts = e.insts[:0]
+		e.nextID = 0
+		e.schedRand = nil
+		e.watchers = e.watchers[:0]
+	}
+	e.timerSched, _ = cfg.Scheduler.(TimerScheduler)
+	if cfg.TraceCap > 0 {
+		e.trace.SetCap(cfg.TraceCap)
+	}
+	if cfg.NoTrace {
+		e.trace.Disable()
+	}
+	for i := range e.nodes {
+		e.nodes[i] = nodeState{eng: e, id: NodeID(i), automaton: automata[i]}
+	}
+	cfg.Scheduler.Attach(e)
+	return e
+}

@@ -1,0 +1,169 @@
+package mac_test
+
+import (
+	"testing"
+
+	"amac/internal/mac"
+	"amac/internal/topology"
+)
+
+// typedScheduler is a closure-free scheduler exercising the typed API the
+// shipped schedulers use: reliable batch after one tick, ack after two.
+type typedScheduler struct{ api mac.API }
+
+func (s *typedScheduler) Name() string       { return "typed" }
+func (s *typedScheduler) Attach(api mac.API) { s.api = api }
+func (s *typedScheduler) OnAbort(*mac.Instance) {}
+func (s *typedScheduler) OnBcast(b *mac.Instance) {
+	now := s.api.Now()
+	s.api.ScheduleReliableDeliveries(now+1, b)
+	s.api.ScheduleAck(now+2, b)
+}
+
+// arenaConfig returns an engine config for the dual, optionally backed by
+// the arena.
+func arenaConfig(d *topology.Dual, a *mac.Arena, seed int64) mac.Config {
+	return mac.Config{
+		Dual:      d,
+		Fack:      100,
+		Fprog:     10,
+		Scheduler: &typedScheduler{},
+		Seed:      seed,
+		Arena:     a,
+	}
+}
+
+// floodFleet returns one broadcasting echo automaton per node.
+func floodFleet(n int) []mac.Automaton {
+	autos := make([]mac.Automaton, n)
+	for i := range autos {
+		autos[i] = &echoAutomaton{payload: i}
+	}
+	return autos
+}
+
+// runFlood executes one flood and renders its observable state: the trace
+// plus every instance's delivery times over all nodes (exercising both
+// WasDelivered and DeliveredAt on the arena's O(1) CSR path and the cold
+// binary-search path alike).
+func runFlood(d *topology.Dual, a *mac.Arena, seed int64) (trace string, deliveries [][]int64) {
+	eng := mac.NewEngine(arenaConfig(d, a, seed), floodFleet(d.N()))
+	eng.Start()
+	eng.Run()
+	trace = eng.Trace().String()
+	for _, b := range eng.Instances() {
+		row := make([]int64, d.N())
+		for v := 0; v < d.N(); v++ {
+			at, ok := b.DeliveredAt(mac.NodeID(v))
+			if ok != b.WasDelivered(mac.NodeID(v)) {
+				panic("WasDelivered and DeliveredAt disagree")
+			}
+			if ok {
+				row[v] = int64(at) + 1
+			}
+		}
+		deliveries = append(deliveries, row)
+	}
+	return trace, deliveries
+}
+
+// TestArenaEngineMatchesCold pins that executions on a warm arena are
+// byte-identical to cold constructions: same trace, same per-instance
+// delivery state, across repeated acquisitions of the same arena.
+func TestArenaEngineMatchesCold(t *testing.T) {
+	d := topology.LineRRestricted(12, 2, 1.0, nil) // p=1: deterministic G′ ⊃ G
+	coldTrace, coldDel := runFlood(d, nil, 3)
+
+	a := mac.NewArena(d)
+	for round := 0; round < 3; round++ {
+		trace, del := runFlood(d, a, 3)
+		if trace != coldTrace {
+			t.Fatalf("round %d: arena trace diverged from cold run", round)
+		}
+		if len(del) != len(coldDel) {
+			t.Fatalf("round %d: %d instances, cold had %d", round, len(del), len(coldDel))
+		}
+		for i := range del {
+			for v := range del[i] {
+				if del[i][v] != coldDel[i][v] {
+					t.Fatalf("round %d: instance %d delivery at node %d = %d, cold %d",
+						round, i, v, del[i][v], coldDel[i][v])
+				}
+			}
+		}
+	}
+}
+
+// TestArenaWarmEngineConstructionAllocFree is the tentpole's construction
+// guarantee: after the first execution has filled the pools, acquiring an
+// engine from the arena — node states, trace, simulation engine, event
+// pool — allocates nothing.
+func TestArenaWarmEngineConstructionAllocFree(t *testing.T) {
+	d := topology.Line(32)
+	a := mac.NewArena(d)
+	autos := floodFleet(d.N())
+
+	// Warm the pools with one full execution. The scheduler is hoisted so
+	// the measurement below counts only the engine's own allocations.
+	cfg := arenaConfig(d, a, 1)
+	eng := mac.NewEngine(cfg, autos)
+	eng.Start()
+	eng.Run()
+
+	cfg.Seed = 2
+	allocs := testing.AllocsPerRun(50, func() {
+		mac.NewEngine(cfg, autos)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm arena engine construction allocates %.0f times, want 0", allocs)
+	}
+}
+
+// TestArenaWrongDual pins the guard against running a different network on
+// an arena's precomputed index.
+func TestArenaWrongDual(t *testing.T) {
+	a := mac.NewArena(topology.Line(8))
+	other := topology.Line(8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewEngine accepted an arena built for a different dual")
+		}
+	}()
+	mac.NewEngine(arenaConfig(other, a, 1), floodFleet(8))
+}
+
+// TestArenaDeliveryValidation pins that the CSR fast path enforces the same
+// receive-correctness panics as the cold path: a delivery without a G′ edge
+// must still be rejected.
+func TestArenaDeliveryValidation(t *testing.T) {
+	d := topology.Line(4)
+	a := mac.NewArena(d)
+	var b *mac.Instance
+	s := &hookScheduler{onBcast: func(inst *mac.Instance) { b = inst }}
+	eng := mac.NewEngine(mac.Config{
+		Dual: d, Fack: 100, Fprog: 10, Scheduler: s, Seed: 1, Arena: a,
+	}, floodFleet(4))
+	_ = eng
+	eng.Start()
+	eng.Sim().RunUntil(0)
+	if b == nil {
+		t.Fatal("no broadcast observed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("arena Deliver accepted a non-G′ receiver")
+		}
+	}()
+	eng.Deliver(b, 3) // node 0's row on a line is {1}; 3 is not a G′ neighbor
+}
+
+// hookScheduler exposes OnBcast to the test.
+type hookScheduler struct {
+	api     mac.API
+	onBcast func(*mac.Instance)
+}
+
+func (s *hookScheduler) Name() string            { return "hook" }
+func (s *hookScheduler) Attach(api mac.API)      { s.api = api }
+func (s *hookScheduler) OnAbort(*mac.Instance)   {}
+func (s *hookScheduler) OnBcast(b *mac.Instance) { s.onBcast(b) }

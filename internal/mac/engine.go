@@ -32,6 +32,15 @@ type Config struct {
 	// every event; when none are registered either, the engine skips event
 	// construction altogether — the throughput fast path.
 	NoTrace bool
+	// Arena, when set, must have been built for Dual (pointer identity)
+	// and makes construction reuse the arena's warm storage: pooled engine
+	// and node states, flat CSR delivery rows with O(1) position lookups,
+	// recycled instance records and a warm event pool. Executions are
+	// byte-identical with and without an arena; the arena only changes
+	// where the memory comes from. Acquiring an engine recycles the
+	// previous execution's state, including the engine reachable through
+	// earlier results.
+	Arena *Arena
 }
 
 // Scheduler is the source of the model's non-determinism: it decides when
@@ -110,7 +119,8 @@ type TimerScheduler interface {
 type Engine struct {
 	cfg        Config
 	sim        *sim.Engine
-	nodes      []*nodeState
+	arena      *Arena // nil unless constructed through Config.Arena
+	nodes      []nodeState
 	trace      sim.Trace
 	insts      []*Instance
 	nextID     InstanceID
@@ -162,8 +172,14 @@ func NewEngine(cfg Config, automata []Automaton) *Engine {
 	if cfg.Dual == nil {
 		panic("mac: nil dual")
 	}
-	if err := cfg.Dual.Validate(); err != nil {
-		panic(fmt.Sprintf("mac: invalid dual: %v", err))
+	if cfg.Arena == nil {
+		if err := cfg.Dual.Validate(); err != nil {
+			panic(fmt.Sprintf("mac: invalid dual: %v", err))
+		}
+	} else if cfg.Arena.dual != cfg.Dual {
+		// The arena's CSR index is derived from its own dual; running a
+		// different network against it would silently corrupt deliveries.
+		panic("mac: Config.Arena was built for a different dual")
 	}
 	if cfg.Scheduler == nil {
 		panic("mac: nil scheduler")
@@ -179,6 +195,9 @@ func NewEngine(cfg Config, automata []Automaton) *Engine {
 	}
 	if len(automata) != cfg.Dual.N() {
 		panic(fmt.Sprintf("mac: %d automata for %d nodes", len(automata), cfg.Dual.N()))
+	}
+	if cfg.Arena != nil {
+		return cfg.Arena.engineFor(cfg, automata)
 	}
 	e := &Engine{
 		cfg: cfg,
@@ -196,9 +215,9 @@ func NewEngine(cfg Config, automata []Automaton) *Engine {
 	// draw: seeding a math/rand stream costs more than most nodes' entire
 	// event work, and deterministic automata never draw at all. Fork is
 	// keyed by id alone, so creation order does not change the streams.
-	e.nodes = make([]*nodeState, cfg.Dual.N())
+	e.nodes = make([]nodeState, cfg.Dual.N())
 	for i := range e.nodes {
-		e.nodes[i] = &nodeState{
+		e.nodes[i] = nodeState{
 			eng:       e,
 			id:        NodeID(i),
 			automaton: automata[i],
@@ -269,10 +288,10 @@ func (e *Engine) Arrive(v NodeID, payload any, t sim.Time) {
 func (e *Engine) Dispatch(kind sim.EventKind, op sim.Op) {
 	switch kind {
 	case evWakeup:
-		ns := e.nodes[op.A]
+		ns := &e.nodes[op.A]
 		ns.automaton.Wakeup(ns)
 	case evArrive:
-		ns := e.nodes[op.A]
+		ns := &e.nodes[op.A]
 		e.emit("arrive", ns.id, op.Obj)
 		ns.automaton.(Arriver).Arrive(ns, op.Obj)
 	case evDeliverOne:
@@ -304,7 +323,7 @@ func (e *Engine) Dispatch(kind sim.EventKind, op sim.Op) {
 			e.Ack(b)
 		}
 	case evTimer:
-		ns := e.nodes[op.A]
+		ns := &e.nodes[op.A]
 		ns.automaton.(TimerHandler).Timer(ns, op.Obj)
 	case evSchedTimer:
 		e.timerSched.OnTimer(op.Obj, op.A, op.B)
@@ -324,7 +343,7 @@ func (e *Engine) node(v NodeID) *nodeState {
 	if int(v) < 0 || int(v) >= len(e.nodes) {
 		panic(fmt.Sprintf("mac: node %d out of range", v))
 	}
-	return e.nodes[v]
+	return &e.nodes[v]
 }
 
 // --- API (scheduler surface) ---
@@ -396,13 +415,45 @@ func (e *Engine) Deliver(b *Instance, to NodeID) {
 	if to == b.Sender {
 		panic(fmt.Sprintf("mac: delivery of instance %d to its own sender", b.ID))
 	}
-	if !e.cfg.Dual.GPrime.HasEdge(b.Sender, to) {
-		panic(fmt.Sprintf("mac: delivery %d→%d without a G' edge", b.Sender, to))
-	}
-	if b.WasDelivered(to) {
-		panic(fmt.Sprintf("mac: duplicate delivery of instance %d to %d", b.ID, to))
-	}
 	now := e.sim.Now()
+	if b.csr != nil {
+		// Arena fast path: one precomputed position probe replaces the G′
+		// membership search, the delivered lookup and the G reliability
+		// search — every check and its failure order unchanged.
+		v, ok := b.csr.pos[arcKey(b.Sender, to)]
+		if !ok {
+			panic(fmt.Sprintf("mac: delivery %d→%d without a G' edge", b.Sender, to))
+		}
+		slot := int(v >> 1)
+		if b.deliveredAt[slot] != 0 {
+			panic(fmt.Sprintf("mac: duplicate delivery of instance %d to %d", b.ID, to))
+		}
+		e.checkDeliveryTerm(b, now)
+		b.deliveredAt[slot] = now + 1
+		b.receivers = append(b.receivers, to)
+		if v&1 != 0 {
+			b.remainingReliable--
+		}
+	} else {
+		if !e.cfg.Dual.GPrime.HasEdge(b.Sender, to) {
+			panic(fmt.Sprintf("mac: delivery %d→%d without a G' edge", b.Sender, to))
+		}
+		if b.WasDelivered(to) {
+			panic(fmt.Sprintf("mac: duplicate delivery of instance %d to %d", b.ID, to))
+		}
+		e.checkDeliveryTerm(b, now)
+		b.MarkDelivered(to, now, e.cfg.Dual.G.HasEdge(b.Sender, to))
+	}
+	if e.recording() {
+		e.emit("rcv", to, b.ID)
+	}
+	ns := e.node(to)
+	ns.automaton.Recv(ns, Message{Instance: b.ID, Sender: b.Sender, Payload: b.Payload})
+}
+
+// checkDeliveryTerm enforces the termination-related receive-correctness
+// conditions shared by both Deliver paths.
+func (e *Engine) checkDeliveryTerm(b *Instance, now sim.Time) {
 	switch b.Term {
 	case Acked:
 		panic(fmt.Sprintf("mac: delivery of instance %d after its ack", b.ID))
@@ -412,12 +463,6 @@ func (e *Engine) Deliver(b *Instance, to NodeID) {
 				b.ID, now-b.TermAt, e.cfg.EpsAbort))
 		}
 	}
-	b.MarkDelivered(to, now, e.cfg.Dual.G.HasEdge(b.Sender, to))
-	if e.recording() {
-		e.emit("rcv", to, b.ID)
-	}
-	ns := e.node(to)
-	ns.automaton.Recv(ns, Message{Instance: b.ID, Sender: b.Sender, Payload: b.Payload})
 }
 
 // Ack performs the acknowledgment for b. The engine enforces
@@ -467,8 +512,13 @@ func (ns *nodeState) Bcast(payload any) {
 			ns.id, ns.pending.ID))
 	}
 	e := ns.eng
-	b := NewInstance(e.nextID, ns.id, payload, e.sim.Now(),
-		e.cfg.Dual.GPrime.Neighbors(ns.id), e.cfg.Dual.G.Degree(ns.id))
+	var b *Instance
+	if e.arena != nil {
+		b = e.arena.instance(e.nextID, ns.id, payload, e.sim.Now())
+	} else {
+		b = NewInstance(e.nextID, ns.id, payload, e.sim.Now(),
+			e.cfg.Dual.GPrime.Neighbors(ns.id), e.cfg.Dual.G.Degree(ns.id))
+	}
 	e.nextID++
 	e.insts = append(e.insts, b)
 	ns.pending = b

@@ -1,0 +1,69 @@
+package mac_test
+
+import (
+	"testing"
+
+	"amac/internal/graph"
+	"amac/internal/mac"
+)
+
+// TestMarkDeliveredNegativeTime is the regression test for the overflow
+// bias bug: checker-built histories may deliver at time −1, which the +1
+// bias stores as 0 — the old `overflow[to] != 0` lookup conflated that with
+// "never delivered", so WasDelivered lied and duplicate marks slipped
+// through. Lookups are existence-based now, and row neighbors marked at
+// negative times route through the overflow map uniformly, so both domains
+// report the delivery and its exact time.
+func TestMarkDeliveredNegativeTime(t *testing.T) {
+	row := []graph.NodeID{1, 3, 5}
+	for _, tc := range []struct {
+		name string
+		to   mac.NodeID
+	}{
+		{"row-neighbor", 3},
+		{"outside-row", 2},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			b := mac.NewInstance(7, 0, nil, 0, row, 0)
+			b.MarkDelivered(tc.to, -1, false)
+			if !b.WasDelivered(tc.to) {
+				t.Fatalf("WasDelivered(%d) = false after a delivery at time -1", tc.to)
+			}
+			at, ok := b.DeliveredAt(tc.to)
+			if !ok || at != -1 {
+				t.Fatalf("DeliveredAt(%d) = (%d, %v), want (-1, true)", tc.to, at, ok)
+			}
+			if n := b.NumDelivered(); n != 1 {
+				t.Fatalf("NumDelivered = %d, want 1", n)
+			}
+			defer func() {
+				if recover() == nil {
+					t.Fatal("duplicate MarkDelivered at time -1 did not panic")
+				}
+			}()
+			b.MarkDelivered(tc.to, 4, false)
+		})
+	}
+}
+
+// TestMarkDeliveredRowAndOverflowDisjoint pins that a node marked through
+// the overflow domain (negative time) cannot be re-marked through its row
+// slot and vice versa — the duplicate check spans both domains.
+func TestMarkDeliveredRowAndOverflowDisjoint(t *testing.T) {
+	row := []graph.NodeID{1, 2}
+	b := mac.NewInstance(1, 0, nil, 0, row, 0)
+	b.MarkDelivered(1, 5, false) // row domain, real time
+	b.MarkDelivered(2, -3, false)
+	if at, ok := b.DeliveredAt(1); !ok || at != 5 {
+		t.Fatalf("DeliveredAt(1) = (%d, %v), want (5, true)", at, ok)
+	}
+	if at, ok := b.DeliveredAt(2); !ok || at != -3 {
+		t.Fatalf("DeliveredAt(2) = (%d, %v), want (-3, true)", at, ok)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-marking an overflow-delivered node via its row did not panic")
+		}
+	}()
+	b.MarkDelivered(2, 6, false)
+}

@@ -121,6 +121,15 @@ type Arriver interface {
 	Arrive(ctx Context, payload any)
 }
 
+// Resettable is implemented by automata that can restore themselves to
+// their initial, pre-Wakeup state. Fleets of resettable automata are reused
+// across repeated executions on a warm Arena instead of being rebuilt per
+// trial; Reset must leave the automaton observably indistinguishable from a
+// freshly constructed one, so executions are identical either way.
+type Resettable interface {
+	Reset()
+}
+
 // TimerHandler is implemented by enhanced-model automata that set timers.
 type TimerHandler interface {
 	Timer(ctx EnhancedContext, tag any)
@@ -165,10 +174,19 @@ type Instance struct {
 	nbrs []NodeID
 	// deliveredAt[i] is the rcv time at nbrs[i] plus one; zero means not
 	// delivered. The +1 bias lets the slice start as plain zeroed memory
-	// (rcv times are ≥ 0), so NewInstance is a single make with no fill.
+	// (real rcv times are ≥ 0), so NewInstance is a single make with no
+	// fill; arena-built instances carve the row out of one flat pre-zeroed
+	// block instead.
 	deliveredAt []sim.Time
-	// overflow records marks at nodes outside nbrs (invalid-history
-	// construction by checker tests); nil in every real execution.
+	// csr, when non-nil, is the arena's precomputed (sender, neighbor) →
+	// slot index, making slot lookups O(1) instead of a binary search.
+	csr *csrIndex
+	// overflow records marks outside the row's domain — nodes that are not
+	// G′ neighbors, or negative rcv times, both only constructible by
+	// checker tests building invalid histories; nil in every real
+	// execution. Values carry the same +1 bias as the row, but lookups are
+	// existence-based so a delivery at time −1 (biased to 0) is still
+	// distinguishable from "never delivered".
 	overflow map[NodeID]sim.Time
 	// grey holds the drawn unreliable targets of a pending batch delivery
 	// (see API.ScheduleGreyDeliveries).
@@ -196,8 +214,16 @@ func NewInstance(id InstanceID, sender NodeID, payload any, start sim.Time, gPri
 	}
 }
 
-// slot returns the index of to in the sender's neighbor row, or -1.
+// slot returns the index of to in the sender's neighbor row, or -1. With an
+// arena index attached the lookup is one hash probe; standalone instances
+// binary-search the sorted row.
 func (b *Instance) slot(to NodeID) int {
+	if b.csr != nil {
+		if v, ok := b.csr.pos[arcKey(b.Sender, to)]; ok {
+			return int(v >> 1)
+		}
+		return -1
+	}
 	lo, hi := 0, len(b.nbrs)
 	for lo < hi {
 		mid := int(uint(lo+hi) >> 1)
@@ -218,16 +244,20 @@ func (b *Instance) slot(to NodeID) int {
 // counter AllReliableDelivered consults. It performs no model validation
 // (mac.Engine.Deliver does; checkers deliberately build invalid histories)
 // but panics on duplicates, which every caller is expected to screen out.
+// Negative times — constructible only by checkers, since the engine's clock
+// never goes below zero — are routed through the overflow map, whose
+// existence-based lookups survive the +1 bias collapsing at+1 to zero.
 func (b *Instance) MarkDelivered(to NodeID, at sim.Time, reliable bool) {
-	if s := b.slot(to); s >= 0 {
-		if b.deliveredAt[s] != 0 {
-			panic(fmt.Sprintf("mac: duplicate MarkDelivered of instance %d at %d", b.ID, to))
-		}
+	s := b.slot(to)
+	// The duplicate check spans both domains with the one slot lookup
+	// above: a node may have been marked through either its row (real
+	// time) or the overflow map (negative time or no row slot).
+	if delivered := s >= 0 && b.deliveredAt[s] != 0; delivered || b.inOverflow(to) {
+		panic(fmt.Sprintf("mac: duplicate MarkDelivered of instance %d at %d", b.ID, to))
+	}
+	if s >= 0 && at >= 0 {
 		b.deliveredAt[s] = at + 1
 	} else {
-		if _, dup := b.overflow[to]; dup {
-			panic(fmt.Sprintf("mac: duplicate MarkDelivered of instance %d at %d", b.ID, to))
-		}
 		if b.overflow == nil {
 			b.overflow = make(map[NodeID]sim.Time)
 		}
@@ -239,26 +269,29 @@ func (b *Instance) MarkDelivered(to NodeID, at sim.Time, reliable bool) {
 	}
 }
 
+// inOverflow reports whether to was marked through the overflow map.
+func (b *Instance) inOverflow(to NodeID) bool {
+	_, ok := b.overflow[to]
+	return ok
+}
+
 // WasDelivered reports whether node to has received the instance.
 func (b *Instance) WasDelivered(to NodeID) bool {
-	if s := b.slot(to); s >= 0 {
-		return b.deliveredAt[s] != 0
+	if s := b.slot(to); s >= 0 && b.deliveredAt[s] != 0 {
+		return true
 	}
-	return b.overflow[to] != 0
+	return b.inOverflow(to)
 }
 
 // DeliveredAt returns the rcv time at node to, and whether it received.
 func (b *Instance) DeliveredAt(to NodeID) (sim.Time, bool) {
-	var biased sim.Time
-	if s := b.slot(to); s >= 0 {
-		biased = b.deliveredAt[s]
-	} else {
-		biased = b.overflow[to]
+	if s := b.slot(to); s >= 0 && b.deliveredAt[s] != 0 {
+		return b.deliveredAt[s] - 1, true
 	}
-	if biased == 0 {
-		return 0, false
+	if biased, ok := b.overflow[to]; ok {
+		return biased - 1, true
 	}
-	return biased - 1, true
+	return 0, false
 }
 
 // Receivers returns the nodes that received the instance, in delivery

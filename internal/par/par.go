@@ -8,18 +8,42 @@ import (
 	"sync/atomic"
 )
 
+// Workers reports the number of worker slots For and ForWorker use for a
+// pool of p over n tasks: min(p, n), floored at 1 (the inline path counts
+// as one worker). Callers sizing worker-local state (e.g. one warm arena
+// per worker) allocate exactly this many slots.
+func Workers(p, n int) int {
+	if p > n {
+		p = n
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
 // For runs fn(i) for every i in [0, n) using up to p concurrent workers and
 // returns when all have finished; p <= 1 (or n <= 1) runs inline. Work is
 // handed out through an atomic index, so the set of indices executed is
 // exactly [0, n) at any parallelism. A panic in any worker is re-raised in
 // the caller once the pool drains.
 func For(p, n int, fn func(i int)) {
-	if p > n {
-		p = n
-	}
-	if p <= 1 || n <= 1 {
+	ForWorker(p, n, func(_, i int) { fn(i) })
+}
+
+// ForWorker is For with the worker slot exposed: fn(w, i) runs task i on
+// worker w ∈ [0, Workers(p, n)). One worker never runs two tasks
+// concurrently, so fn may index worker-local state (arenas, scratch
+// buffers) by w without locking; the task-to-worker assignment is
+// scheduling-dependent, so results must not depend on w.
+func ForWorker(p, n int, fn func(worker, i int)) {
+	// Derive the pool size through Workers so the [0, Workers(p, n))
+	// worker-index invariant callers size their per-worker state by is
+	// structural, not a coincidence of two clamps.
+	p = Workers(p, n)
+	if p == 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return
 	}
@@ -31,7 +55,7 @@ func For(p, n int, fn func(i int)) {
 	)
 	wg.Add(p)
 	for w := 0; w < p; w++ {
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			defer func() {
 				if r := recover(); r != nil {
@@ -47,9 +71,9 @@ func For(p, n int, fn func(i int)) {
 				if i >= n {
 					return
 				}
-				fn(i)
+				fn(worker, i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	if panicked != nil {

@@ -1,0 +1,108 @@
+package scenario_test
+
+import (
+	"fmt"
+	"testing"
+
+	"amac/internal/scenario"
+	"amac/internal/topology"
+)
+
+// pinnedSpecs returns multi-trial pinned-topology scenarios covering both
+// registered algorithms (bmmb's map-backed fleet, fmmb's staged
+// timer/abort automaton with its MIS substate) and randomized scheduling,
+// so arena plus fleet reuse is exercised across resets, not just on the
+// first trial.
+func pinnedSpecs(trials int) []scenario.Spec {
+	return []scenario.Spec{
+		{
+			Name: "bmmb-pinned",
+			Topology: scenario.TopologySpec{
+				Name:   "rline",
+				Params: topology.Params{"n": 14, "r": 2, "p": 0.6},
+				Seed:   7,
+			},
+			Workload:  scenario.WorkloadSpec{Kind: scenario.WorkloadSingleton, K: 3},
+			Algorithm: scenario.AlgorithmSpec{Name: "bmmb"},
+			Scheduler: scenario.SchedulerSpec{Name: "sync", Params: topology.Params{"rel": 0.5}},
+			Model:     scenario.ModelSpec{Fprog: 10, Fack: 200},
+			Run:       scenario.RunSpec{Seed: 3, Trials: trials, Check: true},
+		},
+		{
+			Name: "fmmb-pinned",
+			Topology: scenario.TopologySpec{
+				Name:   "rline",
+				Params: topology.Params{"n": 10, "r": 2, "p": 0.5},
+				Seed:   5,
+			},
+			Workload:  scenario.WorkloadSpec{Kind: scenario.WorkloadSingleton, K: 2},
+			Algorithm: scenario.AlgorithmSpec{Name: "fmmb"},
+			Model:     scenario.ModelSpec{Fprog: 10, Fack: 200},
+			Run:       scenario.RunSpec{Seed: 2, Trials: trials, Check: true},
+		},
+	}
+}
+
+// reportFingerprint renders every per-trial scalar outcome of a sweep.
+func reportFingerprint(reports []*scenario.Report) string {
+	out := ""
+	for _, r := range reports {
+		for _, tr := range r.Trials {
+			res := tr.Result
+			ok := res.Report == nil || res.Report.OK()
+			out += fmt.Sprintf("%s seed=%d sched=%s solved=%v t=%d end=%d del=%d req=%d bcasts=%d steps=%d check=%v\n",
+				r.Spec.Name, tr.Seed, tr.SchedulerName, res.Solved, res.CompletionTime,
+				res.End, res.Delivered, res.Required, res.Broadcasts, res.Steps, ok)
+		}
+	}
+	return out
+}
+
+// TestArenaSweepMatchesNoArena pins the acceptance guarantee of the run-
+// arena subsystem at the scenario layer: repeated trials of pinned
+// topologies produce identical results with arena/fleet reuse on and off,
+// at sequential and parallel pool sizes alike.
+func TestArenaSweepMatchesNoArena(t *testing.T) {
+	const trials = 5
+	specs := pinnedSpecs(trials)
+	baseline, err := scenario.SweepWithOptions(specs, scenario.SweepOptions{Parallelism: 1, NoArena: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := reportFingerprint(baseline)
+	for _, tc := range []scenario.SweepOptions{
+		{Parallelism: 1},
+		{Parallelism: 3},
+		{Parallelism: 3, NoArena: true},
+	} {
+		reports, err := scenario.SweepWithOptions(specs, tc)
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		if got := reportFingerprint(reports); got != want {
+			t.Fatalf("sweep with %+v diverged from the cold sequential baseline:\ngot:\n%s\nwant:\n%s", tc, got, want)
+		}
+	}
+}
+
+// TestRunSpecNoArena pins that the spec-level escape hatch is honored and
+// produces identical results through scenario.Run.
+func TestRunSpecNoArena(t *testing.T) {
+	spec := pinnedSpecs(4)[0]
+	warm, err := scenario.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Run.NoArena = true
+	cold, err := scenario.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := reportFingerprint([]*scenario.Report{warm})
+	c := reportFingerprint([]*scenario.Report{cold})
+	// The fingerprints differ only in the resolved spec name, which is
+	// identical here; everything else must match exactly.
+	if w != c {
+		t.Fatalf("no_arena run diverged:\nwarm:\n%s\ncold:\n%s", w, c)
+	}
+}

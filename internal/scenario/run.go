@@ -5,6 +5,7 @@ import (
 
 	"amac/internal/core"
 	"amac/internal/graph"
+	"amac/internal/mac"
 	"amac/internal/par"
 	"amac/internal/sched"
 	"amac/internal/sim"
@@ -22,7 +23,12 @@ type TrialResult struct {
 	Workload *core.Workload
 	// SchedulerName is the resolved scheduler's self-description.
 	SchedulerName string
-	// Result is the execution outcome.
+	// Result is the execution outcome. When trials reuse a warm arena
+	// (pinned topology, NoArena unset), Result.Engine is recycled by the
+	// next trial on the same worker: with Trials == 1 it stays valid, and
+	// the scalar fields and Report are always safe, but multi-trial
+	// callers that need per-trial traces or instances must either copy
+	// them in a watcher or disable reuse.
 	Result *core.Result
 }
 
@@ -84,7 +90,9 @@ func (r *Report) Steps() uint64 {
 // Run validates the spec and executes its trials on a worker pool of
 // Run.Parallelism, returning per-trial results in seed order. Every trial is
 // an independent deterministic simulation keyed by its seed, so the report
-// is a pure function of the spec at any parallelism.
+// is a pure function of the spec at any parallelism. Trials of a pinned
+// topology run against one warm run arena per worker (see warmRun) unless
+// Run.NoArena disables reuse.
 func Run(s Spec) (*Report, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
@@ -99,13 +107,23 @@ func Run(s Spec) (*Report, error) {
 			return nil, err
 		}
 	}
+	var warm *warmRun
+	if shared != nil && !r.Run.NoArena {
+		var err error
+		if warm, err = newWarmRun(r, shared, par.Workers(r.Run.Parallelism, r.Run.Trials)); err != nil {
+			return nil, fmt.Errorf("scenario: trial with seed %d: %w", r.Run.Seed, err)
+		}
+	}
 	trials := make([]*TrialResult, r.Run.Trials)
 	errs := make([]error, r.Run.Trials)
-	par.For(r.Run.Parallelism, r.Run.Trials, func(i int) {
+	par.ForWorker(r.Run.Parallelism, r.Run.Trials, func(worker, i int) {
 		seed := r.Run.Seed + int64(i)
-		if shared != nil {
+		switch {
+		case warm != nil:
+			trials[i], errs[i] = warm.trial(seed, worker)
+		case shared != nil:
 			trials[i], errs[i] = trialOn(s, seed, shared)
-		} else {
+		default:
 			trials[i], errs[i] = Trial(s, seed)
 		}
 	})
@@ -117,11 +135,32 @@ func Run(s Spec) (*Report, error) {
 	return &Report{Spec: r, Trials: trials}, nil
 }
 
+// SweepOptions parameterizes Sweep beyond the spec grid itself.
+type SweepOptions struct {
+	// Parallelism bounds concurrent (spec, trial) simulations; 0 or 1 runs
+	// sequentially. Reports are byte-identical at any value.
+	Parallelism int
+	// NoArena disables cross-trial arena and fleet reuse for pinned
+	// topologies across the whole sweep (per-spec Run.NoArena also
+	// applies). Executions are identical either way; this is the
+	// debugging escape hatch.
+	NoArena bool
+}
+
 // Sweep executes a grid of specs, flattening every (spec, trial) pair onto
 // one worker pool of the given parallelism, and returns one report per spec
 // in input order. Each spec's own Run.Parallelism is ignored; everything
 // else (seeds, trials) applies per spec.
 func Sweep(specs []Spec, parallelism int) ([]*Report, error) {
+	return SweepWithOptions(specs, SweepOptions{Parallelism: parallelism})
+}
+
+// SweepWithOptions is Sweep with explicit options. Trials of each pinned-
+// topology spec share one warm run arena per (spec, worker) pair — pool-
+// local state that no two goroutines touch concurrently — so repeated
+// trials skip fleet construction and engine allocation while the parallel
+// reduction stays byte-identical.
+func SweepWithOptions(specs []Spec, o SweepOptions) ([]*Report, error) {
 	resolved := make([]Spec, len(specs))
 	shared := make([]*topology.Built, len(specs))
 	offsets := make([]int, len(specs)+1)
@@ -139,18 +178,31 @@ func Sweep(specs []Spec, parallelism int) ([]*Report, error) {
 		offsets[i+1] = offsets[i] + resolved[i].Run.Trials
 	}
 	total := offsets[len(specs)]
+	workers := par.Workers(o.Parallelism, total)
+	warms := make([]*warmRun, len(specs))
+	for i := range specs {
+		if shared[i] != nil && !o.NoArena && !resolved[i].Run.NoArena {
+			var err error
+			if warms[i], err = newWarmRun(resolved[i], shared[i], workers); err != nil {
+				return nil, fmt.Errorf("scenario: spec %d (%s): %w", i, specs[i].Name, err)
+			}
+		}
+	}
 	trials := make([]*TrialResult, total)
 	errs := make([]error, total)
-	par.For(parallelism, total, func(task int) {
+	par.ForWorker(o.Parallelism, total, func(worker, task int) {
 		// Binary search is overkill: sweeps are small, scan.
 		si := 0
 		for offsets[si+1] <= task {
 			si++
 		}
 		seed := resolved[si].Run.Seed + int64(task-offsets[si])
-		if shared[si] != nil {
+		switch {
+		case warms[si] != nil:
+			trials[task], errs[task] = warms[si].trial(seed, worker)
+		case shared[si] != nil:
 			trials[task], errs[task] = trialOn(specs[si], seed, shared[si])
-		} else {
+		default:
 			trials[task], errs[task] = Trial(specs[si], seed)
 		}
 	})
@@ -164,6 +216,85 @@ func Sweep(specs []Spec, parallelism int) ([]*Report, error) {
 		out[i] = &Report{Spec: resolved[i], Trials: trials[offsets[i]:offsets[i+1]]}
 	}
 	return out, nil
+}
+
+// warmRun is the reusable trial context of one pinned-topology spec: the
+// shared trialPlan resolved once, plus per-worker warm state — each worker
+// of the trial pool owns a core.Runner (arena, pooled engine) and, when
+// the algorithm's automata implement mac.Resettable, a reusable fleet.
+// Repeated trials therefore skip fleet construction, engine allocation and
+// delivery-row allocation entirely.
+type warmRun struct {
+	*trialPlan
+
+	// proto is worker 0's runner and the Fork source for the rest: the
+	// CSR and component indexes are derived once per spec, not per
+	// worker. Forking reads only immutable state, so workers fork
+	// concurrently without locking.
+	proto *core.Runner
+	// Per-worker state, indexed by the pool's worker slot. A nil fleets
+	// entry means "build per trial" (first use, or automata that cannot
+	// Reset).
+	runners []*core.Runner
+	fleets  [][]mac.Automaton
+}
+
+// newWarmRun resolves the spec once (the same resolution a cold trial
+// performs) and allocates the per-worker slots.
+func newWarmRun(r Spec, built *topology.Built, workers int) (*warmRun, error) {
+	p, err := resolvePlan(r, built)
+	if err != nil {
+		return nil, err
+	}
+	return &warmRun{
+		trialPlan: p,
+		proto:     core.NewRunner(built.Dual),
+		runners:   make([]*core.Runner, workers),
+		fleets:    make([][]mac.Automaton, workers),
+	}, nil
+}
+
+// trial executes one seed on the given worker's warm runner. The execution
+// is a pure function of (spec, seed) — the worker index only selects which
+// pooled storage backs it — so results are byte-identical to a cold trial
+// at any parallelism.
+func (w *warmRun) trial(seed int64, worker int) (*TrialResult, error) {
+	rn := w.runners[worker]
+	if rn == nil {
+		if worker == 0 {
+			rn = w.proto
+		} else {
+			rn = w.proto.Fork()
+		}
+		w.runners[worker] = rn
+	}
+	automata := w.fleets[worker]
+	if automata != nil {
+		for _, a := range automata {
+			a.(mac.Resettable).Reset()
+		}
+	} else {
+		var err error
+		automata, err = w.newFleet()
+		if err != nil {
+			return nil, err
+		}
+		if fleetResettable(automata) {
+			w.fleets[worker] = automata
+		}
+	}
+	return w.execute(seed, automata, rn)
+}
+
+// fleetResettable reports whether every automaton of the fleet can be
+// restored for reuse.
+func fleetResettable(fleet []mac.Automaton) bool {
+	for _, a := range fleet {
+		if _, ok := a.(mac.Resettable); !ok {
+			return false
+		}
+	}
+	return true
 }
 
 // Trial executes one seed of the scenario: build the topology (seeded per
@@ -213,8 +344,38 @@ func topologyPinned(r Spec) bool {
 
 // trialOn executes one seed of the scenario on an already-built network.
 func trialOn(s Spec, seed int64, built *topology.Built) (*TrialResult, error) {
-	r := s.WithDefaults()
+	p, err := resolvePlan(s.WithDefaults(), built)
+	if err != nil {
+		return nil, err
+	}
+	automata, err := p.newFleet()
+	if err != nil {
+		return nil, err
+	}
+	return p.execute(seed, automata, nil)
+}
 
+// trialPlan is everything about a trial that is a pure function of the
+// resolved spec and its built network: the workload, payloads, algorithm,
+// horizon and step limit. It is the single spec-resolution pipeline behind
+// both the cold path (trialOn resolves one per trial) and the warm path
+// (warmRun resolves one per spec and reuses it), so the two cannot
+// diverge.
+type trialPlan struct {
+	spec      Spec // resolved
+	built     *topology.Built
+	workload  *core.Workload
+	payloads  []any
+	alg       core.Algorithm
+	schedName string
+	horizon   sim.Time
+	stepLimit uint64
+	k         int
+}
+
+// resolvePlan resolves the trial-invariant parts of a spec against its
+// built topology.
+func resolvePlan(r Spec, built *topology.Built) (*trialPlan, error) {
 	assignment, workload, err := buildWorkload(r, built)
 	if err != nil {
 		return nil, err
@@ -223,17 +384,11 @@ func trialOn(s Spec, seed int64, built *topology.Built) (*TrialResult, error) {
 		workload = core.FromAssignment(assignment)
 	}
 	k := workload.K()
-
 	alg, ok := core.LookupAlgorithm(r.Algorithm.Name)
 	if !ok {
 		return nil, fmt.Errorf("core: unknown algorithm %q (registered: %v)",
 			r.Algorithm.Name, core.AlgorithmNames())
 	}
-	automata, err := alg.NewFleet(built.Dual, k, r.Algorithm.Params)
-	if err != nil {
-		return nil, err
-	}
-
 	schedName := r.Scheduler.Name
 	if schedName == "" {
 		schedName = alg.DefaultScheduler
@@ -242,50 +397,77 @@ func trialOn(s Spec, seed int64, built *topology.Built) (*TrialResult, error) {
 	for _, ar := range workload.Arrivals() {
 		payloads = append(payloads, ar.Msg)
 	}
-	scheduler, err := sched.Build(schedName, sched.Env{
-		Dual:     built.Dual,
-		Artifact: built.Artifact,
-		Payloads: payloads,
+	horizon := sim.Time(r.Run.Horizon)
+	if horizon == 0 && alg.Horizon != nil {
+		horizon = alg.Horizon(built.Dual, k, sim.Time(r.Model.Fprog), r.Algorithm.Params)
+	}
+	stepLimit := r.Run.StepLimit
+	if stepLimit == 0 {
+		stepLimit = alg.StepLimit
+	}
+	return &trialPlan{
+		spec:      r,
+		built:     built,
+		workload:  workload,
+		payloads:  payloads,
+		alg:       alg,
+		schedName: schedName,
+		horizon:   horizon,
+		stepLimit: stepLimit,
+		k:         k,
+	}, nil
+}
+
+// newFleet builds a fresh fleet for the plan.
+func (p *trialPlan) newFleet() ([]mac.Automaton, error) {
+	return p.alg.NewFleet(p.built.Dual, p.k, p.spec.Algorithm.Params)
+}
+
+// execute runs one seed of the plan with the given fleet: through the warm
+// runner when rn is non-nil, or a cold core.Run otherwise. The scheduler is
+// built fresh per trial either way (schedulers are cheap and mutate
+// themselves at Attach).
+func (p *trialPlan) execute(seed int64, automata []mac.Automaton, rn *core.Runner) (*TrialResult, error) {
+	r := p.spec
+	scheduler, err := sched.Build(p.schedName, sched.Env{
+		Dual:     p.built.Dual,
+		Artifact: p.built.Artifact,
+		Payloads: p.payloads,
 		Fprog:    sim.Time(r.Model.Fprog),
 		Fack:     sim.Time(r.Model.Fack),
 	}, r.Scheduler.Params)
 	if err != nil {
 		return nil, err
 	}
-
-	fprog := sim.Time(r.Model.Fprog)
-	horizon := sim.Time(r.Run.Horizon)
-	if horizon == 0 && alg.Horizon != nil {
-		horizon = alg.Horizon(built.Dual, k, fprog, r.Algorithm.Params)
-	}
-	stepLimit := r.Run.StepLimit
-	if stepLimit == 0 {
-		stepLimit = alg.StepLimit
-	}
-
-	res, err := core.Run(core.RunConfig{
-		Dual:             built.Dual,
+	cfg := core.RunConfig{
+		Dual:             p.built.Dual,
 		Fack:             sim.Time(r.Model.Fack),
-		Fprog:            fprog,
+		Fprog:            sim.Time(r.Model.Fprog),
 		Scheduler:        scheduler,
-		Mode:             alg.Mode,
+		Mode:             p.alg.Mode,
 		Seed:             seed,
-		Workload:         workload,
+		Workload:         p.workload,
 		Automata:         automata,
-		Horizon:          horizon,
-		StepLimit:        stepLimit,
+		Horizon:          p.horizon,
+		StepLimit:        p.stepLimit,
 		HaltOnCompletion: !r.Run.ToQuiescence,
 		Check:            r.Run.Check,
 		NoTrace:          r.Run.NoTrace,
 		EpsAbort:         sim.Time(r.Model.EpsAbort),
-	})
+	}
+	var res *core.Result
+	if rn != nil {
+		res, err = rn.Run(cfg)
+	} else {
+		res, err = core.Run(cfg)
+	}
 	if err != nil {
 		return nil, err
 	}
 	return &TrialResult{
 		Seed:          seed,
-		Built:         built,
-		Workload:      workload,
+		Built:         p.built,
+		Workload:      p.workload,
 		SchedulerName: scheduler.Name(),
 		Result:        res,
 	}, nil

@@ -143,6 +143,11 @@ type RunSpec struct {
 	Horizon int64 `json:"horizon,omitempty"`
 	// StepLimit bounds simulation events; 0 selects the algorithm default.
 	StepLimit uint64 `json:"step_limit,omitempty"`
+	// NoArena disables cross-trial arena and fleet reuse for pinned
+	// topologies — the debugging escape hatch. Executions are
+	// byte-identical either way; reuse only changes where the memory
+	// comes from.
+	NoArena bool `json:"no_arena,omitempty"`
 }
 
 // WithDefaults returns a copy with every defaulted scalar resolved, so

@@ -170,6 +170,24 @@ func (e *Engine) schedule(t Time) *event {
 	return ev
 }
 
+// Reset restores the engine to its initial state with a new seed, keeping
+// the event pool warm: still-queued events (a halted run leaves them behind)
+// are recycled into the free list, so the next execution schedules against
+// pre-allocated structs. The dispatcher is kept; the random stream is
+// re-derived lazily from the new seed exactly as NewEngine would. Arenas use
+// this to make repeated executions on a pinned topology allocation-free.
+func (e *Engine) Reset(seed int64) {
+	e.queue.recycleAll()
+	e.now = 0
+	e.seq = 0
+	e.stepped = 0
+	e.halted = false
+	e.limit = 0
+	e.horizon = Infinity
+	e.rng = nil
+	e.seed = seed
+}
+
 // Halt stops the run loop after the current event completes.
 func (e *Engine) Halt() { e.halted = true }
 

@@ -75,6 +75,24 @@ func (q *eventQueue) release(ev *event) {
 	}
 }
 
+// recycleAll moves every still-queued event into the free list, emptying the
+// queue. Unlike release it skips the shrink rule: it runs between executions
+// on a warm arena, where the point is to keep the pool sized for the next
+// run's burst rather than for the (now empty) live queue. The list stays
+// bounded because every in-run release re-applies the 2×live+floor rule.
+func (q *eventQueue) recycleAll() {
+	for i, ev := range q.items {
+		ev.fn = nil
+		ev.obj = nil
+		ev.kind = KindFunc
+		ev.dead = false
+		ev.gen++
+		q.free = append(q.free, ev)
+		q.items[i] = nil
+	}
+	q.items = q.items[:0]
+}
+
 func (q *eventQueue) less(i, j int) bool {
 	a, b := q.items[i], q.items[j]
 	if a.at != b.at {

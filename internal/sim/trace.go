@@ -42,6 +42,18 @@ func (tr *Trace) Disable() { tr.disabled = true }
 // Disabled reports whether the trace is off.
 func (tr *Trace) Disabled() bool { return tr.disabled }
 
+// Reset restores the zero-value configuration (enabled, no cap, nothing
+// dropped) and discards the recorded events while keeping the buffer
+// capacity, so a reused trace appends without reallocating. Retained Arg
+// references are zeroed for the collector.
+func (tr *Trace) Reset() {
+	clear(tr.events)
+	tr.events = tr.events[:0]
+	tr.cap = 0
+	tr.dropped = 0
+	tr.disabled = false
+}
+
 // Append records an event.
 func (tr *Trace) Append(ev TraceEvent) {
 	if tr.disabled {
