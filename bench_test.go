@@ -329,6 +329,47 @@ func BenchmarkSweepPinnedTopology(b *testing.B) {
 	}
 }
 
+// BenchmarkSweepRandomTopology measures repeated trials of an *unpinned*
+// randomized topology through scenario.Sweep — every trial draws a fresh
+// grey-zone geometric network — with the warm per-worker path on (default:
+// workspace-built graphs, rebound run arena) and off (-no-arena). B/op is
+// the headline metric: warm trials emit the per-trial graphs into recycled
+// workspace storage and rebind one runner instead of building a cold engine,
+// so the per-trial cost collapses toward per-event work even though no two
+// trials share a network.
+func BenchmarkSweepRandomTopology(b *testing.B) {
+	spec := scenario.Spec{
+		Name: "random-rgg-sweep",
+		Topology: scenario.TopologySpec{
+			Name:   "rgg",
+			Params: topology.Params{"n": 36, "side": 4.2, "c": 1.6, "p": 0.5},
+		},
+		Workload:  scenario.WorkloadSpec{Kind: scenario.WorkloadSingleton, K: 4},
+		Algorithm: scenario.AlgorithmSpec{Name: "bmmb"},
+		Scheduler: scenario.SchedulerSpec{Name: "sync", Params: topology.Params{"rel": 0.5}},
+		Model:     scenario.ModelSpec{Fprog: 10, Fack: 200},
+		Run:       scenario.RunSpec{Seed: 1, Trials: 16},
+	}
+	for _, mode := range []struct {
+		name    string
+		noArena bool
+	}{{"arena", false}, {"cold", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				reports, err := scenario.SweepWithOptions([]scenario.Spec{spec},
+					scenario.SweepOptions{Parallelism: 1, NoArena: mode.noArena})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if got := reports[0].Solved(); got != spec.Run.Trials {
+					b.Fatalf("%d/%d trials solved", got, spec.Run.Trials)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkHarnessParallelism measures experiment wall-time scaling with
 // Options.Parallelism (sub-benchmarks p=1 and p=NumCPU); the rendered
 // tables are byte-identical by construction.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"amac/internal/check"
 	"amac/internal/graph"
@@ -166,6 +167,15 @@ type Runner struct {
 	arena     *mac.Arena
 	compOf    []int
 	compSizes []int
+	// compShared marks a component index inherited from Fork: read-only
+	// for this runner, so Rebind must compute into fresh slices instead of
+	// overwriting the prototype's. forked marks the other direction — this
+	// runner has handed its index to forks — with the same copy-on-rebind
+	// consequence; atomic only so Fork keeps its concurrent-call guarantee.
+	compShared bool
+	forked     atomic.Bool
+	// compQueue is the BFS scratch componentIndexInto recycles per Rebind.
+	compQueue []graph.NodeID
 	st        runState
 	watch     func(sim.TraceEvent)
 }
@@ -187,11 +197,13 @@ func NewRunner(d *topology.Dual) *Runner {
 // indexes are derived once; Fork only reads immutable state and is safe to
 // call from multiple goroutines.
 func (r *Runner) Fork() *Runner {
+	r.forked.Store(true)
 	nr := &Runner{
-		dual:      r.dual,
-		arena:     r.arena.Fork(),
-		compOf:    r.compOf,
-		compSizes: r.compSizes,
+		dual:       r.dual,
+		arena:      r.arena.Fork(),
+		compOf:     r.compOf,
+		compSizes:  r.compSizes,
+		compShared: true,
 	}
 	nr.watch = nr.st.onEvent
 	return nr
@@ -199,6 +211,29 @@ func (r *Runner) Fork() *Runner {
 
 // Dual returns the network the runner was built for.
 func (r *Runner) Dual() *topology.Dual { return r.dual }
+
+// Rebind re-targets the runner at a new dual network: the arena is rebound
+// (CSR index refilled, delivery block kept when capacity fits) and the
+// cached component index of G is recomputed into its existing slices. The
+// watcher maps are per-run state and reset on the next Run as always.
+// Unpinned trial sweeps rebind one runner per worker to each per-trial
+// network draw; executions stay byte-identical to cold core.Run calls.
+// Rebinding to the runner's current dual is a no-op.
+func (r *Runner) Rebind(d *topology.Dual) {
+	if d == r.dual {
+		return
+	}
+	r.arena.Rebind(d)
+	r.dual = d
+	if r.compShared || r.forked.Load() {
+		// The slices are aliased across a Fork relationship (either
+		// direction); compute into fresh ones and own them from here on.
+		r.compOf, r.compSizes = nil, nil
+		r.compShared = false
+		r.forked.Store(false)
+	}
+	r.compOf, r.compSizes, r.compQueue = componentIndexInto(d.G, r.compOf, r.compSizes, r.compQueue)
+}
 
 // Run executes cfg against the runner's warm arena. cfg.Dual must be the
 // exact network the runner was built for (pointer identity — a structurally
@@ -208,18 +243,52 @@ func (r *Runner) Run(cfg RunConfig) (*Result, error) {
 }
 
 // componentIndex maps each node to its G-component index and each component
-// index to its size.
+// index to its size. Components are numbered by smallest member, matching
+// graph.Components ordering.
 func componentIndex(g *graph.Graph) (compOf, compSizes []int) {
-	comps := g.Components()
-	compOf = make([]int, g.N())
-	compSizes = make([]int, len(comps))
-	for ci, comp := range comps {
-		compSizes[ci] = len(comp)
-		for _, v := range comp {
-			compOf[v] = ci
-		}
-	}
+	compOf, compSizes, _ = componentIndexInto(g, nil, nil, nil)
 	return compOf, compSizes
+}
+
+// componentIndexInto is componentIndex computing into the given slices
+// (index storage and BFS queue scratch), grown only when capacity is short,
+// so a Runner's rebind recycles all of them.
+func componentIndexInto(g *graph.Graph, compOf, compSizes []int, queue []graph.NodeID) ([]int, []int, []graph.NodeID) {
+	n := g.N()
+	if cap(compOf) >= n {
+		compOf = compOf[:n]
+	} else {
+		compOf = make([]int, n)
+	}
+	for i := range compOf {
+		compOf[i] = -1
+	}
+	compSizes = compSizes[:0]
+	if cap(queue) < n {
+		queue = make([]graph.NodeID, 0, n)
+	}
+	for s := 0; s < n; s++ {
+		if compOf[s] >= 0 {
+			continue
+		}
+		ci := len(compSizes)
+		size := 1
+		compOf[s] = ci
+		queue = append(queue[:0], graph.NodeID(s))
+		for len(queue) > 0 {
+			u := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, v := range g.Neighbors(u) {
+				if compOf[v] < 0 {
+					compOf[v] = ci
+					size++
+					queue = append(queue, v)
+				}
+			}
+		}
+		compSizes = append(compSizes, size)
+	}
+	return compOf, compSizes, queue
 }
 
 // runState is the completion-watcher state of one execution: it counts

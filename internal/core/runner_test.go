@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"amac/internal/core"
+	"amac/internal/mac"
 	"amac/internal/sched"
 	"amac/internal/topology"
 )
@@ -95,5 +96,137 @@ func TestRunnerRejectsForeignDual(t *testing.T) {
 	})
 	if err == nil {
 		t.Fatal("Runner accepted a structurally equal but distinct dual")
+	}
+}
+
+// TestRunnerRebindMatchesCold replays a sequence of different networks —
+// sizes, G′ shapes, and a return to an earlier network — through one
+// rebound Runner and through fresh core.Run calls, comparing full execution
+// snapshots byte for byte. This is the core-level half of the unpinned
+// warm-path guarantee; scenario.TestUnpinnedWarmMatchesCold pins the other
+// half end to end.
+func TestRunnerRebindMatchesCold(t *testing.T) {
+	duals := []*topology.Dual{
+		topology.LineRRestricted(16, 2, 0.7, rand.New(rand.NewSource(9))),
+		topology.Line(24),
+		topology.LineRRestricted(10, 3, 0.5, rand.New(rand.NewSource(4))),
+		topology.Line(24),
+	}
+	cfgFor := func(d *topology.Dual, seed int64, fleet []mac.Automaton) core.RunConfig {
+		return core.RunConfig{
+			Dual:             d,
+			Fack:             200,
+			Fprog:            10,
+			Scheduler:        &sched.Sync{Rel: sched.Bernoulli{P: 0.5}},
+			Seed:             seed,
+			Assignment:       core.SingleSource(d.N(), 0, 2),
+			Automata:         fleet,
+			HaltOnCompletion: true,
+			Check:            true,
+		}
+	}
+
+	var rn *core.Runner
+	for i, d := range duals {
+		seed := int64(i + 1)
+		cold, err := core.Run(cfgFor(d, seed, core.NewBMMBFleet(d.N())))
+		if err != nil {
+			t.Fatalf("cold run %d: %v", i, err)
+		}
+		want := snapshot(cold)
+
+		if rn == nil {
+			rn = core.NewRunner(d)
+		} else {
+			rn.Rebind(d)
+		}
+		warm, err := rn.Run(cfgFor(d, seed, core.NewBMMBFleet(d.N())))
+		if err != nil {
+			t.Fatalf("warm run %d: %v", i, err)
+		}
+		if got := snapshot(warm); got != want {
+			t.Fatalf("rebound run %d (%s) diverged from cold run:\nwarm:\n%.300s\ncold:\n%.300s",
+				i, d.Name, got, want)
+		}
+	}
+}
+
+// TestRunnerForkRebindIsolation pins that rebinding a forked runner cannot
+// corrupt the prototype: Fork shares the component index read-only, so the
+// fork must compute its own on Rebind. Before the owned-copy fix, the fork
+// resliced the shared arrays in place and the prototype computed Required
+// from the wrong component sizes, "solving" after half its deliveries.
+func TestRunnerForkRebindIsolation(t *testing.T) {
+	d := topology.Line(6)
+	proto := core.NewRunner(d)
+	run := func(rn *core.Runner) *core.Result {
+		res, err := rn.Run(core.RunConfig{
+			Dual:             rn.Dual(),
+			Fack:             200,
+			Fprog:            10,
+			Scheduler:        &sched.Sync{},
+			Seed:             1,
+			Assignment:       core.SingleSource(rn.Dual().N(), 0, 2),
+			Automata:         core.NewBMMBFleet(rn.Dual().N()),
+			HaltOnCompletion: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	before := run(proto)
+
+	fork := proto.Fork()
+	fork.Rebind(topology.Line(3))
+	if res := run(fork); res.Required != 6 { // 2 messages × 3 nodes
+		t.Fatalf("rebound fork Required = %d, want 6", res.Required)
+	}
+
+	after := run(proto)
+	if after.Required != before.Required || after.Delivered != before.Delivered ||
+		after.CompletionTime != before.CompletionTime {
+		t.Fatalf("rebinding a fork corrupted the prototype's component index: before %d/%d@%d, after %d/%d@%d",
+			before.Delivered, before.Required, before.CompletionTime,
+			after.Delivered, after.Required, after.CompletionTime)
+	}
+}
+
+// TestRunnerPrototypeRebindIsolation is the mirror of the fork test:
+// rebinding the prototype after it has handed out forks must not corrupt
+// the component index those forks still read.
+func TestRunnerPrototypeRebindIsolation(t *testing.T) {
+	d := topology.Line(6)
+	proto := core.NewRunner(d)
+	run := func(rn *core.Runner) *core.Result {
+		res, err := rn.Run(core.RunConfig{
+			Dual:             rn.Dual(),
+			Fack:             200,
+			Fprog:            10,
+			Scheduler:        &sched.Sync{},
+			Seed:             1,
+			Assignment:       core.SingleSource(rn.Dual().N(), 0, 2),
+			Automata:         core.NewBMMBFleet(rn.Dual().N()),
+			HaltOnCompletion: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	fork := proto.Fork()
+	before := run(fork)
+
+	proto.Rebind(topology.Line(3))
+	if res := run(proto); res.Required != 6 { // 2 messages × 3 nodes
+		t.Fatalf("rebound prototype Required = %d, want 6", res.Required)
+	}
+
+	after := run(fork)
+	if after.Required != before.Required || after.Delivered != before.Delivered ||
+		after.CompletionTime != before.CompletionTime {
+		t.Fatalf("rebinding the prototype corrupted its fork's component index: before %d/%d@%d, after %d/%d@%d",
+			before.Delivered, before.Required, before.CompletionTime,
+			after.Delivered, after.Required, after.CompletionTime)
 	}
 }

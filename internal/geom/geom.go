@@ -39,7 +39,13 @@ func (e Embedding) Dist(u, v graph.NodeID) float64 {
 // are adjacent iff their distance is at most radius. The paper normalizes
 // radius to 1.
 func (e Embedding) UnitDisk(radius float64) *graph.Graph {
-	g := graph.New(len(e))
+	return e.UnitDiskInto(graph.New(len(e)), radius)
+}
+
+// UnitDiskInto is UnitDisk emitting into g (reset first, keeping its
+// adjacency storage — see graph.Reset) and returns g.
+func (e Embedding) UnitDiskInto(g *graph.Graph, radius float64) *graph.Graph {
+	g.Reset(len(e))
 	for u := 0; u < len(e); u++ {
 		for v := u + 1; v < len(e); v++ {
 			if e[u].Dist(e[v]) <= radius {
@@ -57,10 +63,18 @@ func (e Embedding) UnitDisk(radius float64) *graph.Graph {
 // always satisfies the paper's grey zone constraint: E ⊆ E′ and every E′
 // edge has length ≤ c.
 func (e Embedding) GreyZone(c, p float64, rng *rand.Rand) *graph.Graph {
+	return e.GreyZoneInto(graph.New(len(e)), c, p, rng)
+}
+
+// GreyZoneInto is GreyZone emitting into g (reset first, keeping its
+// adjacency storage) and returns g. The random stream is consumed in exactly
+// the order GreyZone consumes it, so equal seeds yield equal graphs on both
+// paths.
+func (e Embedding) GreyZoneInto(g *graph.Graph, c, p float64, rng *rand.Rand) *graph.Graph {
 	if c < 1 {
 		panic("geom: grey zone constant c must be >= 1")
 	}
-	g := graph.New(len(e))
+	g.Reset(len(e))
 	for u := 0; u < len(e); u++ {
 		for v := u + 1; v < len(e); v++ {
 			d := e[u].Dist(e[v])
@@ -127,7 +141,18 @@ func (e Embedding) IsPacked(ids []graph.NodeID, minSep float64) bool {
 
 // RandomUniform places n points uniformly at random in the side×side square.
 func RandomUniform(n int, side float64, rng *rand.Rand) Embedding {
-	e := make(Embedding, n)
+	return RandomUniformInto(make(Embedding, n), n, side, rng)
+}
+
+// RandomUniformInto is RandomUniform filling e's storage (grown only when
+// its capacity is short of n) and returns the n-point embedding. The rng is
+// drawn exactly as RandomUniform draws it.
+func RandomUniformInto(e Embedding, n int, side float64, rng *rand.Rand) Embedding {
+	if cap(e) < n {
+		e = make(Embedding, n)
+	} else {
+		e = e[:n]
+	}
 	for i := range e {
 		e[i] = Point{X: rng.Float64() * side, Y: rng.Float64() * side}
 	}

@@ -133,19 +133,49 @@ func (g *Graph) Ball(center NodeID, r int) []NodeID {
 // Power returns Gʳ: the graph on the same nodes with an edge between every
 // pair at hop distance in [1, r] in g (Section 3.2 of the paper; no
 // self-loops).
-func (g *Graph) Power(r int) *Graph {
+func (g *Graph) Power(r int) *Graph { return g.PowerInto(r, New(g.n)) }
+
+// PowerInto builds Gʳ into dst, reusing dst's adjacency storage (see Reset),
+// and returns dst. The r-balls are walked with a bounded BFS over two
+// scratch slices shared by all n source walks of the call — two allocations
+// per call instead of Ball's map per node; the resulting edge set is
+// identical to Power's.
+func (g *Graph) PowerInto(r int, dst *Graph) *Graph {
 	if r < 1 {
 		panic("graph: power exponent must be >= 1")
 	}
-	p := New(g.n)
+	if dst == g {
+		panic("graph: PowerInto onto its own receiver")
+	}
+	dst.Reset(g.n)
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	queue := make([]NodeID, 0, g.n)
 	for u := 0; u < g.n; u++ {
-		for _, v := range g.Ball(NodeID(u), r) {
-			if v != NodeID(u) {
-				p.AddEdge(NodeID(u), v)
+		dist[u] = 0
+		queue = append(queue[:0], NodeID(u))
+		for qi := 0; qi < len(queue); qi++ {
+			v := queue[qi]
+			if dist[v] == r {
+				continue
+			}
+			for _, w := range g.adj[v] {
+				if dist[w] == Unreachable {
+					dist[w] = dist[v] + 1
+					queue = append(queue, w)
+				}
 			}
 		}
+		for _, v := range queue {
+			if v != NodeID(u) {
+				dst.AddEdge(NodeID(u), v)
+			}
+			dist[v] = Unreachable
+		}
 	}
-	return p
+	return dst
 }
 
 func sortNodeIDs(s []NodeID) {

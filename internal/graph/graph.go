@@ -40,6 +40,45 @@ func New(n int) *Graph {
 // N returns the number of nodes.
 func (g *Graph) N() int { return g.n }
 
+// Reset restores g to an empty graph with n nodes while keeping the backing
+// storage of its adjacency rows, so rebuilding a same-shaped graph performs
+// no allocation. It is the structure-sharing construction mode behind
+// topology.Workspace: a Reset graph is observably identical to New(n), only
+// the memory is recycled.
+func (g *Graph) Reset(n int) {
+	if n < 0 {
+		panic("graph: negative node count")
+	}
+	if cap(g.adj) < n {
+		old := g.adj[:cap(g.adj)]
+		g.adj = make([][]NodeID, n)
+		// Keep the old rows' backing arrays; the loop below truncates them.
+		copy(g.adj, old)
+	} else {
+		g.adj = g.adj[:n]
+	}
+	for i := range g.adj {
+		g.adj[i] = g.adj[i][:0]
+	}
+	g.n = n
+	g.m = 0
+	g.diamOK = false
+}
+
+// CloneInto copies g into dst, reusing dst's adjacency storage (see Reset).
+// It returns dst. The graphs must be distinct.
+func (g *Graph) CloneInto(dst *Graph) *Graph {
+	if dst == g {
+		panic("graph: CloneInto onto itself")
+	}
+	dst.Reset(g.n)
+	dst.m = g.m
+	for u := range g.adj {
+		dst.adj[u] = append(dst.adj[u], g.adj[u]...)
+	}
+	return dst
+}
+
 // M returns the number of edges. The count is maintained by AddEdge, so
 // validation paths can call M freely without an adjacency sweep.
 func (g *Graph) M() int { return g.m }
@@ -150,14 +189,17 @@ func Union(g, h *Graph) *Graph {
 }
 
 // IsSubgraphOf reports whether every edge of g is also an edge of h (the
-// paper's G ⊆ G′ requirement).
+// paper's G ⊆ G′ requirement). It walks the adjacency rows directly —
+// no edge-slice allocation — because dual validation runs once per trial.
 func (g *Graph) IsSubgraphOf(h *Graph) bool {
 	if g.n != h.n {
 		return false
 	}
-	for _, e := range g.Edges() {
-		if !h.HasEdge(e[0], e[1]) {
-			return false
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.adj[u] {
+			if NodeID(u) < v && !h.HasEdge(NodeID(u), v) {
+				return false
+			}
 		}
 	}
 	return true

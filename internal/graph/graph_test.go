@@ -309,3 +309,102 @@ func TestComponentsPartition(t *testing.T) {
 		t.Fatalf("components cover %d nodes, want 40", len(seen))
 	}
 }
+
+// graphEqual reports structural equality: same node count and edge set.
+func graphEqual(a, b *Graph) bool {
+	if a.N() != b.N() || a.M() != b.M() {
+		return false
+	}
+	return a.IsSubgraphOf(b) && b.IsSubgraphOf(a)
+}
+
+// TestResetMatchesNew pins the structure-sharing contract: a Reset graph is
+// observably identical to New(n) — across shrinks, growths and re-fills.
+func TestResetMatchesNew(t *testing.T) {
+	g := line(8)
+	for _, n := range []int{8, 3, 12, 0, 5} {
+		g.Reset(n)
+		if !graphEqual(g, New(n)) {
+			t.Fatalf("Reset(%d) != New(%d): edges %v", n, n, g.Edges())
+		}
+		for i := 0; i < n-1; i++ {
+			g.AddEdge(NodeID(i), NodeID(i+1))
+		}
+		if !graphEqual(g, line(n)) {
+			t.Fatalf("rebuilt line(%d) after Reset diverged: %v", n, g.Edges())
+		}
+		if n > 1 && g.Diameter() != n-1 {
+			t.Fatalf("stale diameter memo after Reset: %d", g.Diameter())
+		}
+	}
+}
+
+// TestResetReusesRows asserts the point of Reset: rebuilding a same-shaped
+// graph into a Reset receiver performs no allocation.
+func TestResetReusesRows(t *testing.T) {
+	g := line(64)
+	allocs := testing.AllocsPerRun(20, func() {
+		g.Reset(64)
+		for i := 0; i < 63; i++ {
+			g.AddEdge(NodeID(i), NodeID(i+1))
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Reset rebuild allocates %.0f times, want 0", allocs)
+	}
+}
+
+// TestCloneInto pins that CloneInto equals Clone and does not alias the
+// source.
+func TestCloneInto(t *testing.T) {
+	src := line(6)
+	dst := New(0)
+	for round := 0; round < 3; round++ {
+		got := src.CloneInto(dst)
+		if got != dst {
+			t.Fatal("CloneInto did not return its destination")
+		}
+		if !graphEqual(dst, src) {
+			t.Fatalf("CloneInto diverged: %v vs %v", dst.Edges(), src.Edges())
+		}
+		dst.AddEdge(0, 5)
+		if src.HasEdge(0, 5) {
+			t.Fatal("CloneInto aliases the source rows")
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CloneInto onto itself did not panic")
+		}
+	}()
+	src.CloneInto(src)
+}
+
+// TestPowerIntoMatchesPower pins that the slice-based bounded BFS produces
+// exactly Ball-derived powers, across reuse of one destination.
+func TestPowerIntoMatchesPower(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	dst := New(0)
+	for round := 0; round < 30; round++ {
+		n := 2 + rng.Intn(20)
+		r := 1 + rng.Intn(4)
+		g := line(n)
+		for e := 0; e < n/2; e++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				g.AddEdge(NodeID(u), NodeID(v))
+			}
+		}
+		want := g.Power(r)
+		if got := g.PowerInto(r, dst); !graphEqual(got, want) {
+			t.Fatalf("PowerInto(%d) diverged on n=%d: %v vs %v", r, n, got.Edges(), want.Edges())
+		}
+	}
+	g := line(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PowerInto onto its receiver did not panic")
+		}
+	}()
+	g.PowerInto(2, g)
+}

@@ -15,6 +15,7 @@ func Experiments() []Experiment {
 		{"fig1-std-rrestricted", Fig1StdRRestricted},
 		{"fig1-std-arbitrary", Fig1StdArbitrary},
 		{"fig1-std-greyzone-lb", Fig2LowerBound},
+		{"fig1-std-greyzone-rand", Fig1StdGreyZoneRand},
 		{"fig1-enh-greyzone", Fig1EnhGreyZone},
 		{"ablation-bmmb-vs-fmmb", AblationFackRatio},
 		{"mis-subroutine", MISExperiment},

@@ -2,6 +2,7 @@ package mac
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"amac/internal/sim"
 	"amac/internal/topology"
@@ -29,10 +30,17 @@ func arcKey(sender, to NodeID) uint64 {
 }
 
 func newCSRIndex(d *topology.Dual) *csrIndex {
-	idx := &csrIndex{
-		pos:  make(map[uint64]int32, 2*d.GPrime.M()),
-		arcs: 2 * d.GPrime.M(),
-	}
+	idx := &csrIndex{pos: make(map[uint64]int32, 2*d.GPrime.M())}
+	idx.fill(d)
+	return idx
+}
+
+// fill derives the position index of d into the existing map storage:
+// cleared, not reallocated, so rebinding to a network of similar arc count
+// reuses the buckets.
+func (idx *csrIndex) fill(d *topology.Dual) {
+	clear(idx.pos)
+	idx.arcs = 2 * d.GPrime.M()
 	for v := 0; v < d.N(); v++ {
 		for s, u := range d.GPrime.Neighbors(NodeID(v)) {
 			val := int32(s) << 1
@@ -42,7 +50,6 @@ func newCSRIndex(d *topology.Dual) *csrIndex {
 			idx.pos[arcKey(NodeID(v), u)] = val
 		}
 	}
-	return idx
 }
 
 // Arena owns the reusable run state for repeated executions on one pinned
@@ -61,7 +68,14 @@ func newCSRIndex(d *topology.Dual) *csrIndex {
 type Arena struct {
 	dual *topology.Dual
 	csr  *csrIndex
-	eng  *Engine
+	// csrShared marks a position index inherited from Fork: read-only for
+	// this arena, so Rebind must replace it instead of refilling in place.
+	// forked marks the other direction — this arena has handed its index to
+	// forks — with the same copy-on-rebind consequence. It is atomic only
+	// so Fork keeps its concurrent-call guarantee.
+	csrShared bool
+	forked    atomic.Bool
+	eng       *Engine
 
 	// block is the flat CSR delivery storage: every instance's deliveredAt
 	// row is block[used:used+deg]. Reset zeroes the used prefix instead of
@@ -97,7 +111,57 @@ func (a *Arena) Dual() *topology.Dual { return a.dual }
 // Parallel trial pools fork one prototype arena per topology instead of
 // re-deriving the index per worker. Fork only reads immutable state, so it
 // is safe to call from multiple goroutines.
-func (a *Arena) Fork() *Arena { return &Arena{dual: a.dual, csr: a.csr} }
+func (a *Arena) Fork() *Arena {
+	a.forked.Store(true)
+	return &Arena{dual: a.dual, csr: a.csr, csrShared: true}
+}
+
+// Rebind re-targets the arena at a new dual network, recycling its warm
+// storage: the CSR position index is refilled into its existing map
+// buckets (replaced only when shared with forks), the flat delivery block
+// is kept whenever the new degree sum fits its capacity and grown
+// geometrically otherwise, and the pooled engine, instance records and
+// event pool all carry over. Unpinned trial sweeps rebind one arena per
+// worker to each per-trial network draw instead of building cold engines.
+// Like NewArena, it panics on an invalid dual. Rebinding to the arena's
+// current dual is a no-op.
+func (a *Arena) Rebind(d *topology.Dual) {
+	if d == a.dual {
+		return
+	}
+	if d == nil {
+		panic("mac: nil dual")
+	}
+	if err := d.Validate(); err != nil {
+		panic(fmt.Sprintf("mac: invalid dual: %v", err))
+	}
+	if a.csrShared || a.forked.Load() {
+		// The index is aliased across a Fork relationship (either
+		// direction): refilling it in place would corrupt the other side,
+		// so replace it and own the copy from here on.
+		a.csr = &csrIndex{pos: make(map[uint64]int32, 2*d.GPrime.M())}
+		a.csrShared = false
+		a.forked.Store(false)
+	}
+	a.csr.fill(d)
+	if a.csr.arcs > len(a.block) {
+		// Same growth policy as row() below — double with an arc-space
+		// floor; keep the two in sync. Growing here (rather than leaving it
+		// to row's lazy path) keeps used and the block consistent across
+		// the network switch.
+		newLen := 2 * len(a.block)
+		if newLen < a.csr.arcs {
+			newLen = a.csr.arcs
+		}
+		a.block = make([]sim.Time, newLen)
+		a.used = 0
+	}
+	a.dual = d
+}
+
+// Cap returns the capacity of the flat delivery block in slots (tests use
+// it to pin Rebind's geometric-growth policy).
+func (a *Arena) Cap() int { return len(a.block) }
 
 // reset recycles the storage of the previous execution: the delivery block
 // is zeroed up to its high-water mark (rows are handed out pre-zeroed, like
@@ -186,6 +250,13 @@ func (a *Arena) engineFor(cfg Config, automata []Automaton) *Engine {
 		e.nextID = 0
 		e.schedRand = nil
 		e.watchers = e.watchers[:0]
+		// A rebound arena may carry a different node count; reuse the node
+		// slice's capacity where it covers the new network.
+		if n := cfg.Dual.N(); cap(e.nodes) >= n {
+			e.nodes = e.nodes[:n]
+		} else {
+			e.nodes = make([]nodeState, n)
+		}
 	}
 	e.timerSched, _ = cfg.Scheduler.(TimerScheduler)
 	if cfg.TraceCap > 0 {

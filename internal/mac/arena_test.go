@@ -167,3 +167,182 @@ func (s *hookScheduler) Name() string            { return "hook" }
 func (s *hookScheduler) Attach(api mac.API)      { s.api = api }
 func (s *hookScheduler) OnAbort(*mac.Instance)   {}
 func (s *hookScheduler) OnBcast(b *mac.Instance) { s.onBcast(b) }
+
+// TestArenaRebindMatchesCold pins the unpinned-sweep contract: one arena
+// rebound across different networks (sizes and G′ shapes) replays each
+// network's cold execution byte for byte, including a rebind back to an
+// earlier network.
+func TestArenaRebindMatchesCold(t *testing.T) {
+	duals := []*topology.Dual{
+		topology.LineRRestricted(12, 2, 1.0, nil),
+		topology.Line(20),
+		topology.LineRRestricted(7, 3, 1.0, nil),
+		topology.LineRRestricted(12, 2, 1.0, nil),
+	}
+	a := mac.NewArena(duals[0])
+	for i, d := range duals {
+		coldTrace, coldDel := runFlood(d, nil, int64(i+3))
+		a.Rebind(d)
+		trace, del := runFlood(d, a, int64(i+3))
+		if trace != coldTrace {
+			t.Fatalf("dual %d (%s): rebound arena trace diverged from cold run", i, d.Name)
+		}
+		for bi := range del {
+			for v := range del[bi] {
+				if del[bi][v] != coldDel[bi][v] {
+					t.Fatalf("dual %d: instance %d delivery at node %d = %d, cold %d",
+						i, bi, v, del[bi][v], coldDel[bi][v])
+				}
+			}
+		}
+	}
+}
+
+// TestArenaRebindCapacityFitAllocFree pins satellite coverage of the reuse
+// path: rebinding between two same-shaped networks, once warm, allocates no
+// CSR storage at all — the position map is refilled into its buckets and
+// the delivery block is kept.
+func TestArenaRebindCapacityFitAllocFree(t *testing.T) {
+	d1 := topology.Line(24)
+	d2 := topology.Line(24)
+	a := mac.NewArena(d1)
+	runFlood(d1, a, 1)
+	a.Rebind(d2)
+	runFlood(d2, a, 1)
+	allocs := testing.AllocsPerRun(20, func() {
+		a.Rebind(d1)
+		a.Rebind(d2)
+	})
+	if allocs != 0 {
+		t.Fatalf("capacity-fit Rebind allocates %.0f times, want 0", allocs)
+	}
+	if a.Cap() == 0 {
+		t.Fatal("delivery block was dropped by Rebind")
+	}
+}
+
+// TestArenaRebindGrowsGeometrically pins the block growth policy: a rebind
+// whose degree sum exceeds the block doubles it (at least), so alternating
+// between network sizes settles instead of reallocating every trial; a
+// rebind that fits keeps the block.
+func TestArenaRebindGrowsGeometrically(t *testing.T) {
+	seed := topology.Line(8)
+	a := mac.NewArena(seed)
+	runFlood(seed, a, 1) // block warms to the 8-line's 14 arcs
+	cap0 := a.Cap()
+	if cap0 == 0 {
+		t.Fatal("flood did not warm the delivery block")
+	}
+
+	small := topology.Line(5)
+	a.Rebind(small)
+	if a.Cap() != cap0 {
+		t.Fatalf("fitting rebind resized the block: %d -> %d", cap0, a.Cap())
+	}
+
+	big := topology.Line(cap0) // 2(cap0-1) arcs: exceeds cap0, under 2×
+	a.Rebind(big)
+	if a.Cap() < 2*cap0 {
+		t.Fatalf("growth is not geometric: cap %d -> %d, want >= %d", cap0, a.Cap(), 2*cap0)
+	}
+
+	huge := topology.Line(4 * cap0) // demand beyond 2×: grows to exact need
+	a.Rebind(huge)
+	if want := 2 * (4*cap0 - 1); a.Cap() != want {
+		t.Fatalf("oversized rebind cap = %d, want the exact demand %d", a.Cap(), want)
+	}
+}
+
+// TestArenaRebindClearsOverflow pins that checker-injected overflow marks on
+// a pooled instance record never leak into the instances of a later run on
+// a rebound arena.
+func TestArenaRebindClearsOverflow(t *testing.T) {
+	d1 := topology.Line(4)
+	a := mac.NewArena(d1)
+	var captured *mac.Instance
+	s := &hookScheduler{onBcast: func(inst *mac.Instance) {
+		if captured == nil {
+			captured = inst
+		}
+	}}
+	eng := mac.NewEngine(mac.Config{Dual: d1, Fack: 100, Fprog: 10, Scheduler: s, Seed: 1, Arena: a}, floodFleet(4))
+	eng.Start()
+	eng.Sim().RunUntil(0)
+	if captured == nil {
+		t.Fatal("no broadcast observed")
+	}
+	// Poison the pooled record through both overflow routes: a non-neighbor
+	// mark and a negative-time mark.
+	captured.MarkDelivered(3, 5, false)
+	captured.MarkDelivered(1, -5, true)
+	if !captured.WasDelivered(3) || !captured.WasDelivered(1) {
+		t.Fatal("overflow marks not recorded")
+	}
+
+	d2 := topology.Line(4)
+	a.Rebind(d2)
+	var fresh *mac.Instance
+	s2 := &hookScheduler{onBcast: func(inst *mac.Instance) {
+		if fresh == nil {
+			fresh = inst
+		}
+	}}
+	eng = mac.NewEngine(mac.Config{Dual: d2, Fack: 100, Fprog: 10, Scheduler: s2, Seed: 1, Arena: a}, floodFleet(4))
+	eng.Start()
+	eng.Sim().RunUntil(0)
+	if fresh == nil {
+		t.Fatal("no broadcast observed after rebind")
+	}
+	if fresh != captured {
+		t.Fatal("instance record was not recycled — the leak path is untested")
+	}
+	for v := 0; v < 4; v++ {
+		if fresh.WasDelivered(mac.NodeID(v)) {
+			t.Fatalf("overflow state leaked across Rebind: node %d reads delivered", v)
+		}
+	}
+	if fresh.NumDelivered() != 0 {
+		t.Fatalf("recycled instance reports %d deliveries", fresh.NumDelivered())
+	}
+}
+
+// TestArenaRebindFork pins that rebinding a forked arena does not corrupt
+// the prototype's shared CSR index: the fork re-derives its own.
+func TestArenaRebindFork(t *testing.T) {
+	d1 := topology.LineRRestricted(10, 2, 1.0, nil)
+	proto := mac.NewArena(d1)
+	protoTrace, _ := runFlood(d1, proto, 2)
+
+	fork := proto.Fork()
+	d2 := topology.Line(6)
+	fork.Rebind(d2)
+	coldTrace, _ := runFlood(d2, nil, 2)
+	if trace, _ := runFlood(d2, fork, 2); trace != coldTrace {
+		t.Fatal("rebound fork diverged from cold run")
+	}
+	// The prototype must still replay its own network untouched.
+	if trace, _ := runFlood(d1, proto, 2); trace != protoTrace {
+		t.Fatal("rebinding a fork corrupted the prototype's shared CSR index")
+	}
+}
+
+// TestArenaPrototypeRebindFork is the mirror of TestArenaRebindFork:
+// rebinding the prototype after forking must not refill the CSR index its
+// forks still read.
+func TestArenaPrototypeRebindFork(t *testing.T) {
+	d1 := topology.LineRRestricted(10, 2, 1.0, nil)
+	proto := mac.NewArena(d1)
+	forkWant, _ := runFlood(d1, nil, 2)
+
+	fork := proto.Fork()
+	d2 := topology.Line(6)
+	proto.Rebind(d2)
+	coldTrace, _ := runFlood(d2, nil, 2)
+	if trace, _ := runFlood(d2, proto, 2); trace != coldTrace {
+		t.Fatal("rebound prototype diverged from cold run")
+	}
+	// The fork must still replay the original network untouched.
+	if trace, _ := runFlood(d1, fork, 2); trace != forkWant {
+		t.Fatal("rebinding the prototype corrupted the fork's shared CSR index")
+	}
+}

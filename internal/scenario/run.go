@@ -18,6 +18,13 @@ type TrialResult struct {
 	Seed int64
 	// Built is the topology the trial ran on (randomized families draw a
 	// fresh instance per trial unless the spec pins the topology seed).
+	// When unpinned trials reuse warm per-worker state (NoArena unset),
+	// the graphs behind Built are workspace storage recycled by the next
+	// trial on the same worker — except for the spec's first and final
+	// trials, which are always built into stable storage so report
+	// consumers stay correct (amacsim's header reads the first trial's
+	// network, bound formulas the last trial's). Callers needing every
+	// trial's instance intact copy it in a watcher or disable reuse.
 	Built *topology.Built
 	// Workload is the resolved arrival schedule.
 	Workload *core.Workload
@@ -91,8 +98,10 @@ func (r *Report) Steps() uint64 {
 // Run.Parallelism, returning per-trial results in seed order. Every trial is
 // an independent deterministic simulation keyed by its seed, so the report
 // is a pure function of the spec at any parallelism. Trials of a pinned
-// topology run against one warm run arena per worker (see warmRun) unless
-// Run.NoArena disables reuse.
+// topology run against one warm run arena per worker (see warmRun); trials
+// of an unpinned (per-trial randomized) topology build into one warm
+// workspace-and-runner pair per worker (see warmRandRun). Run.NoArena
+// disables both kinds of reuse.
 func Run(s Spec) (*Report, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
@@ -107,12 +116,17 @@ func Run(s Spec) (*Report, error) {
 			return nil, err
 		}
 	}
+	workers := par.Workers(r.Run.Parallelism, r.Run.Trials)
 	var warm *warmRun
-	if shared != nil && !r.Run.NoArena {
+	var warmRand *warmRandRun
+	switch {
+	case shared != nil && !r.Run.NoArena:
 		var err error
-		if warm, err = newWarmRun(r, shared, par.Workers(r.Run.Parallelism, r.Run.Trials)); err != nil {
+		if warm, err = newWarmRun(r, shared, workers); err != nil {
 			return nil, fmt.Errorf("scenario: trial with seed %d: %w", r.Run.Seed, err)
 		}
+	case shared == nil && !r.Run.NoArena:
+		warmRand = newWarmRandRun(r, workers)
 	}
 	trials := make([]*TrialResult, r.Run.Trials)
 	errs := make([]error, r.Run.Trials)
@@ -121,6 +135,8 @@ func Run(s Spec) (*Report, error) {
 		switch {
 		case warm != nil:
 			trials[i], errs[i] = warm.trial(seed, worker)
+		case warmRand != nil:
+			trials[i], errs[i] = warmRand.trial(seed, worker, i == 0 || i == r.Run.Trials-1)
 		case shared != nil:
 			trials[i], errs[i] = trialOn(s, seed, shared)
 		default:
@@ -180,12 +196,18 @@ func SweepWithOptions(specs []Spec, o SweepOptions) ([]*Report, error) {
 	total := offsets[len(specs)]
 	workers := par.Workers(o.Parallelism, total)
 	warms := make([]*warmRun, len(specs))
+	warmRands := make([]*warmRandRun, len(specs))
 	for i := range specs {
-		if shared[i] != nil && !o.NoArena && !resolved[i].Run.NoArena {
+		if o.NoArena || resolved[i].Run.NoArena {
+			continue
+		}
+		if shared[i] != nil {
 			var err error
 			if warms[i], err = newWarmRun(resolved[i], shared[i], workers); err != nil {
 				return nil, fmt.Errorf("scenario: spec %d (%s): %w", i, specs[i].Name, err)
 			}
+		} else {
+			warmRands[i] = newWarmRandRun(resolved[i], workers)
 		}
 	}
 	trials := make([]*TrialResult, total)
@@ -200,6 +222,9 @@ func SweepWithOptions(specs []Spec, o SweepOptions) ([]*Report, error) {
 		switch {
 		case warms[si] != nil:
 			trials[task], errs[task] = warms[si].trial(seed, worker)
+		case warmRands[si] != nil:
+			trials[task], errs[task] = warmRands[si].trial(seed, worker,
+				task == offsets[si] || task == offsets[si+1]-1)
 		case shared[si] != nil:
 			trials[task], errs[task] = trialOn(specs[si], seed, shared[si])
 		default:
@@ -286,6 +311,71 @@ func (w *warmRun) trial(seed int64, worker int) (*TrialResult, error) {
 	return w.execute(seed, automata, rn)
 }
 
+// warmRandRun is the unpinned counterpart of warmRun: the per-worker warm
+// state of a spec whose topology is drawn fresh per trial. Each worker of
+// the trial pool owns a topology.Workspace (graph and embedding scratch the
+// per-trial builds emit into) and a core.Runner whose arena is rebound to
+// every draw, so repeated trials skip graph, engine and delivery-row
+// allocation even though no two trials share a network. The spec is
+// re-resolved and the fleet rebuilt per trial — both depend on the drawn
+// instance — exactly as on the cold path.
+type warmRandRun struct {
+	spec       Spec // resolved
+	workspaces []*topology.Workspace
+	runners    []*core.Runner
+}
+
+// newWarmRandRun allocates the per-worker slots; workspaces and runners are
+// created lazily on each worker's first trial.
+func newWarmRandRun(r Spec, workers int) *warmRandRun {
+	return &warmRandRun{
+		spec:       r,
+		workspaces: make([]*topology.Workspace, workers),
+		runners:    make([]*core.Runner, workers),
+	}
+}
+
+// trial executes one seed on the given worker's warm state. The execution
+// is a pure function of (spec, seed) — builds are byte-identical with and
+// without the workspace, and the rebound runner is byte-identical to a cold
+// core.Run — so results match the cold path at any parallelism. keepBuilt
+// marks the spec's first and final trials: they build into stable storage
+// instead of the recycled workspace, keeping the report's edge instances
+// valid after the sweep (see TrialResult.Built).
+func (w *warmRandRun) trial(seed int64, worker int, keepBuilt bool) (*TrialResult, error) {
+	var built *topology.Built
+	var err error
+	if keepBuilt {
+		built, err = buildTopology(w.spec, seed)
+	} else {
+		ws := w.workspaces[worker]
+		if ws == nil {
+			ws = topology.NewWorkspace()
+			w.workspaces[worker] = ws
+		}
+		built, err = buildTopologyInto(w.spec, seed, ws)
+	}
+	if err != nil {
+		return nil, err
+	}
+	rn := w.runners[worker]
+	if rn == nil {
+		rn = core.NewRunner(built.Dual)
+		w.runners[worker] = rn
+	} else {
+		rn.Rebind(built.Dual)
+	}
+	p, err := resolvePlan(w.spec, built)
+	if err != nil {
+		return nil, err
+	}
+	automata, err := p.newFleet()
+	if err != nil {
+		return nil, err
+	}
+	return p.execute(seed, automata, rn)
+}
+
 // fleetResettable reports whether every automaton of the fleet can be
 // restored for reuse.
 func fleetResettable(fleet []mac.Automaton) bool {
@@ -325,21 +415,32 @@ func TrialOn(s Spec, seed int64, built *topology.Built) (*TrialResult, error) {
 
 // buildTopology constructs the trial's network instance.
 func buildTopology(r Spec, seed int64) (*topology.Built, error) {
+	return buildTopologyInto(r, seed, nil)
+}
+
+// buildTopologyInto constructs the trial's network instance into ws scratch
+// (nil allocates fresh). The derived topology seed is threaded to the
+// builder as an exact int64 — never through the float64 parameter map,
+// which is lossy above 2^53 and used to silently collide large trial seeds
+// onto one network. An explicit "seed" parameter still pins the family's
+// stream, as always.
+func buildTopologyInto(r Spec, seed int64, ws *topology.Workspace) (*topology.Built, error) {
 	topoSeed := r.Topology.Seed
 	if topoSeed == 0 {
 		topoSeed = seed * r.Topology.SeedFactor
 	}
-	tp := r.Topology.Params.Clone()
-	if !tp.Has("seed") {
-		tp["seed"] = float64(topoSeed)
-	}
-	return topology.Build(r.Topology.Name, tp)
+	return topology.BuildInto(r.Topology.Name, r.Topology.Params, topoSeed, ws)
 }
 
 // topologyPinned reports whether every trial of the spec sees the same
-// network instance, letting Run and Sweep build it once.
+// network instance, letting Run and Sweep build it once. Families
+// registered as deterministic (ring, line, grid, ... — builders that
+// ignore the seed) are pinned regardless of seeding: rebuilding them per
+// trial would construct an identical network every time and forfeit the
+// warm arena path.
 func topologyPinned(r Spec) bool {
-	return r.Topology.Seed != 0 || r.Topology.Params.Has("seed")
+	return topology.Deterministic(r.Topology.Name) ||
+		r.Topology.Seed != 0 || r.Topology.Params.Has("seed")
 }
 
 // trialOn executes one seed of the scenario on an already-built network.

@@ -11,6 +11,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 
 	"amac/internal/core"
@@ -186,17 +187,14 @@ func (s Spec) Validate() error {
 	if r.Topology.SeedFactor < 0 {
 		return fmt.Errorf("scenario: topology: seed_factor must be positive, got %d", r.Topology.SeedFactor)
 	}
-	// Topology seeds travel through a float64 parameter; beyond 2^53 that
-	// conversion is lossy and distinct seeds would silently collapse onto
-	// the same instance, so reject them up front.
-	const maxExactSeed = int64(1) << 53
-	if abs64(r.Topology.Seed) > maxExactSeed {
-		return fmt.Errorf("scenario: topology: seed %d exceeds the exactly-representable range ±2^53", r.Topology.Seed)
-	}
-	if r.Topology.Seed == 0 && r.Topology.SeedFactor > 0 {
+	// Topology seeds are threaded to the builders as exact int64s (the old
+	// float64 round trip was lossy above 2^53), so any pinned seed is fine;
+	// only the derived trial-seed × seed_factor product can still go wrong,
+	// by overflowing int64 and silently aliasing seeds.
+	if r.Topology.Seed == 0 && r.Topology.SeedFactor > 1 {
 		maxTrialSeed := abs64(r.Run.Seed) + int64(r.Run.Trials)
-		if maxTrialSeed > maxExactSeed/r.Topology.SeedFactor {
-			return fmt.Errorf("scenario: topology: trial seeds (run seed %d + %d trials) × seed_factor %d exceed the exactly-representable range ±2^53",
+		if maxTrialSeed > math.MaxInt64/r.Topology.SeedFactor {
+			return fmt.Errorf("scenario: topology: trial seeds (run seed %d + %d trials) × seed_factor %d overflow int64",
 				r.Run.Seed, r.Run.Trials, r.Topology.SeedFactor)
 		}
 	}

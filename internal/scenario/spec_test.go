@@ -148,11 +148,10 @@ func TestValidateRejections(t *testing.T) {
 		{"unknown topology", func(s *Spec) { s.Topology.Name = "moebius" }, "unknown topology"},
 		{"unknown topology param", func(s *Spec) { s.Topology.Params = topology.Params{"sides": 3} }, `does not accept parameter "sides"`},
 		{"negative seed factor", func(s *Spec) { s.Topology.SeedFactor = -2 }, "seed_factor"},
-		{"lossy topology seed", func(s *Spec) { s.Topology.Seed = 1 << 60 }, "exactly-representable"},
-		{"lossy seed product", func(s *Spec) {
-			s.Topology.SeedFactor = 1 << 30
-			s.Run.Seed = 1 << 30
-		}, "exactly-representable"},
+		{"overflowing seed product", func(s *Spec) {
+			s.Topology.SeedFactor = 1 << 40
+			s.Run.Seed = 1 << 40
+		}, "overflow int64"},
 		{"missing workload kind", func(s *Spec) { s.Workload.Kind = "" }, "kind is required"},
 		{"unknown workload kind", func(s *Spec) { s.Workload.Kind = "burst" }, `unknown kind "burst"`},
 		{"singleton without k", func(s *Spec) { s.Workload.K = 0 }, "singleton needs k >= 1"},

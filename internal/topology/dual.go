@@ -101,11 +101,17 @@ func Reliable(g *graph.Graph, name string) *Dual {
 
 // Line returns a path of n nodes with G′ = G. Its diameter is n−1.
 func Line(n int) *Dual {
-	g := graph.New(n)
+	return Reliable(lineInto(nil, n), fmt.Sprintf("line(n=%d)", n))
+}
+
+// lineInto builds the n-node path graph into ws storage — the one source of
+// truth for every line-shaped G (Line, LineRRestrictedInto, noisy-line).
+func lineInto(ws *Workspace, n int) *graph.Graph {
+	g := ws.Graph(n)
 	for i := 0; i < n-1; i++ {
 		g.AddEdge(graph.NodeID(i), graph.NodeID(i+1))
 	}
-	return Reliable(g, fmt.Sprintf("line(n=%d)", n))
+	return g
 }
 
 // Ring returns a cycle of n ≥ 3 nodes with G′ = G.
@@ -159,8 +165,16 @@ func CompleteBinaryTree(n int) *Dual {
 // and gains each Gʳ \ G candidate edge independently with probability p.
 // The result is r-restricted by construction (Section 2).
 func RRestricted(g *graph.Graph, r int, p float64, rng *rand.Rand, name string) *Dual {
-	gp := g.Clone()
-	power := g.Power(r)
+	return RRestrictedInto(nil, g, r, p, rng, name)
+}
+
+// RRestrictedInto is RRestricted emitting G′ (and the Gʳ scratch) into ws
+// storage; a nil ws allocates fresh. The candidate edges are enumerated and
+// the rng drawn exactly as RRestricted always has, so equal seeds yield
+// equal duals on both paths.
+func RRestrictedInto(ws *Workspace, g *graph.Graph, r int, p float64, rng *rand.Rand, name string) *Dual {
+	gp := g.CloneInto(ws.Graph(g.N()))
+	power := g.PowerInto(r, ws.Graph(g.N()))
 	for _, e := range power.Edges() {
 		if g.HasEdge(e[0], e[1]) {
 			continue
@@ -176,17 +190,25 @@ func RRestricted(g *graph.Graph, r int, p float64, rng *rand.Rand, name string) 
 // line G with an r-restricted G′ carrying a p fraction of the legal noise
 // edges.
 func LineRRestricted(n, r int, p float64, rng *rand.Rand) *Dual {
-	d := Line(n)
-	out := RRestricted(d.G, r, p, rng,
+	return LineRRestrictedInto(nil, n, r, p, rng)
+}
+
+// LineRRestrictedInto is LineRRestricted built from ws storage.
+func LineRRestrictedInto(ws *Workspace, n, r int, p float64, rng *rand.Rand) *Dual {
+	return RRestrictedInto(ws, lineInto(ws, n), r, p, rng,
 		fmt.Sprintf("line-rrestricted(n=%d,r=%d,p=%.2f)", n, r, p))
-	return out
 }
 
 // ArbitraryNoise builds the arbitrary-G′ workload of Theorem 3.1: G′ is G
 // plus extra long-range edges drawn uniformly over all non-adjacent pairs.
 // No restriction constrains how far these edges reach in G.
 func ArbitraryNoise(g *graph.Graph, extra int, rng *rand.Rand, name string) *Dual {
-	gp := g.Clone()
+	return ArbitraryNoiseInto(nil, g, extra, rng, name)
+}
+
+// ArbitraryNoiseInto is ArbitraryNoise emitting G′ into ws storage.
+func ArbitraryNoiseInto(ws *Workspace, g *graph.Graph, extra int, rng *rand.Rand, name string) *Dual {
+	gp := g.CloneInto(ws.Graph(g.N()))
 	n := g.N()
 	added := 0
 	for tries := 0; added < extra && tries < 50*extra+100; tries++ {
@@ -206,9 +228,16 @@ func ArbitraryNoise(g *graph.Graph, extra int, rng *rand.Rand, name string) *Dua
 // (distance in (1, c]) with probability p. The embedding is attached. The
 // caller should check connectivity of G for experiments that need it.
 func RandomGeometric(n int, side, c, p float64, rng *rand.Rand) *Dual {
-	e := geom.RandomUniform(n, side, rng)
-	g := e.UnitDisk(1.0)
-	gp := e.GreyZone(c, p, rng)
+	return RandomGeometricInto(nil, n, side, c, p, rng)
+}
+
+// RandomGeometricInto is RandomGeometric emitting the embedding and both
+// graphs into ws storage; a nil ws allocates fresh. The rng stream is drawn
+// exactly as RandomGeometric draws it.
+func RandomGeometricInto(ws *Workspace, n int, side, c, p float64, rng *rand.Rand) *Dual {
+	e := geom.RandomUniformInto(ws.Points(n), n, side, rng)
+	g := e.UnitDiskInto(ws.Graph(n), 1.0)
+	gp := e.GreyZoneInto(ws.Graph(n), c, p, rng)
 	return &Dual{
 		G:      g,
 		GPrime: gp,
@@ -221,8 +250,17 @@ func RandomGeometric(n int, side, c, p float64, rng *rand.Rand) *Dual {
 // up to maxTries attempts. It returns nil if no connected instance is found,
 // which signals the density is too low for the parameters.
 func ConnectedRandomGeometric(n int, side, c, p float64, rng *rand.Rand, maxTries int) *Dual {
+	return ConnectedRandomGeometricInto(nil, n, side, c, p, rng, maxTries)
+}
+
+// ConnectedRandomGeometricInto is ConnectedRandomGeometric built from ws
+// storage; rejected draws rewind the workspace so every attempt reuses one
+// set of graphs.
+func ConnectedRandomGeometricInto(ws *Workspace, n int, side, c, p float64, rng *rand.Rand, maxTries int) *Dual {
+	mark := ws.Mark()
 	for i := 0; i < maxTries; i++ {
-		d := RandomGeometric(n, side, c, p, rng)
+		ws.Rewind(mark)
+		d := RandomGeometricInto(ws, n, side, c, p, rng)
 		if d.G.IsConnected() {
 			return d
 		}

@@ -41,17 +41,23 @@ func (c *ParallelLinesC) B(i int) graph.NodeID {
 // matching the paper's observation that C is grey-zone restricted for a
 // sufficiently large constant c.
 func NewParallelLinesC(d int) *ParallelLinesC {
+	return NewParallelLinesCInto(nil, d)
+}
+
+// NewParallelLinesCInto is NewParallelLinesC emitting both graphs into ws
+// storage (see Workspace); a nil ws allocates fresh.
+func NewParallelLinesCInto(ws *Workspace, d int) *ParallelLinesC {
 	if d < 2 {
 		panic("topology: parallel lines need d >= 2")
 	}
 	const dy = 1.05
 	embed := geom.TwoLines(d, 1.0, dy)
-	g := graph.New(2 * d)
+	g := ws.Graph(2 * d)
 	for i := 0; i < d-1; i++ {
 		g.AddEdge(graph.NodeID(i), graph.NodeID(i+1))     // line A
 		g.AddEdge(graph.NodeID(d+i), graph.NodeID(d+i+1)) // line B
 	}
-	gp := g.Clone()
+	gp := g.CloneInto(ws.Graph(2 * d))
 	for i := 0; i < d-1; i++ {
 		gp.AddEdge(graph.NodeID(i), graph.NodeID(d+i+1)) // a_i — b_{i+1}
 		gp.AddEdge(graph.NodeID(d+i), graph.NodeID(i+1)) // b_i — a_{i+1}

@@ -2,14 +2,18 @@ package topology
 
 import (
 	"fmt"
-	"math/rand"
+	"math"
 	"sort"
+
+	"amac/internal/geom"
 )
 
 // Params carries the named numeric parameters of a registry-built artifact.
 // All values are float64 so parameter sets round-trip through JSON without a
-// schema; integral parameters are truncated with Int. Missing keys select
-// the builder's documented default.
+// schema; integral parameters are read with Int, which rounds to the nearest
+// integer so float noise from a JSON round trip (99.99999999999999 for 100)
+// cannot shift a parameter. Missing keys select the builder's documented
+// default.
 type Params map[string]float64
 
 // Has reports whether the parameter is present.
@@ -23,18 +27,22 @@ func (p Params) Float(name string, def float64) float64 {
 	return def
 }
 
-// Int returns the parameter truncated to int, or def when absent.
+// Int returns the parameter rounded to the nearest int (halves away from
+// zero, like math.Round), or def when absent. Truncation would silently
+// drop a node from near-integer values that JSON round trips and float
+// arithmetic routinely produce.
 func (p Params) Int(name string, def int) int {
 	if v, ok := p[name]; ok {
-		return int(v)
+		return int(math.Round(v))
 	}
 	return def
 }
 
-// Int64 returns the parameter truncated to int64, or def when absent.
+// Int64 returns the parameter rounded to the nearest int64 (see Int), or def
+// when absent.
 func (p Params) Int64(name string, def int64) int64 {
 	if v, ok := p[name]; ok {
-		return int64(v)
+		return int64(math.Round(v))
 	}
 	return def
 }
@@ -58,24 +66,44 @@ type Built struct {
 	Artifact any
 }
 
-// Builder constructs a network family member from its parameters. Builders
-// must be deterministic: equal parameter sets (including "seed" for
-// randomized families) yield equal networks.
-type Builder func(p Params) (*Built, error)
+// Builder constructs a network family member from its parameters, the
+// family's random-stream seed, and optional workspace scratch. Builders
+// must be deterministic — equal (parameters, seed) yield equal networks —
+// and must produce byte-identical networks with and without a workspace:
+// the workspace only changes where the memory comes from. The seed arrives
+// as an exact int64 (never through a float64 parameter, which is lossy
+// above 2^53); deterministic families ignore it. ws may be nil (allocate
+// fresh); the Workspace surface is nil-receiver safe, so builders are
+// written once against it.
+type Builder func(p Params, seed int64, ws *Workspace) (*Built, error)
 
 type registration struct {
-	params  map[string]bool
-	builder Builder
+	params        map[string]bool
+	builder       Builder
+	deterministic bool
 }
 
 var registry = map[string]registration{}
 
-// Register adds a named topology family to the registry, declaring the
-// parameter names it accepts; Build rejects parameters outside that set.
-// Every family implicitly accepts "seed" (deterministic families ignore it),
-// so callers can thread per-trial seeds uniformly. Register panics on
-// duplicate names (a wiring bug, caught at init).
+// Register adds a named randomized topology family to the registry,
+// declaring the parameter names it accepts; Build rejects parameters
+// outside that set. Every family implicitly accepts "seed" (deterministic
+// families ignore it), so callers can thread per-trial seeds uniformly.
+// Register panics on duplicate names (a wiring bug, caught at init).
 func Register(name string, params []string, b Builder) {
+	register(name, params, b, false)
+}
+
+// RegisterDeterministic is Register for families whose builder ignores the
+// seed: equal parameter sets alone yield equal networks. Consumers use
+// Deterministic to treat every trial of such a family as the same pinned
+// instance (scenario.Run builds it once and reuses the warm run arena)
+// instead of rebuilding an identical network per trial.
+func RegisterDeterministic(name string, params []string, b Builder) {
+	register(name, params, b, true)
+}
+
+func register(name string, params []string, b Builder, deterministic bool) {
 	if _, dup := registry[name]; dup {
 		panic(fmt.Sprintf("topology: duplicate registration of %q", name))
 	}
@@ -84,7 +112,13 @@ func Register(name string, params []string, b Builder) {
 		ps[p] = true
 	}
 	ps["seed"] = true
-	registry[name] = registration{params: ps, builder: b}
+	registry[name] = registration{params: ps, builder: b, deterministic: deterministic}
+}
+
+// Deterministic reports whether the named family was registered as
+// seed-independent (false for unknown names).
+func Deterministic(name string) bool {
+	return registry[name].deterministic
 }
 
 // Names returns the registered topology names, sorted.
@@ -114,12 +148,35 @@ func ValidateSpec(name string, p Params) error {
 }
 
 // Build constructs the named topology from its parameters, validating the
-// parameter names first.
+// parameter names first. The random stream of a randomized family is seeded
+// from the "seed" parameter (default 1); to thread a seed that a float64
+// cannot represent exactly, use BuildSeeded.
 func Build(name string, p Params) (*Built, error) {
+	return BuildInto(name, p, p.Int64("seed", 1), nil)
+}
+
+// BuildSeeded is Build with the family seed threaded as an exact int64
+// instead of through the float64 parameter map, which is lossy above 2^53
+// and would silently collide distinct large seeds onto the same network. An
+// explicit "seed" parameter still wins, matching Build's precedence.
+func BuildSeeded(name string, p Params, seed int64) (*Built, error) {
+	return BuildInto(name, p, seed, nil)
+}
+
+// BuildInto is BuildSeeded emitting into ws scratch (see Workspace): graphs
+// and embeddings of the previous build on the same workspace are recycled,
+// so per-trial topology draws of a sweep stop paying construction
+// allocations. A nil ws allocates fresh; the built network is byte-identical
+// either way.
+func BuildInto(name string, p Params, seed int64, ws *Workspace) (*Built, error) {
 	if err := ValidateSpec(name, p); err != nil {
 		return nil, err
 	}
-	return registry[name].builder(p)
+	if p.Has("seed") {
+		seed = p.Int64("seed", 1)
+	}
+	ws.begin()
+	return registry[name].builder(p, seed, ws)
 }
 
 func sortedKeys(m map[string]bool) []string {
@@ -129,12 +186,6 @@ func sortedKeys(m map[string]bool) []string {
 	}
 	sort.Strings(out)
 	return out
-}
-
-// seededRand builds the deterministic random stream of a randomized family
-// from the "seed" parameter (default 1).
-func seededRand(p Params) *rand.Rand {
-	return rand.New(rand.NewSource(p.Int64("seed", 1)))
 }
 
 // gridDims resolves the shared grid sizing parameters: explicit rows/cols,
@@ -162,42 +213,42 @@ func gridDims(p Params) (rows, cols int, err error) {
 }
 
 func init() {
-	Register("line", []string{"n"}, func(p Params) (*Built, error) {
+	RegisterDeterministic("line", []string{"n"}, func(p Params, _ int64, _ *Workspace) (*Built, error) {
 		n := p.Int("n", 32)
 		if n < 1 {
 			return nil, fmt.Errorf("topology: line needs n >= 1, got %d", n)
 		}
 		return &Built{Dual: Line(n)}, nil
 	})
-	Register("ring", []string{"n"}, func(p Params) (*Built, error) {
+	RegisterDeterministic("ring", []string{"n"}, func(p Params, _ int64, _ *Workspace) (*Built, error) {
 		n := p.Int("n", 32)
 		if n < 3 {
 			return nil, fmt.Errorf("topology: ring needs n >= 3, got %d", n)
 		}
 		return &Built{Dual: Ring(n)}, nil
 	})
-	Register("star", []string{"n"}, func(p Params) (*Built, error) {
+	RegisterDeterministic("star", []string{"n"}, func(p Params, _ int64, _ *Workspace) (*Built, error) {
 		n := p.Int("n", 32)
 		if n < 2 {
 			return nil, fmt.Errorf("topology: star needs n >= 2, got %d", n)
 		}
 		return &Built{Dual: Star(n)}, nil
 	})
-	Register("tree", []string{"n"}, func(p Params) (*Built, error) {
+	RegisterDeterministic("tree", []string{"n"}, func(p Params, _ int64, _ *Workspace) (*Built, error) {
 		n := p.Int("n", 32)
 		if n < 1 {
 			return nil, fmt.Errorf("topology: tree needs n >= 1, got %d", n)
 		}
 		return &Built{Dual: CompleteBinaryTree(n)}, nil
 	})
-	Register("grid", []string{"rows", "cols", "n"}, func(p Params) (*Built, error) {
+	RegisterDeterministic("grid", []string{"rows", "cols", "n"}, func(p Params, _ int64, _ *Workspace) (*Built, error) {
 		rows, cols, err := gridDims(p)
 		if err != nil {
 			return nil, err
 		}
 		return &Built{Dual: Grid(rows, cols)}, nil
 	})
-	Register("rgg", []string{"n", "side", "c", "p", "seed", "max-tries"}, func(p Params) (*Built, error) {
+	Register("rgg", []string{"n", "side", "c", "p", "seed", "max-tries"}, func(p Params, seed int64, ws *Workspace) (*Built, error) {
 		n := p.Int("n", 32)
 		if n < 1 {
 			return nil, fmt.Errorf("topology: rgg needs n >= 1, got %d", n)
@@ -209,30 +260,30 @@ func init() {
 		c := p.Float("c", 1.6)
 		prob := p.Float("p", 0.5)
 		tries := p.Int("max-tries", 200)
-		d := ConnectedRandomGeometric(n, side, c, prob, seededRand(p), tries)
+		d := ConnectedRandomGeometricInto(ws, n, side, c, prob, ws.Rand(seed), tries)
 		if d == nil {
 			return nil, fmt.Errorf("topology: no connected rgg instance for n=%d side=%.2f in %d tries (density too low)",
 				n, side, tries)
 		}
 		return &Built{Dual: d}, nil
 	})
-	Register("rline", []string{"n", "r", "p", "seed"}, func(p Params) (*Built, error) {
+	Register("rline", []string{"n", "r", "p", "seed"}, func(p Params, seed int64, ws *Workspace) (*Built, error) {
 		n, r := p.Int("n", 32), p.Int("r", 2)
 		if n < 1 || r < 1 {
 			return nil, fmt.Errorf("topology: rline needs n, r >= 1, got n=%d r=%d", n, r)
 		}
-		return &Built{Dual: LineRRestricted(n, r, p.Float("p", 0.6), seededRand(p))}, nil
+		return &Built{Dual: LineRRestrictedInto(ws, n, r, p.Float("p", 0.6), ws.Rand(seed))}, nil
 	})
-	Register("noisy-line", []string{"n", "extra", "seed"}, func(p Params) (*Built, error) {
+	Register("noisy-line", []string{"n", "extra", "seed"}, func(p Params, seed int64, ws *Workspace) (*Built, error) {
 		n := p.Int("n", 32)
 		if n < 1 {
 			return nil, fmt.Errorf("topology: noisy-line needs n >= 1, got %d", n)
 		}
 		extra := p.Int("extra", n)
-		return &Built{Dual: ArbitraryNoise(Line(n).G, extra, seededRand(p),
+		return &Built{Dual: ArbitraryNoiseInto(ws, lineInto(ws, n), extra, ws.Rand(seed),
 			fmt.Sprintf("line+%d-wild-edges", extra))}, nil
 	})
-	Register("grid-crosstalk", []string{"rows", "cols", "n", "r", "p", "seed"}, func(p Params) (*Built, error) {
+	Register("grid-crosstalk", []string{"rows", "cols", "n", "r", "p", "seed"}, func(p Params, seed int64, ws *Workspace) (*Built, error) {
 		rows, cols, err := gridDims(p)
 		if err != nil {
 			return nil, err
@@ -241,13 +292,14 @@ func init() {
 		if r < 1 {
 			return nil, fmt.Errorf("topology: grid-crosstalk needs r >= 1, got %d", r)
 		}
-		base := Grid(rows, cols)
-		d := RRestricted(base.G, r, p.Float("p", 0.5), seededRand(p),
+		e := geom.GridPoints(rows, cols, 1.0)
+		base := e.UnitDiskInto(ws.Graph(rows*cols), 1.0)
+		d := RRestrictedInto(ws, base, r, p.Float("p", 0.5), ws.Rand(seed),
 			fmt.Sprintf("grid-crosstalk(%dx%d,r=%d)", rows, cols, r))
-		d.Embed = base.Embed
+		d.Embed = e
 		return &Built{Dual: d}, nil
 	})
-	Register("parallel-lines", []string{"d", "n"}, func(p Params) (*Built, error) {
+	RegisterDeterministic("parallel-lines", []string{"d", "n"}, func(p Params, _ int64, ws *Workspace) (*Built, error) {
 		d := p.Int("d", 0)
 		if d == 0 {
 			d = p.Int("n", 16) / 2
@@ -255,10 +307,10 @@ func init() {
 		if d < 2 {
 			return nil, fmt.Errorf("topology: parallel-lines needs line length d >= 2, got %d", d)
 		}
-		c := NewParallelLinesC(d)
+		c := NewParallelLinesCInto(ws, d)
 		return &Built{Dual: c.Dual, Artifact: c}, nil
 	})
-	Register("star-choke", []string{"k"}, func(p Params) (*Built, error) {
+	RegisterDeterministic("star-choke", []string{"k"}, func(p Params, _ int64, _ *Workspace) (*Built, error) {
 		k := p.Int("k", 2)
 		if k < 2 {
 			return nil, fmt.Errorf("topology: star-choke needs k >= 2, got %d", k)
