@@ -8,6 +8,7 @@
 //
 //	amacbench [-quick] [-trials N] [-seed S] [-check] [-parallel P]
 //	          [-no-arena] [-only id-substring] [-json BENCH.json]
+//	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // -parallel runs each experiment's (sweep point, trial) simulations on a
 // bounded worker pool; tables are byte-identical at any parallelism.
@@ -16,6 +17,11 @@
 // -json appends a machine-readable perf record per experiment (wall time,
 // simulation events, events/sec, allocations), the repo's perf trajectory;
 // cmd/benchdiff compares two such records and gates CI on regressions.
+// -cpuprofile and -memprofile write pprof profiles covering the selected
+// experiments (see PERFORMANCE.md for the profiling workflow); the memory
+// profile is a heap snapshot taken after the last experiment, with
+// runtime.MemProfileRate raised so allocation sites are attributed
+// accurately.
 package main
 
 import (
@@ -23,6 +29,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -39,7 +46,30 @@ func main() {
 	noArena := flag.Bool("no-arena", false, "disable cross-trial run-arena and fleet reuse for pinned topologies (debugging)")
 	only := flag.String("only", "", "run only experiments whose id contains this substring")
 	jsonPath := flag.String("json", "", "write a machine-readable perf record (events/sec, allocs) to this path")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile covering the selected experiments to this path")
+	memProfile := flag.String("memprofile", "", "write an allocation profile (heap, alloc_objects/alloc_space) to this path")
 	flag.Parse()
+
+	if *memProfile != "" {
+		// Sample every allocation so small per-event sites are attributed
+		// exactly; set before any experiment allocates.
+		runtime.MemProfileRate = 1
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "amacbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "amacbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
 
 	opts := harness.Options{
 		Quick:       *quick,
@@ -83,14 +113,16 @@ func main() {
 		fmt.Printf("  (%s in %v, %d sim events, %.0f events/sec)\n\n",
 			e.ID, wall.Round(time.Millisecond), events,
 			float64(events)/wall.Seconds())
-		bench.Experiments = append(bench.Experiments, perfrecord.Record{
+		rec := perfrecord.Record{
 			ID:           e.ID,
 			WallSeconds:  wall.Seconds(),
 			SimEvents:    events,
 			EventsPerSec: float64(events) / wall.Seconds(),
 			Allocs:       msAfter.Mallocs - msBefore.Mallocs,
 			AllocBytes:   msAfter.TotalAlloc - msBefore.TotalAlloc,
-		})
+		}
+		rec.Normalize()
+		bench.Experiments = append(bench.Experiments, rec)
 		ran++
 	}
 	if ran == 0 {
@@ -103,5 +135,19 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("# perf record written to %s\n", *jsonPath)
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "amacbench: %v\n", err)
+			os.Exit(1)
+		}
+		runtime.GC() // settle the heap so alloc_* totals are complete
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "amacbench: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("# allocation profile written to %s\n", *memProfile)
 	}
 }

@@ -1,17 +1,20 @@
 // Command benchdiff compares two amacbench perf records (BENCH.json) and
-// fails when any experiment's throughput regressed past the threshold —
-// the CI regression gate. It matches experiments by id, reports events/sec
-// side by side, and exits non-zero on a regression or on an experiment that
-// disappeared from the new record.
+// fails when any experiment's throughput or per-event allocation regressed
+// past the threshold — the CI regression gate. It matches experiments by
+// id, reports events/sec and allocs/event side by side, and exits non-zero
+// on a regression or on an experiment that disappeared from the new record.
 //
 // Usage:
 //
 //	benchdiff -base old/BENCH.json -new BENCH.json [-threshold 0.15] [-min-wall 0.05]
 //
 // Experiments whose wall time fell below -min-wall seconds in either record
-// are reported but not gated: at millisecond scale, events/sec measures the
-// scheduler, not the simulator. An experiment missing from the new record
-// fails the gate regardless.
+// have their events/sec reported but not gated: at millisecond scale,
+// events/sec measures the scheduler, not the simulator. Allocations per
+// event are deterministic at any speed and are gated regardless (baselines
+// recorded before the per-op fields existed carry zeros there and are not
+// alloc-gated). An experiment missing from the new record fails the gate
+// regardless.
 package main
 
 import (
@@ -25,7 +28,7 @@ import (
 func main() {
 	base := flag.String("base", "", "baseline perf record (required)")
 	next := flag.String("new", "", "candidate perf record (required)")
-	threshold := flag.Float64("threshold", 0.15, "maximum tolerated events/sec drop as a fraction (0.15 = 15%)")
+	threshold := flag.Float64("threshold", 0.15, "maximum tolerated events/sec drop or allocs/event growth as a fraction (0.15 = 15%)")
 	minWall := flag.Float64("min-wall", 0.05, "minimum wall seconds (in both records) for an experiment to be gated rather than just reported")
 	flag.Parse()
 	if *base == "" || *next == "" {
@@ -59,24 +62,36 @@ func main() {
 	if len(deltas) == 0 {
 		fail(fmt.Errorf("baseline %s contains no experiments", *base))
 	}
-	fmt.Printf("%-28s %14s %14s %8s\n", "experiment", "base ev/s", "new ev/s", "ratio")
+	fmt.Printf("%-28s %14s %14s %8s %12s %12s %8s\n",
+		"experiment", "base ev/s", "new ev/s", "ratio", "base alloc/op", "new alloc/op", "ratio")
 	regressed := 0
 	for _, d := range deltas {
 		switch {
 		case d.Missing:
-			fmt.Printf("%-28s %14.0f %14s %8s  MISSING from new record\n",
-				d.ID, d.BaseEventsPerSec, "-", "-")
+			fmt.Printf("%-28s %14.0f %14s %8s %12s %12s %8s  MISSING from new record\n",
+				d.ID, d.BaseEventsPerSec, "-", "-", "-", "-", "-")
 			regressed++
+			continue
 		case d.Noisy(*minWall):
-			fmt.Printf("%-28s %14.0f %14.0f %8.3f  not gated (ran < %.0fms, events/sec is noise)\n",
-				d.ID, d.BaseEventsPerSec, d.NewEventsPerSec, d.Ratio, *minWall*1000)
+			// Wall time too short to judge events/sec; per-event allocation
+			// is deterministic at any speed, so it is still gated below.
+			fmt.Printf("%-28s %14.0f %14.0f %8.3f %12.2f %12.2f %8.3f  ev/s not gated (ran < %.0fms)\n",
+				d.ID, d.BaseEventsPerSec, d.NewEventsPerSec, d.Ratio,
+				d.BaseAllocsPerOp, d.NewAllocsPerOp, d.AllocRatio, *minWall*1000)
 		case d.Regressed(*threshold):
-			fmt.Printf("%-28s %14.0f %14.0f %8.3f  REGRESSION (> %.0f%% drop)\n",
-				d.ID, d.BaseEventsPerSec, d.NewEventsPerSec, d.Ratio, *threshold*100)
+			fmt.Printf("%-28s %14.0f %14.0f %8.3f %12.2f %12.2f %8.3f  REGRESSION (> %.0f%% ev/s drop)\n",
+				d.ID, d.BaseEventsPerSec, d.NewEventsPerSec, d.Ratio,
+				d.BaseAllocsPerOp, d.NewAllocsPerOp, d.AllocRatio, *threshold*100)
 			regressed++
 		default:
-			fmt.Printf("%-28s %14.0f %14.0f %8.3f  ok\n",
-				d.ID, d.BaseEventsPerSec, d.NewEventsPerSec, d.Ratio)
+			fmt.Printf("%-28s %14.0f %14.0f %8.3f %12.2f %12.2f %8.3f  ok\n",
+				d.ID, d.BaseEventsPerSec, d.NewEventsPerSec, d.Ratio,
+				d.BaseAllocsPerOp, d.NewAllocsPerOp, d.AllocRatio)
+		}
+		if d.AllocRegressed(*threshold) {
+			fmt.Printf("%-28s %14s %14s %8s %12.2f %12.2f %8.3f  ALLOC REGRESSION (> %.0f%% more allocs/event)\n",
+				d.ID, "", "", "", d.BaseAllocsPerOp, d.NewAllocsPerOp, d.AllocRatio, *threshold*100)
+			regressed++
 		}
 	}
 	if regressed > 0 {

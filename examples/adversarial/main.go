@@ -57,7 +57,7 @@ func main() {
 	m0 := core.Msg{ID: 0, Origin: net.A(1)}
 	fmt.Println("m0's frontier progress down line A (one hop per Fack — the adversary's work):")
 	for _, ev := range res.Engine.Trace().Filter(core.DeliverKind) {
-		if ev.Arg.(core.Msg) != m0 {
+		if ev.Value().(core.Msg) != m0 {
 			continue
 		}
 		node := ev.Node

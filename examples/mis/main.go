@@ -61,7 +61,7 @@ func main() {
 		case "mis-join":
 			joins++
 			lastDecision = ev.At
-			fmt.Printf("  t=%6d  node %2d joins the MIS (phase %v)\n", int64(ev.At), ev.Node, ev.Arg)
+			fmt.Printf("  t=%6d  node %2d joins the MIS (phase %v)\n", int64(ev.At), ev.Node, ev.Value())
 		case "mis-covered":
 			lastDecision = ev.At
 		}

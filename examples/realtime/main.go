@@ -79,7 +79,7 @@ func main() {
 	eng.Start()
 	for v, msgs := range assignment {
 		for _, m := range msgs {
-			eng.Arrive(mac.NodeID(v), m)
+			eng.Arrive(mac.NodeID(v), m.Payload())
 		}
 	}
 	select {

@@ -16,7 +16,7 @@ import (
 // would reject.
 func inst(id int, sender mac.NodeID, start sim.Time, n int) *mac.Instance {
 	_ = n
-	return mac.NewInstance(mac.InstanceID(id), sender, nil, start, nil, 0)
+	return mac.NewInstance(mac.InstanceID(id), sender, mac.Payload{}, start, nil, 0)
 }
 
 func params() Params {

@@ -34,35 +34,38 @@ func (p MMBParams) withDefaults() MMBParams {
 // here.
 func MMB(r *Report, events []sim.TraceEvent, p MMBParams) {
 	p = p.withDefaults()
-	arrived := make(map[any]sim.Time)
+	// Messages key by their typed payload: payloads of the same kind with
+	// equal operands stand for the same message. Violation text renders the
+	// boxed value (the rare path), matching the old any-keyed output.
+	arrived := make(map[sim.Payload]sim.Time)
 	delivered := make(map[deliverKey]sim.Time)
 	for _, ev := range events {
 		switch ev.Kind {
 		case p.ArriveKind:
-			if prev, dup := arrived[ev.Arg]; dup {
+			if prev, dup := arrived[ev.P]; dup {
 				r.add("MMB well-formedness",
 					"message %v arrived twice (first %v, again %v at node %d)",
-					ev.Arg, prev, ev.At, ev.Node)
+					ev.Value(), prev, ev.At, ev.Node)
 				continue
 			}
-			arrived[ev.Arg] = ev.At
+			arrived[ev.P] = ev.At
 		case p.DeliverKind:
-			key := deliverKey{node: ev.Node, msg: ev.Arg}
+			key := deliverKey{node: ev.Node, msg: ev.P}
 			if prev, dup := delivered[key]; dup {
 				r.add("MMB delivery uniqueness",
 					"node %d delivered %v twice (first %v, again %v)",
-					ev.Node, ev.Arg, prev, ev.At)
+					ev.Node, ev.Value(), prev, ev.At)
 				continue
 			}
 			delivered[key] = ev.At
-			at, ok := arrived[ev.Arg]
+			at, ok := arrived[ev.P]
 			if !ok {
 				r.add("MMB delivery causality",
-					"node %d delivered %v before any arrive", ev.Node, ev.Arg)
+					"node %d delivered %v before any arrive", ev.Node, ev.Value())
 			} else if ev.At < at {
 				r.add("MMB delivery causality",
 					"node %d delivered %v at %v, before its arrive at %v",
-					ev.Node, ev.Arg, ev.At, at)
+					ev.Node, ev.Value(), ev.At, at)
 			}
 		}
 	}
@@ -70,5 +73,5 @@ func MMB(r *Report, events []sim.TraceEvent, p MMBParams) {
 
 type deliverKey struct {
 	node int
-	msg  any
+	msg  sim.Payload
 }

@@ -7,7 +7,7 @@ import (
 )
 
 func ev(at sim.Time, kind string, node int, arg any) sim.TraceEvent {
-	return sim.TraceEvent{At: at, Kind: kind, Node: node, Arg: arg}
+	return sim.TraceEvent{At: at, Kind: kind, Node: node, P: sim.Ext(arg)}
 }
 
 func TestMMBCleanTrace(t *testing.T) {

@@ -51,13 +51,15 @@ func TestBMMBFloodAllocationBudget(t *testing.T) {
 // zero; the full warm run is held to a budget calibrated so that any
 // reconstruction — automata (~2n allocs for a BMMB fleet), node states
 // (n), instance records or delivery rows (one per broadcast) — blows it
-// immediately. At the time of writing a warm 64-node, k=2 flood costs ~380
-// allocations, all per-event payload boxing; a cold run of the same
-// configuration costs ~1280.
+// immediately. Since payloads moved to typed scalars (no per-event
+// boxing) and BMMB's queue stopped shrinking its backing array across
+// runs, a warm 64-node, k=2 flood costs ~8 allocations — the Result
+// record plus per-run workload resolution; a cold run of the same
+// configuration costs ~1100.
 func TestWarmArenaTrialAllocations(t *testing.T) {
 	const (
 		n          = 64
-		warmBudget = 650
+		warmBudget = 24
 	)
 	d := topology.Line(n)
 	assignment := SingleSource(n, 0, 2)

@@ -16,6 +16,7 @@ import (
 // timers, no aborts and no knowledge of Fack/Fprog.
 type BMMB struct {
 	bcastq []Msg
+	head   int // index of the queue head; popped entries stay until Reset
 	rcvd   map[Msg]bool
 }
 
@@ -35,12 +36,13 @@ func NewBMMB() *BMMB {
 // capacity so reused fleets run allocation-free.
 func (b *BMMB) Reset() {
 	b.bcastq = b.bcastq[:0]
+	b.head = 0
 	clear(b.rcvd)
 }
 
 // Queue returns the current queue contents (a copy), for tests and debug
 // inspection.
-func (b *BMMB) Queue() []Msg { return append([]Msg(nil), b.bcastq...) }
+func (b *BMMB) Queue() []Msg { return append([]Msg(nil), b.bcastq[b.head:]...) }
 
 // Received reports whether m has been received (the rcvd set).
 func (b *BMMB) Received(m Msg) bool { return b.rcvd[m] }
@@ -49,13 +51,13 @@ func (b *BMMB) Received(m Msg) bool { return b.rcvd[m] }
 func (b *BMMB) Wakeup(ctx mac.Context) {}
 
 // Arrive implements mac.Arriver: the environment injects a message.
-func (b *BMMB) Arrive(ctx mac.Context, payload any) {
-	b.learn(ctx, payload.(Msg))
+func (b *BMMB) Arrive(ctx mac.Context, payload mac.Payload) {
+	b.learn(ctx, mustMsg(payload))
 }
 
 // Recv implements mac.Automaton.
 func (b *BMMB) Recv(ctx mac.Context, m mac.Message) {
-	b.learn(ctx, m.Payload.(Msg))
+	b.learn(ctx, mustMsg(m.Payload))
 }
 
 // learn processes the first sighting of a message: deliver, record, queue,
@@ -65,23 +67,23 @@ func (b *BMMB) learn(ctx mac.Context, m Msg) {
 		return
 	}
 	b.rcvd[m] = true
-	ctx.Emit(DeliverKind, m)
+	ctx.Emit(DeliverKind, m.Payload())
 	b.bcastq = append(b.bcastq, m)
 	b.maybeSend(ctx)
 }
 
 // Acked implements mac.Automaton: the head of the queue completed.
 func (b *BMMB) Acked(ctx mac.Context, m mac.Message) {
-	if len(b.bcastq) == 0 || b.bcastq[0] != m.Payload.(Msg) {
+	if b.head >= len(b.bcastq) || b.bcastq[b.head] != mustMsg(m.Payload) {
 		panic("core: BMMB ack does not match queue head")
 	}
-	b.bcastq = b.bcastq[1:]
+	b.head++
 	b.maybeSend(ctx)
 }
 
 func (b *BMMB) maybeSend(ctx mac.Context) {
-	if !ctx.Pending() && len(b.bcastq) > 0 {
-		ctx.Bcast(b.bcastq[0])
+	if !ctx.Pending() && b.head < len(b.bcastq) {
+		ctx.Bcast(b.bcastq[b.head].Payload())
 	}
 }
 

@@ -142,7 +142,7 @@ func TestBMMBDeliversExactlyOnce(t *testing.T) {
 	// Count deliver events in the trace: exactly one per (node, msg).
 	counts := make(map[[2]int]int)
 	for _, ev := range res.Engine.Trace().Filter(DeliverKind) {
-		m := ev.Arg.(Msg)
+		m := ev.Value().(Msg)
 		counts[[2]int{ev.Node, m.ID}]++
 	}
 	if len(counts) != 40 {
@@ -188,7 +188,7 @@ func TestBMMBQueueIsFIFO(t *testing.T) {
 	var order []int
 	for _, b := range res.Engine.Instances() {
 		if b.Sender == 0 {
-			order = append(order, b.Payload.(Msg).ID)
+			order = append(order, mustMsg(b.Payload).ID)
 		}
 	}
 	if len(order) != 3 {
@@ -240,9 +240,9 @@ func TestBMMBParallelLinesLowerBound(t *testing.T) {
 		a[c.A(1)] = []Msg{m0}
 		a[c.B(1)] = []Msg{m1}
 		s := &sched.ParallelLines{
-			Net:  c,
-			IsM0: func(p any) bool { return p == m0 },
-			IsM1: func(p any) bool { return p == m1 },
+			Net: c,
+			M0:  m0.Payload(),
+			M1:  m1.Payload(),
 		}
 		res := runBMMB(t, c.Dual, s, a, 6)
 		if !res.Solved {

@@ -202,6 +202,16 @@ func (f *FMMB) Reset() {
 	f.relay = nil
 }
 
+// Reconfigure rebinds a pooled FMMB process to a new (resolved) config
+// without reallocating its state: fleet pools use it to adapt a same-size
+// fleet built for an earlier topology draw to the current one. Callers
+// Reset() afterwards; the result is observably identical to NewFMMB(cfg).
+func (f *FMMB) Reconfigure(cfg FMMBConfig) {
+	rc := cfg.withDefaults()
+	f.cfg = rc
+	f.mis.cfg = rc.MIS
+}
+
 // NewFMMBFleet returns one FMMB automaton per node.
 func NewFMMBFleet(n int, cfg FMMBConfig) []mac.Automaton {
 	out := make([]mac.Automaton, n)
@@ -231,8 +241,8 @@ func (f *FMMB) Wakeup(ctx mac.Context) {
 
 // Arrive implements mac.Arriver: the environment injects a message at time
 // zero, before any broadcast activity.
-func (f *FMMB) Arrive(ctx mac.Context, payload any) {
-	m := payload.(Msg)
+func (f *FMMB) Arrive(ctx mac.Context, payload mac.Payload) {
+	m := mustMsg(payload)
 	f.deliver(ctx, m)
 	f.owned = append(f.owned, m)
 	f.have[m] = true
@@ -250,7 +260,7 @@ func (f *FMMB) deliver(ctx mac.Context, m Msg) {
 		return
 	}
 	f.delivered[m] = true
-	ctx.Emit(DeliverKind, m)
+	ctx.Emit(DeliverKind, m.Payload())
 }
 
 // stage boundaries in round indices.
@@ -282,39 +292,40 @@ func (f *FMMB) startGatherRound(ctx mac.EnhancedContext, g int) {
 		f.polled = false
 		f.ackOut = nil
 		if f.mis.InMIS && ctx.Rand().Float64() < f.cfg.ActiveProb {
-			ctx.Bcast(pollPayload{From: ctx.ID()})
+			ctx.Bcast(pollPayload{From: ctx.ID()}.payload())
 		}
 	case 1: // Hand-over: polled non-MIS owners send one owned message.
 		if !f.mis.InMIS && f.polled && len(f.owned) > 0 {
-			ctx.Bcast(gatherMsgPayload{M: f.owned[0], From: ctx.ID()})
+			ctx.Bcast(gatherMsgPayload{M: f.owned[0], From: ctx.ID()}.payload())
 		}
 	case 2: // Acknowledge: MIS nodes confirm what they took.
 		if f.mis.InMIS && f.ackOut != nil {
-			ctx.Bcast(gatherAckPayload{M: *f.ackOut, From: ctx.ID()})
+			ctx.Bcast(gatherAckPayload{M: *f.ackOut, From: ctx.ID()}.payload())
 		}
 	}
 }
 
 func (f *FMMB) onGatherRecv(ctx mac.Context, m mac.Message, g int, fromG bool) {
-	switch p := m.Payload.(type) {
-	case pollPayload:
+	switch m.Payload.Kind {
+	case pollKind:
 		if g%3 == 0 && fromG && !f.mis.InMIS {
 			f.polled = true
 		}
-	case gatherMsgPayload:
-		f.deliver(ctx, p.M)
+	case gatherMsgKind:
+		mm := Msg{ID: int(m.Payload.A), Origin: mac.NodeID(m.Payload.B)}
+		f.deliver(ctx, mm)
 		if g%3 == 1 && fromG && f.mis.InMIS {
-			if !f.have[p.M] {
-				f.have[p.M] = true
-				ctx.Emit("gather-own", p.M)
+			if !f.have[mm] {
+				f.have[mm] = true
+				ctx.Emit("gather-own", mm.Payload())
 			}
-			mm := p.M
 			f.ackOut = &mm
 		}
-	case gatherAckPayload:
-		f.deliver(ctx, p.M)
+	case gatherAckKind:
+		mm := Msg{ID: int(m.Payload.A), Origin: mac.NodeID(m.Payload.B)}
+		f.deliver(ctx, mm)
 		if g%3 == 2 && fromG && !f.mis.InMIS {
-			f.dropOwned(p.M)
+			f.dropOwned(mm)
 		}
 	}
 }
@@ -342,7 +353,7 @@ func (f *FMMB) startSpreadRound(ctx mac.EnhancedContext, s int) {
 		f.cur = f.pickUnsent()
 		f.curAcked = false
 		if f.cur != nil {
-			ctx.Emit("spread-inject", *f.cur)
+			ctx.Emit("spread-inject", f.cur.Payload())
 		}
 	}
 	if pr == 0 {
@@ -351,14 +362,14 @@ func (f *FMMB) startSpreadRound(ctx mac.EnhancedContext, s int) {
 		f.curActive = f.mis.InMIS && ctx.Rand().Float64() < f.cfg.ActiveProb
 		f.relay = nil
 		if f.curActive && f.cur != nil {
-			ctx.Bcast(spreadPayload{M: *f.cur, From: ctx.ID()})
+			ctx.Bcast(spreadPayload{M: *f.cur, From: ctx.ID()}.payload())
 			return
 		}
 	}
 	if pr > 0 && f.relay != nil {
 		m := *f.relay
 		f.relay = nil
-		ctx.Bcast(spreadPayload{M: m, From: ctx.ID()})
+		ctx.Bcast(spreadPayload{M: m, From: ctx.ID()}.payload())
 	}
 }
 
@@ -410,20 +421,19 @@ func (f *FMMB) pickUnsent() *Msg {
 }
 
 func (f *FMMB) onSpreadRecv(ctx mac.Context, m mac.Message, s int, fromG bool) {
-	p, ok := m.Payload.(spreadPayload)
-	if !ok {
+	if m.Payload.Kind != spreadKind {
 		return
 	}
-	f.deliver(ctx, p.M)
+	mm := Msg{ID: int(m.Payload.A), Origin: mac.NodeID(m.Payload.B)}
+	f.deliver(ctx, mm)
 	pr := (s % (f.cfg.SpreadPeriods * 3)) % 3
 	if fromG && pr < 2 {
 		// Relay in the next round of this period (rounds 2 and 3 relay
 		// what arrived in rounds 1 and 2).
-		mm := p.M
 		f.relay = &mm
 	}
 	if f.mis.InMIS {
-		f.inbox = append(f.inbox, p.M)
+		f.inbox = append(f.inbox, mm)
 	}
 }
 
@@ -443,7 +453,10 @@ func (f *FMMB) Recv(ctx mac.Context, m mac.Message) {
 // Acked implements mac.Automaton: an acknowledged spread broadcast of the
 // current phase message confirms reliable-neighborhood delivery.
 func (f *FMMB) Acked(_ mac.Context, m mac.Message) {
-	if p, ok := m.Payload.(spreadPayload); ok && f.cur != nil && p.M == *f.cur {
+	if m.Payload.Kind != spreadKind || f.cur == nil {
+		return
+	}
+	if (Msg{ID: int(m.Payload.A), Origin: mac.NodeID(m.Payload.B)}) == *f.cur {
 		f.curAcked = true
 	}
 }

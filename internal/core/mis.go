@@ -148,7 +148,7 @@ func (s *misState) startRound(ctx mac.Context, round int) {
 	case r < s.cfg.ElectionRounds:
 		// Election round r: broadcast iff the r-th bit of b(v) is 1.
 		if participating && !s.tempInactive && s.bits&(1<<uint(r%63)) != 0 {
-			ctx.Bcast(electPayload{Bits: s.bits, Phase: phase})
+			ctx.Bcast(electPayload{Bits: s.bits, Phase: phase}.payload())
 			s.sentThisRound = true
 		}
 	default:
@@ -158,13 +158,13 @@ func (s *misState) startRound(ctx mac.Context, round int) {
 			if participating && !s.tempInactive {
 				s.InMIS = true
 				s.joinedThisPhase = true
-				ctx.Emit("mis-join", phase)
+				ctx.Emit("mis-join", mac.Int(int64(phase)))
 			}
 		}
 		// Announcement round: fresh members announce with probability
 		// AnnounceProb.
 		if s.joinedThisPhase && ctx.Rand().Float64() < s.cfg.AnnounceProb {
-			ctx.Bcast(announcePayload{From: ctx.ID()})
+			ctx.Bcast(announcePayload{From: ctx.ID()}.payload())
 			s.sentThisRound = true
 		}
 	}
@@ -176,19 +176,19 @@ func (s *misState) onRecv(ctx mac.Context, m mac.Message, fromG bool) {
 	if s.InMIS || s.Covered {
 		return
 	}
-	switch m.Payload.(type) {
-	case electPayload:
+	switch m.Payload.Kind {
+	case electKind:
 		// A node that stays silent in an election round but hears any
 		// message — over G or G′ — goes temporarily inactive.
 		if s.inElection && !s.sentThisRound {
 			s.tempInactive = true
 		}
-	case announcePayload:
+	case announceKind:
 		// Announcements count only over reliable links: hearing one from
 		// a G-neighbor covers this node permanently.
 		if fromG {
 			s.Covered = true
-			ctx.Emit("mis-covered", m.Sender)
+			ctx.Emit("mis-covered", mac.Int(int64(m.Sender)))
 		} else if s.inElection && !s.sentThisRound {
 			s.tempInactive = true
 		}

@@ -21,21 +21,31 @@ type Arrival struct {
 // Add or the generators below.
 type Workload struct {
 	arrivals []Arrival
+	// sorted memoizes Arrivals(): workloads are built once and consulted
+	// repeatedly (twice per run, once per trial of a warm sweep), so the
+	// sort-and-copy happens once per mutation instead of per call.
+	sorted []Arrival
 }
 
 // Add appends one arrival.
 func (w *Workload) Add(at sim.Time, node graph.NodeID, m Msg) {
 	w.arrivals = append(w.arrivals, Arrival{At: at, Node: node, Msg: m})
+	w.sorted = nil
 }
 
 // K returns the number of messages.
 func (w *Workload) K() int { return len(w.arrivals) }
 
 // Arrivals returns the arrivals sorted by time (stable on insertion order).
+// The returned slice is memoized and owned by the workload; callers must not
+// mutate it.
 func (w *Workload) Arrivals() []Arrival {
-	out := append([]Arrival(nil), w.arrivals...)
-	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
-	return out
+	if w.sorted == nil && len(w.arrivals) > 0 {
+		out := append([]Arrival(nil), w.arrivals...)
+		sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+		w.sorted = out
+	}
+	return w.sorted
 }
 
 // MaxAt returns the latest arrival time (0 when empty).

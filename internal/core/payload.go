@@ -1,0 +1,91 @@
+package core
+
+import (
+	"fmt"
+
+	"amac/internal/mac"
+	"amac/internal/sim"
+)
+
+// Payload kinds for every message this package's algorithms broadcast or
+// emit. Each registration pairs the kind with a boxer that reconstructs the
+// exact dynamic value the old `any` path carried, so Payload.Value() — and
+// therefore every rendered trace — is byte-identical to the boxed
+// representation, while the hot path moves plain structs of scalars.
+var (
+	// msgKind encodes Msg: A = ID, B = Origin.
+	msgKind = sim.RegisterPayloadKind(func(p sim.Payload) any {
+		return Msg{ID: int(p.A), Origin: mac.NodeID(p.B)}
+	})
+	// pollKind encodes pollPayload: A = From.
+	pollKind = sim.RegisterPayloadKind(func(p sim.Payload) any {
+		return pollPayload{From: mac.NodeID(p.A)}
+	})
+	// gatherMsgKind encodes gatherMsgPayload: A = M.ID, B = M.Origin, C = From.
+	gatherMsgKind = sim.RegisterPayloadKind(func(p sim.Payload) any {
+		return gatherMsgPayload{M: Msg{ID: int(p.A), Origin: mac.NodeID(p.B)}, From: mac.NodeID(p.C)}
+	})
+	// gatherAckKind encodes gatherAckPayload: A = M.ID, B = M.Origin, C = From.
+	gatherAckKind = sim.RegisterPayloadKind(func(p sim.Payload) any {
+		return gatherAckPayload{M: Msg{ID: int(p.A), Origin: mac.NodeID(p.B)}, From: mac.NodeID(p.C)}
+	})
+	// spreadKind encodes spreadPayload: A = M.ID, B = M.Origin, C = From.
+	spreadKind = sim.RegisterPayloadKind(func(p sim.Payload) any {
+		return spreadPayload{M: Msg{ID: int(p.A), Origin: mac.NodeID(p.B)}, From: mac.NodeID(p.C)}
+	})
+	// electKind encodes electPayload: A = Bits (reinterpreted), B = Phase.
+	electKind = sim.RegisterPayloadKind(func(p sim.Payload) any {
+		return electPayload{Bits: uint64(p.A), Phase: int(p.B)}
+	})
+	// announceKind encodes announcePayload: A = From.
+	announceKind = sim.RegisterPayloadKind(func(p sim.Payload) any {
+		return announcePayload{From: mac.NodeID(p.A)}
+	})
+)
+
+// Payload returns the typed representation of m.
+func (m Msg) Payload() mac.Payload {
+	return mac.Payload{Kind: msgKind, A: int64(m.ID), B: int64(m.Origin)}
+}
+
+// MsgFromPayload decodes a Msg payload, reporting whether p carries one.
+func MsgFromPayload(p mac.Payload) (Msg, bool) {
+	if p.Kind != msgKind {
+		return Msg{}, false
+	}
+	return Msg{ID: int(p.A), Origin: mac.NodeID(p.B)}, true
+}
+
+// mustMsg decodes a Msg payload, panicking on any other kind — the typed
+// equivalent of the old payload.(Msg) assertion.
+func mustMsg(p mac.Payload) Msg {
+	m, ok := MsgFromPayload(p)
+	if !ok {
+		panic(fmt.Sprintf("core: payload kind %d is not a Msg", p.Kind))
+	}
+	return m
+}
+
+func (p pollPayload) payload() mac.Payload {
+	return mac.Payload{Kind: pollKind, A: int64(p.From)}
+}
+
+func (p gatherMsgPayload) payload() mac.Payload {
+	return mac.Payload{Kind: gatherMsgKind, A: int64(p.M.ID), B: int64(p.M.Origin), C: int64(p.From)}
+}
+
+func (p gatherAckPayload) payload() mac.Payload {
+	return mac.Payload{Kind: gatherAckKind, A: int64(p.M.ID), B: int64(p.M.Origin), C: int64(p.From)}
+}
+
+func (p spreadPayload) payload() mac.Payload {
+	return mac.Payload{Kind: spreadKind, A: int64(p.M.ID), B: int64(p.M.Origin), C: int64(p.From)}
+}
+
+func (p electPayload) payload() mac.Payload {
+	return mac.Payload{Kind: electKind, A: int64(p.Bits), B: int64(p.Phase)}
+}
+
+func (p announcePayload) payload() mac.Payload {
+	return mac.Payload{Kind: announceKind, A: int64(p.From)}
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"amac/internal/mac"
+	"amac/internal/sched"
+	"amac/internal/sim"
+	"amac/internal/topology"
+)
+
+// TestPayloadRoundTripAllKinds is the property test behind the typed-payload
+// encoding: for every payload kind this package registers, random values
+// must (a) encode to a non-Ext kind — the scalar fast path, no boxing — and
+// (b) box back via Payload.Value() to exactly the dynamic value the old
+// `any` path carried, so rendered traces and watcher callbacks are
+// byte-identical to the boxed representation. A new payload kind that
+// silently falls back to sim.Ext fails (a); an encoder/boxer mismatch
+// (dropped field, swapped operand) fails (b).
+func TestPayloadRoundTripAllKinds(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 200; i++ {
+		m := Msg{ID: rng.Intn(1 << 30), Origin: mac.NodeID(rng.Intn(1 << 20))}
+		from := mac.NodeID(rng.Intn(1 << 20))
+		cases := []struct {
+			name  string
+			p     mac.Payload
+			boxed any
+		}{
+			{"msg", m.Payload(), m},
+			{"poll", pollPayload{From: from}.payload(), pollPayload{From: from}},
+			{"gather-msg", gatherMsgPayload{M: m, From: from}.payload(), gatherMsgPayload{M: m, From: from}},
+			{"gather-ack", gatherAckPayload{M: m, From: from}.payload(), gatherAckPayload{M: m, From: from}},
+			{"spread", spreadPayload{M: m, From: from}.payload(), spreadPayload{M: m, From: from}},
+			{"elect", electPayload{Bits: rng.Uint64(), Phase: rng.Intn(64)}.payload(),
+				electPayload{}},
+			{"announce", announcePayload{From: from}.payload(), announcePayload{From: from}},
+		}
+		// elect carries a uint64 through an int64 operand; rebuild the
+		// expected value from the encoded payload to keep the case table
+		// simple while still checking the reinterpretation is lossless.
+		cases[5].boxed = electPayload{Bits: uint64(cases[5].p.A), Phase: int(cases[5].p.B)}
+		if bits := rng.Uint64() | 1<<63; true {
+			e := electPayload{Bits: bits, Phase: 3}
+			if got := e.payload().Value().(electPayload); got != e {
+				t.Fatalf("elect with the high bit set did not round-trip: %+v -> %+v", e, got)
+			}
+		}
+		for _, tc := range cases {
+			if tc.p.Kind == sim.PayloadExt || tc.p.Kind == sim.PayloadNone {
+				t.Fatalf("%s: encoded to kind %d — boxed fallback, not a registered kind", tc.name, tc.p.Kind)
+			}
+			if tc.p.Ext != nil {
+				t.Fatalf("%s: typed payload carries Ext %v", tc.name, tc.p.Ext)
+			}
+			if got := tc.p.Value(); got != tc.boxed {
+				t.Fatalf("%s: Value() = %#v, want %#v", tc.name, got, tc.boxed)
+			}
+		}
+	}
+}
+
+// FuzzMsgPayloadRoundTrip fuzzes the Msg encoding end to end: encode, decode
+// via both the checked and the panicking decoder, and box back. Msg is the
+// one payload that crosses the public API (Arrive, adversary matching), so
+// its encoding is load-bearing for everything downstream.
+func FuzzMsgPayloadRoundTrip(f *testing.F) {
+	f.Add(0, int64(0))
+	f.Add(17, int64(3))
+	f.Add(-1, int64(1<<31))
+	f.Fuzz(func(t *testing.T, id int, origin int64) {
+		m := Msg{ID: id, Origin: mac.NodeID(origin)}
+		p := m.Payload()
+		got, ok := MsgFromPayload(p)
+		if !ok || got != m {
+			t.Fatalf("MsgFromPayload(%v.Payload()) = %v, %v", m, got, ok)
+		}
+		if mustMsg(p) != m {
+			t.Fatalf("mustMsg round-trip lost %v", m)
+		}
+		if v := p.Value(); v != any(m) {
+			t.Fatalf("Value() = %#v, want %#v", v, m)
+		}
+		if _, ok := MsgFromPayload(pollPayload{From: 1}.payload()); ok {
+			t.Fatal("MsgFromPayload accepted a poll payload")
+		}
+	})
+}
+
+// TestAlgorithmTracesNeverBox executes every registered algorithm and scans
+// the full trace: no event may carry a PayloadExt payload. This is the
+// tripwire for future payload kinds — an algorithm that starts broadcasting
+// or emitting through mac.Ext boxes per event again and fails here before
+// any allocation benchmark notices.
+func TestAlgorithmTracesNeverBox(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	d := topology.LineRRestricted(10, 2, 0.6, rng)
+	for _, name := range AlgorithmNames() {
+		alg, ok := LookupAlgorithm(name)
+		if !ok {
+			t.Fatalf("registered algorithm %q not found", name)
+		}
+		t.Run(name, func(t *testing.T) {
+			k := 2
+			automata, err := alg.NewFleet(d, k, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var scheduler mac.Scheduler
+			env := sched.Env{Dual: d, Fprog: 10, Fack: 200}
+			if scheduler, err = sched.Build(alg.DefaultScheduler, env, nil); err != nil {
+				t.Fatal(err)
+			}
+			cfg := RunConfig{
+				Dual:             d,
+				Fack:             200,
+				Fprog:            10,
+				Scheduler:        scheduler,
+				Mode:             alg.Mode,
+				Seed:             4,
+				Assignment:       SingleSource(10, 0, k),
+				Automata:         automata,
+				HaltOnCompletion: true,
+			}
+			if alg.Horizon != nil {
+				cfg.Horizon = alg.Horizon(d, k, 10, nil)
+				cfg.StepLimit = alg.StepLimit
+			}
+			res := MustRun(cfg)
+			if !res.Solved {
+				t.Fatalf("%s not solved: %d/%d", name, res.Delivered, res.Required)
+			}
+			events := res.Engine.Trace().Events()
+			if len(events) == 0 {
+				t.Fatal("empty trace")
+			}
+			for _, ev := range events {
+				if ev.P.Kind == sim.PayloadExt {
+					t.Fatalf("event %v at %d carries a boxed payload %v — a payload kind regressed to mac.Ext",
+						ev.Kind, ev.At, ev.P.Ext)
+				}
+			}
+		})
+	}
+}

@@ -23,8 +23,18 @@ type Algorithm struct {
 	// Params lists the parameter names NewFleet accepts.
 	Params []string
 	// NewFleet builds one automaton per node for a k-message workload on d.
-	// Automata are stateful: a fresh fleet is built per execution.
+	// Automata are stateful: a fresh fleet is built per execution, or a
+	// pooled one is adapted via Refit and mac.Resettable.
 	NewFleet func(d *topology.Dual, k int, p topology.Params) ([]mac.Automaton, error)
+	// Refit, when non-nil, adapts a pooled fleet previously built by
+	// NewFleet for a same-size network to a new draw (d, k, p): it rebinds
+	// whatever per-run configuration NewFleet derived from its arguments
+	// (e.g. FMMB's diameter-dependent schedule) without reallocating the
+	// automata, and reports whether the fleet could be adapted. The caller
+	// resets each automaton afterwards; Refit + Reset must be observably
+	// identical to a fresh NewFleet. A nil Refit means fleets of this
+	// algorithm carry no per-run configuration, so Reset alone suffices.
+	Refit func(fleet []mac.Automaton, d *topology.Dual, k int, p topology.Params) bool
 	// Horizon returns the execution horizon for a k-message workload, or 0
 	// to select the runner's generic default.
 	Horizon func(d *topology.Dual, k int, fprog sim.Time, p topology.Params) sim.Time
@@ -117,6 +127,20 @@ func init() {
 				return nil, fmt.Errorf("core: fmmb needs k >= 1 messages, got %d", k)
 			}
 			return NewFMMBFleet(d.N(), fmmbConfigFromParams(d, k, p)), nil
+		},
+		Refit: func(fleet []mac.Automaton, d *topology.Dual, k int, p topology.Params) bool {
+			if k < 1 {
+				return false
+			}
+			cfg := fmmbConfigFromParams(d, k, p)
+			for _, a := range fleet {
+				f, ok := a.(*FMMB)
+				if !ok {
+					return false
+				}
+				f.Reconfigure(cfg)
+			}
+			return true
 		},
 		Horizon: func(d *topology.Dual, k int, fprog sim.Time, p topology.Params) sim.Time {
 			return sim.Time(fmmbConfigFromParams(d, k, p).Rounds()+2) * fprog

@@ -304,13 +304,15 @@ type runState struct {
 	arrived  map[Msg]bool
 }
 
-// onEvent observes every trace event of the execution.
+// onEvent observes every trace event of the execution. It decodes message
+// arguments from the typed payload directly — no boxing — because it runs on
+// the event hot path of every trial.
 func (st *runState) onEvent(ev sim.TraceEvent) {
 	switch ev.Kind {
 	case "arrive":
-		st.arrived[ev.Arg.(Msg)] = true
+		st.arrived[mustMsg(ev.P)] = true
 	case DeliverKind:
-		m, ok := ev.Arg.(Msg)
+		m, ok := MsgFromPayload(ev.P)
 		if !ok {
 			return
 		}
@@ -424,7 +426,7 @@ func runWith(cfg RunConfig, rn *Runner) (*Result, error) {
 
 	eng.Start()
 	for _, ar := range arrivals {
-		eng.Arrive(ar.Node, ar.Msg, ar.At)
+		eng.Arrive(ar.Node, ar.Msg.Payload(), ar.At)
 	}
 	eng.Sim().SetHorizon(cfg.Horizon)
 	eng.Sim().SetStepLimit(cfg.StepLimit)

@@ -64,7 +64,7 @@ func runStages(o Options, d *topology.Dual, c float64, a core.Assignment, seed i
 	eng.Watch(func(ev sim.TraceEvent) {
 		switch ev.Kind {
 		case "gather-own":
-			m := ev.Arg.(core.Msg)
+			m := ev.Value().(core.Msg)
 			if !ownCount[m] {
 				ownCount[m] = true
 				lastOwn = ev.At
@@ -76,7 +76,7 @@ func runStages(o Options, d *topology.Dual, c float64, a core.Assignment, seed i
 	eng.Start()
 	for v, msgs := range a {
 		for _, m := range msgs {
-			eng.Arrive(mac.NodeID(v), m, 0)
+			eng.Arrive(mac.NodeID(v), m.Payload(), 0)
 		}
 	}
 	eng.Sim().SetHorizon(sim.Time(rc.Rounds()+2) * o.Fprog)

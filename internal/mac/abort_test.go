@@ -32,7 +32,7 @@ type abortEarly struct{ recvd int }
 
 func (a *abortEarly) Wakeup(ctx mac.Context) {
 	ec := ctx.(mac.EnhancedContext)
-	ctx.Bcast("x")
+	ctx.Bcast(mac.Ext("x"))
 	ec.SetTimer(2, nil)
 }
 func (a *abortEarly) Recv(mac.Context, mac.Message)  { a.recvd++ }

@@ -197,7 +197,7 @@ func (a *Arena) row(deg int) []sim.Time {
 // instance returns a broadcast-instance record backed by arena storage:
 // the delivery row comes from the flat block, the struct from the pool, and
 // the CSR index makes its lookups O(1).
-func (a *Arena) instance(id InstanceID, sender NodeID, payload any, start sim.Time) *Instance {
+func (a *Arena) instance(id InstanceID, sender NodeID, payload Payload, start sim.Time) *Instance {
 	row := a.dual.GPrime.Neighbors(sender)
 	fresh := Instance{
 		ID:                id,
@@ -213,6 +213,7 @@ func (a *Arena) instance(id InstanceID, sender NodeID, payload any, start sim.Ti
 		b := a.insts[a.next]
 		a.next++
 		fresh.receivers = b.receivers[:0]
+		fresh.greybuf = b.greybuf[:0]
 		*b = fresh
 		return b
 	}
@@ -248,7 +249,11 @@ func (a *Arena) engineFor(cfg Config, automata []Automaton) *Engine {
 		e.trace.Reset()
 		e.insts = e.insts[:0]
 		e.nextID = 0
-		e.schedRand = nil
+		// Bumping the epoch marks every pooled random stream (scheduler and
+		// per-node) stale: the next draw re-seeds it in place from the new
+		// engine seed, so streams carry over with zero allocation and zero
+		// cost when a trial never draws.
+		e.rngEpoch++
 		e.watchers = e.watchers[:0]
 		// A rebound arena may carry a different node count; reuse the node
 		// slice's capacity where it covers the new network.
@@ -266,7 +271,13 @@ func (a *Arena) engineFor(cfg Config, automata []Automaton) *Engine {
 		e.trace.Disable()
 	}
 	for i := range e.nodes {
-		e.nodes[i] = nodeState{eng: e, id: NodeID(i), automaton: automata[i]}
+		ns := &e.nodes[i]
+		// rng and rngSeen persist across acquisitions (the epoch bump above
+		// forces a lazy re-seed); everything else is rebuilt.
+		ns.eng = e
+		ns.id = NodeID(i)
+		ns.automaton = automata[i]
+		ns.pending = nil
 	}
 	cfg.Scheduler.Attach(e)
 	return e

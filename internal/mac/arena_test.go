@@ -37,7 +37,7 @@ func arenaConfig(d *topology.Dual, a *mac.Arena, seed int64) mac.Config {
 func floodFleet(n int) []mac.Automaton {
 	autos := make([]mac.Automaton, n)
 	for i := range autos {
-		autos[i] = &echoAutomaton{payload: i}
+		autos[i] = &echoAutomaton{payload: mac.Int(int64(i))}
 	}
 	return autos
 }

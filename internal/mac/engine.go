@@ -127,6 +127,13 @@ type Engine struct {
 	schedRand  *rand.Rand
 	watchers   []func(sim.TraceEvent)
 	timerSched TimerScheduler // cfg.Scheduler, when it implements OnTimer
+	// rngEpoch counts engine acquisitions on a warm arena. Pooled random
+	// streams (schedRand, per-node rng) record the epoch they were last
+	// seeded in and lazily re-seed on mismatch, so streams survive across
+	// trials without allocating and without eager re-seeding cost when a
+	// trial never draws.
+	rngEpoch      uint32
+	schedRandSeen uint32 // epoch schedRand was last (re-)seeded in
 }
 
 // Typed event kinds the MAC engine registers on the simulation queue.
@@ -160,6 +167,7 @@ type nodeState struct {
 	automaton Automaton
 	pending   *Instance
 	rng       *rand.Rand
+	rngSeen   uint32 // epoch rng was last (re-)seeded in
 }
 
 var _ EnhancedContext = (*nodeState)(nil)
@@ -253,11 +261,11 @@ func (e *Engine) recording() bool {
 	return !e.cfg.NoTrace || len(e.watchers) > 0
 }
 
-func (e *Engine) emit(kind string, node NodeID, arg any) {
+func (e *Engine) emit(kind string, node NodeID, arg Payload) {
 	if !e.recording() {
 		return
 	}
-	ev := sim.TraceEvent{At: e.sim.Now(), Kind: kind, Node: int(node), Arg: arg}
+	ev := sim.TraceEvent{At: e.sim.Now(), Kind: kind, Node: int(node), P: arg}
 	e.trace.Append(ev)
 	for _, w := range e.watchers {
 		w(ev)
@@ -274,12 +282,12 @@ func (e *Engine) Start() {
 
 // Arrive schedules an environment input (the MMB arrive event) for node v
 // at time t. The automaton must implement Arriver.
-func (e *Engine) Arrive(v NodeID, payload any, t sim.Time) {
+func (e *Engine) Arrive(v NodeID, payload Payload, t sim.Time) {
 	ns := e.node(v)
 	if _, ok := ns.automaton.(Arriver); !ok {
 		panic(fmt.Sprintf("mac: node %d automaton does not accept arrive events", v))
 	}
-	e.sim.Post(t, evArrive, payload, int64(v), 0)
+	e.sim.PostPayload(t, evArrive, payload, int64(v), 0)
 }
 
 // Dispatch implements sim.Dispatcher: the typed-event switch at the bottom
@@ -292,8 +300,8 @@ func (e *Engine) Dispatch(kind sim.EventKind, op sim.Op) {
 		ns.automaton.Wakeup(ns)
 	case evArrive:
 		ns := &e.nodes[op.A]
-		e.emit("arrive", ns.id, op.Obj)
-		ns.automaton.(Arriver).Arrive(ns, op.Obj)
+		e.emit("arrive", ns.id, op.P)
+		ns.automaton.(Arriver).Arrive(ns, op.P)
 	case evDeliverOne:
 		b := op.Obj.(*Instance)
 		if to := NodeID(op.A); b.Term == Active && !b.WasDelivered(to) {
@@ -360,11 +368,15 @@ func (e *Engine) Fprog() sim.Time { return e.cfg.Fprog }
 // Dual returns the network.
 func (e *Engine) Dual() *topology.Dual { return e.cfg.Dual }
 
-// Rand returns the scheduler's random stream (forked on first use).
+// Rand returns the scheduler's random stream (forked on first use; on a
+// warm arena, re-seeded in place on first use after each acquisition).
 func (e *Engine) Rand() *rand.Rand {
 	if e.schedRand == nil {
 		e.schedRand = e.sim.Fork(-1)
+	} else if e.schedRandSeen != e.rngEpoch {
+		e.sim.Reseed(e.schedRand, -1)
 	}
+	e.schedRandSeen = e.rngEpoch
 	return e.schedRand
 }
 
@@ -382,12 +394,15 @@ func (e *Engine) ScheduleReliableDeliveries(t sim.Time, b *Instance) {
 }
 
 // ScheduleGreyDeliveries posts the batched grey delivery (see API). The
-// targets slice is parked on the instance until the batch fires.
+// targets slice is parked on the instance until the batch fires, and is
+// retained afterwards as the instance's grey scratch buffer (GreyBuf), so
+// recycled instances redraw into warm storage.
 func (e *Engine) ScheduleGreyDeliveries(t sim.Time, b *Instance, targets []NodeID) {
 	if b.grey != nil {
 		panic(fmt.Sprintf("mac: instance %d already has a grey batch pending", b.ID))
 	}
 	b.grey = targets
+	b.greybuf = targets
 	e.sim.Post(t, evDeliverGrey, b, 0, 0)
 }
 
@@ -445,7 +460,7 @@ func (e *Engine) Deliver(b *Instance, to NodeID) {
 		b.MarkDelivered(to, now, e.cfg.Dual.G.HasEdge(b.Sender, to))
 	}
 	if e.recording() {
-		e.emit("rcv", to, b.ID)
+		e.emit("rcv", to, Int(int64(b.ID)))
 	}
 	ns := e.node(to)
 	ns.automaton.Recv(ns, Message{Instance: b.ID, Sender: b.Sender, Payload: b.Payload})
@@ -492,7 +507,7 @@ func (e *Engine) Ack(b *Instance) {
 	}
 	ns.pending = nil
 	if e.recording() {
-		e.emit("ack", b.Sender, b.ID)
+		e.emit("ack", b.Sender, Int(int64(b.ID)))
 	}
 	ns.automaton.Acked(ns, Message{Instance: b.ID, Sender: b.Sender, Payload: b.Payload})
 }
@@ -506,7 +521,7 @@ func (ns *nodeState) ID() NodeID { return ns.id }
 func (ns *nodeState) N() int { return ns.eng.cfg.Dual.N() }
 
 // Bcast initiates an acknowledged local broadcast of payload.
-func (ns *nodeState) Bcast(payload any) {
+func (ns *nodeState) Bcast(payload Payload) {
 	if ns.pending != nil {
 		panic(fmt.Sprintf("mac: node %d bcast while instance %d pending (user well-formedness)",
 			ns.id, ns.pending.ID))
@@ -523,7 +538,7 @@ func (ns *nodeState) Bcast(payload any) {
 	e.insts = append(e.insts, b)
 	ns.pending = b
 	if e.recording() {
-		e.emit("bcast", ns.id, b.ID)
+		e.emit("bcast", ns.id, Int(int64(b.ID)))
 	}
 	e.cfg.Scheduler.OnBcast(b)
 }
@@ -541,16 +556,20 @@ func (ns *nodeState) GPrimeNeighbors() []NodeID {
 	return ns.eng.cfg.Dual.GPrime.Neighbors(ns.id)
 }
 
-// Rand returns the node's private random stream (forked on first use).
+// Rand returns the node's private random stream (forked on first use; on a
+// warm arena, re-seeded in place on first use after each acquisition).
 func (ns *nodeState) Rand() *rand.Rand {
 	if ns.rng == nil {
 		ns.rng = ns.eng.sim.Fork(int64(ns.id))
+	} else if ns.rngSeen != ns.eng.rngEpoch {
+		ns.eng.sim.Reseed(ns.rng, int64(ns.id))
 	}
+	ns.rngSeen = ns.eng.rngEpoch
 	return ns.rng
 }
 
 // Emit appends an algorithm-level trace event attributed to this node.
-func (ns *nodeState) Emit(kind string, arg any) { ns.eng.emit(kind, ns.id, arg) }
+func (ns *nodeState) Emit(kind string, arg Payload) { ns.eng.emit(kind, ns.id, arg) }
 
 func (ns *nodeState) requireEnhanced(op string) {
 	if ns.eng.cfg.Mode != Enhanced {
@@ -596,6 +615,6 @@ func (ns *nodeState) Abort() {
 	b.Term = Aborted
 	b.TermAt = ns.eng.sim.Now()
 	ns.pending = nil
-	ns.eng.emit("abort", ns.id, b.ID)
+	ns.eng.emit("abort", ns.id, Int(int64(b.ID)))
 	ns.eng.cfg.Scheduler.OnAbort(b)
 }

@@ -10,20 +10,20 @@ import (
 
 // echoAutomaton broadcasts one payload at wakeup and records what it sees.
 type echoAutomaton struct {
-	payload  any
+	payload  mac.Payload
 	recvs    []mac.Message
 	acks     int
-	arriveds []any
+	arriveds []mac.Payload
 }
 
 func (e *echoAutomaton) Wakeup(ctx mac.Context) {
-	if e.payload != nil {
+	if !e.payload.IsZero() {
 		ctx.Bcast(e.payload)
 	}
 }
-func (e *echoAutomaton) Recv(_ mac.Context, m mac.Message)  { e.recvs = append(e.recvs, m) }
-func (e *echoAutomaton) Acked(_ mac.Context, _ mac.Message) { e.acks++ }
-func (e *echoAutomaton) Arrive(_ mac.Context, p any)        { e.arriveds = append(e.arriveds, p) }
+func (e *echoAutomaton) Recv(_ mac.Context, m mac.Message)   { e.recvs = append(e.recvs, m) }
+func (e *echoAutomaton) Acked(_ mac.Context, _ mac.Message)  { e.acks++ }
+func (e *echoAutomaton) Arrive(_ mac.Context, p mac.Payload) { e.arriveds = append(e.arriveds, p) }
 
 // directScheduler delivers to all G-neighbors after one tick and acks after
 // two; unreliable edges never fire.
@@ -60,14 +60,14 @@ func newTestEngine(t *testing.T, d *topology.Dual, mode mac.Mode, autos []mac.Au
 
 func TestEngineBroadcastDeliveryAndAck(t *testing.T) {
 	d := topology.Line(3)
-	a0 := &echoAutomaton{payload: "hello"}
+	a0 := &echoAutomaton{payload: mac.Ext("hello")}
 	a1 := &echoAutomaton{}
 	a2 := &echoAutomaton{}
 	eng := newTestEngine(t, d, mac.Standard, []mac.Automaton{a0, a1, a2})
 	eng.Start()
 	eng.Run()
 
-	if len(a1.recvs) != 1 || a1.recvs[0].Payload != "hello" {
+	if len(a1.recvs) != 1 || a1.recvs[0].Payload != mac.Ext("hello") {
 		t.Fatalf("node 1 recvs = %v", a1.recvs)
 	}
 	if len(a2.recvs) != 0 {
@@ -99,8 +99,8 @@ func TestEngineWellFormednessPanic(t *testing.T) {
 type doubleBcast struct{}
 
 func (d *doubleBcast) Wakeup(ctx mac.Context) {
-	ctx.Bcast("a")
-	ctx.Bcast("b")
+	ctx.Bcast(mac.Ext("a"))
+	ctx.Bcast(mac.Ext("b"))
 }
 func (d *doubleBcast) Recv(mac.Context, mac.Message)  {}
 func (d *doubleBcast) Acked(mac.Context, mac.Message) {}
@@ -136,7 +136,7 @@ func (ta *timerAutomaton) Wakeup(ctx mac.Context) {
 	ec := ctx.(mac.EnhancedContext)
 	ec.SetTimer(5, "five")
 	ec.SetTimer(9, "nine")
-	ctx.Bcast("slow")
+	ctx.Bcast(mac.Ext("slow"))
 }
 func (ta *timerAutomaton) Recv(mac.Context, mac.Message)  {}
 func (ta *timerAutomaton) Acked(mac.Context, mac.Message) {}
@@ -188,9 +188,9 @@ func TestEngineArrive(t *testing.T) {
 	a0 := &echoAutomaton{}
 	eng := newTestEngine(t, d, mac.Standard, []mac.Automaton{a0, &echoAutomaton{}})
 	eng.Start()
-	eng.Arrive(0, "env-input", 3)
+	eng.Arrive(0, mac.Ext("env-input"), 3)
 	eng.Run()
-	if len(a0.arriveds) != 1 || a0.arriveds[0] != "env-input" {
+	if len(a0.arriveds) != 1 || a0.arriveds[0] != mac.Ext("env-input") {
 		t.Fatalf("arriveds = %v", a0.arriveds)
 	}
 }
@@ -201,7 +201,7 @@ func TestEngineDeliveryValidation(t *testing.T) {
 	bad := &rogueScheduler{}
 	eng := mac.NewEngine(mac.Config{
 		Dual: d, Fack: 100, Fprog: 10, Scheduler: bad, Seed: 1,
-	}, []mac.Automaton{&echoAutomaton{payload: "x"}, &echoAutomaton{}, &echoAutomaton{}})
+	}, []mac.Automaton{&echoAutomaton{payload: mac.Ext("x")}, &echoAutomaton{}, &echoAutomaton{}})
 	defer func() {
 		if recover() == nil {
 			t.Fatal("non-edge delivery did not panic")
@@ -225,7 +225,7 @@ func TestEngineAckBeforeDeliveryPanics(t *testing.T) {
 	bad := &eagerAcker{}
 	eng := mac.NewEngine(mac.Config{
 		Dual: d, Fack: 100, Fprog: 10, Scheduler: bad, Seed: 1,
-	}, []mac.Automaton{&echoAutomaton{payload: "x"}, &echoAutomaton{}})
+	}, []mac.Automaton{&echoAutomaton{payload: mac.Ext("x")}, &echoAutomaton{}})
 	defer func() {
 		if recover() == nil {
 			t.Fatal("premature ack did not panic")
@@ -246,7 +246,7 @@ func TestEngineWatch(t *testing.T) {
 	d := topology.Line(2)
 	var kinds []string
 	eng := newTestEngine(t, d, mac.Standard,
-		[]mac.Automaton{&echoAutomaton{payload: "w"}, &echoAutomaton{}})
+		[]mac.Automaton{&echoAutomaton{payload: mac.Ext("w")}, &echoAutomaton{}})
 	eng.Watch(func(ev sim.TraceEvent) { kinds = append(kinds, ev.Kind) })
 	eng.Start()
 	eng.Run()

@@ -24,7 +24,7 @@ func TestMarkDeliveredNegativeTime(t *testing.T) {
 		{"outside-row", 2},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
-			b := mac.NewInstance(7, 0, nil, 0, row, 0)
+			b := mac.NewInstance(7, 0, mac.Payload{}, 0, row, 0)
 			b.MarkDelivered(tc.to, -1, false)
 			if !b.WasDelivered(tc.to) {
 				t.Fatalf("WasDelivered(%d) = false after a delivery at time -1", tc.to)
@@ -51,7 +51,7 @@ func TestMarkDeliveredNegativeTime(t *testing.T) {
 // slot and vice versa — the duplicate check spans both domains.
 func TestMarkDeliveredRowAndOverflowDisjoint(t *testing.T) {
 	row := []graph.NodeID{1, 2}
-	b := mac.NewInstance(1, 0, nil, 0, row, 0)
+	b := mac.NewInstance(1, 0, mac.Payload{}, 0, row, 0)
 	b.MarkDelivered(1, 5, false) // row domain, real time
 	b.MarkDelivered(2, -3, false)
 	if at, ok := b.DeliveredAt(1); !ok || at != 5 {

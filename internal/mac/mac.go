@@ -29,12 +29,25 @@ type NodeID = graph.NodeID
 // broadcast messages are unique; instance IDs realize that assumption.
 type InstanceID int64
 
+// Payload aliases sim.Payload: the typed message representation broadcasts,
+// arrivals and trace events carry. Algorithms register their own kinds via
+// sim.RegisterPayloadKind; Ext wraps arbitrary values for tests and bespoke
+// automata.
+type Payload = sim.Payload
+
+// Ext wraps an arbitrary value as an escape-hatch payload (boxes like the
+// old any path; hot paths use registered kinds).
+func Ext(v any) Payload { return sim.Ext(v) }
+
+// Int wraps a bare integer payload.
+func Int(v int64) Payload { return sim.Int(v) }
+
 // Message is what a receiver sees: the payload together with the sending
 // node and the instance that carried it.
 type Message struct {
 	Instance InstanceID
 	Sender   NodeID
-	Payload  any
+	Payload  Payload
 }
 
 // Mode selects which abstract MAC layer variant the engine exposes.
@@ -73,7 +86,7 @@ type Context interface {
 	// Bcast initiates an acknowledged local broadcast. User
 	// well-formedness (Section 3.2.1) requires no broadcast be pending;
 	// violating that panics.
-	Bcast(payload any)
+	Bcast(payload Payload)
 	// Pending reports whether a broadcast awaits its ack/abort.
 	Pending() bool
 	// GNeighbors returns the node's reliable neighbors (sorted). Nodes can
@@ -84,7 +97,7 @@ type Context interface {
 	// Rand returns this node's deterministic private random stream.
 	Rand() *rand.Rand
 	// Emit appends an algorithm-level event to the execution trace.
-	Emit(kind string, arg any)
+	Emit(kind string, arg Payload)
 }
 
 // EnhancedContext extends Context with the extra powers of the enhanced
@@ -118,7 +131,7 @@ type Automaton interface {
 // Arriver is implemented by automata that accept environment inputs
 // (the MMB arrive(m) event).
 type Arriver interface {
-	Arrive(ctx Context, payload any)
+	Arrive(ctx Context, payload Payload)
 }
 
 // Resettable is implemented by automata that can restore themselves to
@@ -163,7 +176,7 @@ const (
 type Instance struct {
 	ID      InstanceID
 	Sender  NodeID
-	Payload any
+	Payload Payload
 	Start   sim.Time
 	// TermAt is the time of the terminating event (ack or abort);
 	// meaningful only when Term != Active.
@@ -191,6 +204,10 @@ type Instance struct {
 	// grey holds the drawn unreliable targets of a pending batch delivery
 	// (see API.ScheduleGreyDeliveries).
 	grey []NodeID
+	// greybuf is the reusable backing store schedulers draw grey targets
+	// into (GreyBuf). Its capacity survives the batch firing and arena
+	// instance recycling, so steady-state grey draws allocate nothing.
+	greybuf []NodeID
 	// receivers lists delivered nodes in delivery order.
 	receivers []NodeID
 	// remainingReliable counts the sender's G-neighbors yet to receive.
@@ -202,7 +219,7 @@ type Instance struct {
 // G-neighbors. A nil row is legal and routes every mark through the
 // overflow map — checker tests building histories without a topology use
 // that.
-func NewInstance(id InstanceID, sender NodeID, payload any, start sim.Time, gPrimeNbrs []NodeID, reliableDeg int) *Instance {
+func NewInstance(id InstanceID, sender NodeID, payload Payload, start sim.Time, gPrimeNbrs []NodeID, reliableDeg int) *Instance {
 	return &Instance{
 		ID:                id,
 		Sender:            sender,
@@ -268,6 +285,20 @@ func (b *Instance) MarkDelivered(to NodeID, at sim.Time, reliable bool) {
 		b.remainingReliable--
 	}
 }
+
+// GreyBuf returns the instance's reusable grey-target scratch buffer,
+// emptied. Schedulers append their drawn unreliable targets into it and hand
+// the result to API.ScheduleGreyDeliveries (which stores the possibly-grown
+// slice back); the capacity survives across arena instance recycling, so a
+// warm run's grey draws allocate nothing. The buffer must not be used while
+// a grey batch is pending (at most one may be, and an instance broadcasts
+// once, so the window cannot arise in a well-formed execution).
+func (b *Instance) GreyBuf() []NodeID { return b.greybuf[:0] }
+
+// SetGreyBuf stores a possibly-grown scratch slice back on the instance, so
+// growth during a draw is retained even when the scheduler delivers the
+// targets itself instead of handing them to ScheduleGreyDeliveries.
+func (b *Instance) SetGreyBuf(s []NodeID) { b.greybuf = s }
 
 // inOverflow reports whether to was marked through the overflow map.
 func (b *Instance) inOverflow(to NodeID) bool {

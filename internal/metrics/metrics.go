@@ -81,10 +81,10 @@ func Collect(d *topology.Dual, insts []*mac.Instance, trace *sim.Trace) *Report 
 	for _, ev := range trace.Events() {
 		switch ev.Kind {
 		case "arrive":
-			ms := r.msg(ev.Arg)
+			ms := r.msg(ev.Value())
 			ms.ArriveAt = ev.At
 		case "deliver":
-			ms := r.msg(ev.Arg)
+			ms := r.msg(ev.Value())
 			if ms.Deliveries == 0 || ev.At < ms.FirstDeliver {
 				ms.FirstDeliver = ev.At
 			}

@@ -18,6 +18,22 @@ type Record struct {
 	EventsPerSec float64 `json:"events_per_sec"`
 	Allocs       uint64  `json:"allocs"`
 	AllocBytes   uint64  `json:"alloc_bytes"`
+	// AllocsPerOp and BytesPerOp normalize the totals per simulation event
+	// — the experiment's "op" — so the allocation gate is insensitive to
+	// how long an experiment happens to run. Zero in records written before
+	// the fields existed; Compare treats a zero baseline as ungated.
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+}
+
+// Normalize fills the per-op allocation fields from the totals. Records
+// with no events are left at zero.
+func (r *Record) Normalize() {
+	if r.SimEvents == 0 {
+		return
+	}
+	r.AllocsPerOp = float64(r.Allocs) / float64(r.SimEvents)
+	r.BytesPerOp = float64(r.AllocBytes) / float64(r.SimEvents)
 }
 
 // File is the BENCH.json document: the options the record was taken under
@@ -72,6 +88,14 @@ type Delta struct {
 	// events/sec is dominated by scheduler noise.
 	BaseWallSeconds float64
 	NewWallSeconds  float64
+	// BaseAllocsPerOp and NewAllocsPerOp are the per-event allocation
+	// samples; AllocRatio is new/base (1.0 = unchanged, above 1 = more
+	// allocation per event). Zero baselines — records written before the
+	// per-op fields existed, or experiments with no events — leave
+	// AllocRatio at 1 so old baselines never gate on allocations.
+	BaseAllocsPerOp float64
+	NewAllocsPerOp  float64
+	AllocRatio      float64
 	// Missing marks an experiment present in the baseline but absent from
 	// the new record — a gate failure regardless of threshold, since a
 	// silently dropped experiment would otherwise launder a regression.
@@ -92,6 +116,13 @@ func (d Delta) Regressed(threshold float64) bool {
 	return d.Missing || d.Ratio < 1-threshold
 }
 
+// AllocRegressed reports whether per-event allocations grew by more than
+// threshold (e.g. 0.15 for 15%). Unlike throughput, a missing experiment is
+// not re-reported here — Regressed already fails it.
+func (d Delta) AllocRegressed(threshold float64) bool {
+	return !d.Missing && d.AllocRatio > 1+threshold
+}
+
 // Compare matches experiments by ID and returns one Delta per baseline
 // experiment, in baseline order. Experiments only present in the new record
 // are ignored (new benchmarks cannot regress).
@@ -102,14 +133,24 @@ func Compare(base, cur *File) []Delta {
 	}
 	out := make([]Delta, 0, len(base.Experiments))
 	for _, b := range base.Experiments {
-		d := Delta{ID: b.ID, BaseEventsPerSec: b.EventsPerSec, BaseWallSeconds: b.WallSeconds}
+		d := Delta{
+			ID:               b.ID,
+			BaseEventsPerSec: b.EventsPerSec,
+			BaseWallSeconds:  b.WallSeconds,
+			BaseAllocsPerOp:  b.AllocsPerOp,
+			AllocRatio:       1,
+		}
 		if n, ok := byID[b.ID]; ok {
 			d.NewEventsPerSec = n.EventsPerSec
 			d.NewWallSeconds = n.WallSeconds
+			d.NewAllocsPerOp = n.AllocsPerOp
 			if b.EventsPerSec > 0 {
 				d.Ratio = n.EventsPerSec / b.EventsPerSec
 			} else {
 				d.Ratio = 1
+			}
+			if b.AllocsPerOp > 0 {
+				d.AllocRatio = n.AllocsPerOp / b.AllocsPerOp
 			}
 		} else {
 			d.Missing = true

@@ -70,6 +70,49 @@ func TestNoisyGuard(t *testing.T) {
 	}
 }
 
+func TestNormalize(t *testing.T) {
+	r := Record{Allocs: 1000, AllocBytes: 64000, SimEvents: 500}
+	r.Normalize()
+	if r.AllocsPerOp != 2 || r.BytesPerOp != 128 {
+		t.Fatalf("Normalize: allocs/op=%v bytes/op=%v, want 2 and 128", r.AllocsPerOp, r.BytesPerOp)
+	}
+	var empty Record
+	empty.Normalize()
+	if empty.AllocsPerOp != 0 || empty.BytesPerOp != 0 {
+		t.Fatalf("Normalize with no events must stay zero: %+v", empty)
+	}
+}
+
+func TestCompareAllocGate(t *testing.T) {
+	base := sample([]string{"a", "b", "c", "d"}, []float64{1000, 1000, 1000, 1000})
+	cur := sample([]string{"a", "b", "c", "d"}, []float64{1000, 1000, 1000, 1000})
+	// a: +10% allocs/event — within a 15% gate. b: +30% — regression.
+	// c: improved — fine. d: zero baseline (pre-field record) — ungated
+	// even though the new record allocates.
+	for i, per := range []float64{10, 10, 10, 0} {
+		base.Experiments[i].AllocsPerOp = per
+	}
+	for i, per := range []float64{11, 13, 5, 40} {
+		cur.Experiments[i].AllocsPerOp = per
+	}
+	deltas := Compare(base, cur)
+	want := map[string]bool{"a": false, "b": true, "c": false, "d": false}
+	for _, d := range deltas {
+		if got := d.AllocRegressed(0.15); got != want[d.ID] {
+			t.Errorf("experiment %s: AllocRegressed(0.15) = %v (ratio %.3f), want %v",
+				d.ID, got, d.AllocRatio, want[d.ID])
+		}
+		if d.Regressed(0.15) {
+			t.Errorf("experiment %s: allocation growth must not trip the throughput gate", d.ID)
+		}
+	}
+	// A missing experiment fails via Regressed, not the alloc gate.
+	cur2 := sample([]string{"b", "c", "d"}, []float64{1000, 1000, 1000})
+	if d := Compare(base, cur2)[0]; d.AllocRegressed(0.15) || !d.Regressed(0.15) {
+		t.Fatalf("missing experiment should gate via Regressed only: %+v", d)
+	}
+}
+
 func TestCompareZeroBaseline(t *testing.T) {
 	base := sample([]string{"a"}, []float64{0})
 	cur := sample([]string{"a"}, []float64{0})

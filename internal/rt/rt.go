@@ -83,7 +83,7 @@ func (c Config) withDefaults() Config {
 // event is one item in a node's inbox, processed on the node's goroutine.
 type event struct {
 	kind byte // 'w' wakeup, 'a' arrive, 'r' recv, 'k' ack
-	arg  any
+	arg  mac.Payload
 	msg  mac.Message
 }
 
@@ -189,7 +189,7 @@ func (e *Engine) now() sim.Time {
 }
 
 // Arrive injects an environment message at node v, immediately.
-func (e *Engine) Arrive(v mac.NodeID, payload any) {
+func (e *Engine) Arrive(v mac.NodeID, payload mac.Payload) {
 	e.nodes[v].send(event{kind: 'a', arg: payload})
 }
 
@@ -296,7 +296,7 @@ func (n *rtNode) handle(ev event) {
 		if !ok {
 			panic(fmt.Sprintf("rt: node %d cannot accept arrive events", n.id))
 		}
-		n.eng.notify(n.id, "arrive", ev.arg)
+		n.eng.notify(n.id, "arrive", ev.arg.Value())
 		ar.Arrive(n, ev.arg)
 	case 'r':
 		n.eng.notify(n.id, "rcv", ev.msg.Instance)
@@ -331,11 +331,12 @@ func (n *rtNode) GPrimeNeighbors() []mac.NodeID { return n.eng.cfg.Dual.GPrime.N
 // own callbacks.
 func (n *rtNode) Rand() *rand.Rand { return n.rng }
 
-// Emit publishes an algorithm-level event to watchers.
-func (n *rtNode) Emit(kind string, arg any) { n.eng.notify(n.id, kind, arg) }
+// Emit publishes an algorithm-level event to watchers, which see the boxed
+// payload value (watchers are an any-typed observer interface).
+func (n *rtNode) Emit(kind string, arg mac.Payload) { n.eng.notify(n.id, kind, arg.Value()) }
 
 // Bcast initiates an acknowledged local broadcast over the real-time MAC.
-func (n *rtNode) Bcast(payload any) {
+func (n *rtNode) Bcast(payload mac.Payload) {
 	if n.pending != nil {
 		panic(fmt.Sprintf("rt: node %d bcast while pending (user well-formedness)", n.id))
 	}

@@ -46,7 +46,7 @@ func runRealTime(t *testing.T, d *topology.Dual, a core.Assignment, cfg Config, 
 	eng.Start()
 	for v, msgs := range a {
 		for _, m := range msgs {
-			eng.Arrive(mac.NodeID(v), m)
+			eng.Arrive(mac.NodeID(v), m.Payload())
 		}
 	}
 	select {
@@ -157,7 +157,7 @@ func TestRealTimeStopIdempotent(t *testing.T) {
 	d := topology.Line(4)
 	eng := New(Config{Dual: d, Seed: 3}, core.NewBMMBFleet(4))
 	eng.Start()
-	eng.Arrive(0, core.Msg{ID: 0, Origin: 0})
+	eng.Arrive(0, core.Msg{ID: 0, Origin: 0}.Payload())
 	time.Sleep(30 * time.Millisecond)
 	eng.Stop()
 	eng.Stop() // must not panic or hang
@@ -170,7 +170,7 @@ func TestRealTimeStopCancelsWork(t *testing.T) {
 	d := topology.Line(6)
 	eng := New(Config{Dual: d, Seed: 4}, core.NewBMMBFleet(6))
 	eng.Start()
-	eng.Arrive(0, core.Msg{ID: 0, Origin: 0})
+	eng.Arrive(0, core.Msg{ID: 0, Origin: 0}.Payload())
 	eng.Stop()
 	before := len(eng.Instances())
 	time.Sleep(50 * time.Millisecond)

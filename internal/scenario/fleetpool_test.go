@@ -1,0 +1,98 @@
+package scenario
+
+import (
+	"testing"
+
+	"amac/internal/mac"
+)
+
+// poolStub is a minimal resettable automaton for exercising fleetPool
+// directly.
+type poolStub struct{ resets int }
+
+func (s *poolStub) Wakeup(mac.Context)             {}
+func (s *poolStub) Recv(mac.Context, mac.Message)  {}
+func (s *poolStub) Acked(mac.Context, mac.Message) {}
+func (s *poolStub) Reset()                         { s.resets++ }
+
+type unresettable struct{}
+
+func (unresettable) Wakeup(mac.Context)             {}
+func (unresettable) Recv(mac.Context, mac.Message)  {}
+func (unresettable) Acked(mac.Context, mac.Message) {}
+
+func stubFleet(n int) []mac.Automaton {
+	out := make([]mac.Automaton, n)
+	for i := range out {
+		out[i] = &poolStub{}
+	}
+	return out
+}
+
+// TestFleetPoolBounded pins the pool's memory bound: after any sequence of
+// parks, the pool holds at most 2×live+fleetPoolFloor automata, where live
+// is the fleet parked last — so a sweep wandering from large draws to small
+// ones releases the large fleets instead of pinning them forever.
+func TestFleetPoolBounded(t *testing.T) {
+	var fp fleetPool
+	// Park a descending sequence of fleet sizes, as a sweep cooling down
+	// from big networks to small ones would.
+	for _, n := range []int{400, 300, 200, 100, 50, 10, 4} {
+		fp.put(stubFleet(n))
+		bound := 2*n + fleetPoolFloor
+		if fp.total > bound {
+			t.Fatalf("after parking n=%d: pool holds %d automata, bound %d", n, fp.total, bound)
+		}
+		if fp.byN[n] == nil {
+			t.Fatalf("after parking n=%d: the just-parked fleet was evicted", n)
+		}
+	}
+	// The big early fleets must be gone by now.
+	for _, n := range []int{400, 300, 200, 100} {
+		if fp.byN[n] != nil {
+			t.Fatalf("fleet of %d survived the bound (total %d)", n, fp.total)
+		}
+	}
+}
+
+// TestFleetPoolTakeAndReplace pins the reuse semantics: take returns the
+// parked fleet of exactly the requested size, and parking a same-size fleet
+// replaces the older one instead of double-counting it.
+func TestFleetPoolTakeAndReplace(t *testing.T) {
+	var fp fleetPool
+	first := stubFleet(8)
+	fp.put(first)
+	second := stubFleet(8)
+	fp.put(second)
+	if fp.total != 8 {
+		t.Fatalf("same-size park double-counted: total = %d, want 8", fp.total)
+	}
+	got := fp.take(8)
+	if &got[0] != &second[0] {
+		t.Fatal("take returned the stale fleet, not the newest one")
+	}
+	if fp.take(8) != nil {
+		t.Fatal("second take of the same size returned a fleet")
+	}
+	if fp.take(5) != nil {
+		t.Fatal("take of an unpooled size returned a fleet")
+	}
+	if fp.total != 0 || len(fp.order) != 0 {
+		t.Fatalf("pool not empty after takes: total=%d order=%v", fp.total, fp.order)
+	}
+}
+
+// TestFleetPoolRejectsUnresettable pins that fleets whose automata cannot
+// Reset are never pooled — reusing them would leak one trial's state into
+// the next.
+func TestFleetPoolRejectsUnresettable(t *testing.T) {
+	var fp fleetPool
+	fp.put([]mac.Automaton{unresettable{}, unresettable{}})
+	if fp.total != 0 || fp.take(2) != nil {
+		t.Fatal("unresettable fleet was pooled")
+	}
+	fp.put(nil)
+	if fp.total != 0 {
+		t.Fatal("empty fleet was pooled")
+	}
+}

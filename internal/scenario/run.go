@@ -259,9 +259,11 @@ type warmRun struct {
 	proto *core.Runner
 	// Per-worker state, indexed by the pool's worker slot. A nil fleets
 	// entry means "build per trial" (first use, or automata that cannot
-	// Reset).
+	// Reset); a nil scheds entry means the worker has not built its
+	// scheduler yet (or the scheduler cannot Reset).
 	runners []*core.Runner
 	fleets  [][]mac.Automaton
+	scheds  []mac.Scheduler
 }
 
 // newWarmRun resolves the spec once (the same resolution a cold trial
@@ -276,6 +278,7 @@ func newWarmRun(r Spec, built *topology.Built, workers int) (*warmRun, error) {
 		proto:     core.NewRunner(built.Dual),
 		runners:   make([]*core.Runner, workers),
 		fleets:    make([][]mac.Automaton, workers),
+		scheds:    make([]mac.Scheduler, workers),
 	}, nil
 }
 
@@ -308,7 +311,7 @@ func (w *warmRun) trial(seed int64, worker int) (*TrialResult, error) {
 			w.fleets[worker] = automata
 		}
 	}
-	return w.execute(seed, automata, rn)
+	return w.execute(seed, automata, rn, &w.scheds[worker])
 }
 
 // warmRandRun is the unpinned counterpart of warmRun: the per-worker warm
@@ -323,6 +326,8 @@ type warmRandRun struct {
 	spec       Spec // resolved
 	workspaces []*topology.Workspace
 	runners    []*core.Runner
+	scheds     []mac.Scheduler
+	pools      []fleetPool
 }
 
 // newWarmRandRun allocates the per-worker slots; workspaces and runners are
@@ -332,6 +337,8 @@ func newWarmRandRun(r Spec, workers int) *warmRandRun {
 		spec:       r,
 		workspaces: make([]*topology.Workspace, workers),
 		runners:    make([]*core.Runner, workers),
+		scheds:     make([]mac.Scheduler, workers),
+		pools:      make([]fleetPool, workers),
 	}
 }
 
@@ -369,11 +376,16 @@ func (w *warmRandRun) trial(seed int64, worker int, keepBuilt bool) (*TrialResul
 	if err != nil {
 		return nil, err
 	}
-	automata, err := p.newFleet()
+	automata, err := w.pools[worker].fleetFor(p)
 	if err != nil {
 		return nil, err
 	}
-	return p.execute(seed, automata, rn)
+	res, err := p.execute(seed, automata, rn, &w.scheds[worker])
+	if err != nil {
+		return nil, err
+	}
+	w.pools[worker].put(automata)
+	return res, nil
 }
 
 // fleetResettable reports whether every automaton of the fleet can be
@@ -453,7 +465,7 @@ func trialOn(s Spec, seed int64, built *topology.Built) (*TrialResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return p.execute(seed, automata, nil)
+	return p.execute(seed, automata, nil, nil)
 }
 
 // trialPlan is everything about a trial that is a pure function of the
@@ -466,7 +478,7 @@ type trialPlan struct {
 	spec      Spec // resolved
 	built     *topology.Built
 	workload  *core.Workload
-	payloads  []any
+	payloads  []sim.Payload
 	alg       core.Algorithm
 	schedName string
 	horizon   sim.Time
@@ -494,9 +506,9 @@ func resolvePlan(r Spec, built *topology.Built) (*trialPlan, error) {
 	if schedName == "" {
 		schedName = alg.DefaultScheduler
 	}
-	payloads := make([]any, 0, k)
+	payloads := make([]sim.Payload, 0, k)
 	for _, ar := range workload.Arrivals() {
-		payloads = append(payloads, ar.Msg)
+		payloads = append(payloads, ar.Msg.Payload())
 	}
 	horizon := sim.Time(r.Run.Horizon)
 	if horizon == 0 && alg.Horizon != nil {
@@ -524,19 +536,42 @@ func (p *trialPlan) newFleet() ([]mac.Automaton, error) {
 	return p.alg.NewFleet(p.built.Dual, p.k, p.spec.Algorithm.Params)
 }
 
-// execute runs one seed of the plan with the given fleet: through the warm
-// runner when rn is non-nil, or a cold core.Run otherwise. The scheduler is
-// built fresh per trial either way (schedulers are cheap and mutate
-// themselves at Attach).
-func (p *trialPlan) execute(seed int64, automata []mac.Automaton, rn *core.Runner) (*TrialResult, error) {
+// scheduler returns the trial's scheduler: the cached one re-armed via
+// sched.Resettable when cache points at a compatible instance, or a fresh
+// build (stored back into a non-nil cache for the worker's next trial).
+// Reset + Attach is observably identical to a fresh build + Attach, so the
+// cache never changes executions.
+func (p *trialPlan) scheduler(cache *mac.Scheduler) (mac.Scheduler, error) {
 	r := p.spec
-	scheduler, err := sched.Build(p.schedName, sched.Env{
+	env := sched.Env{
 		Dual:     p.built.Dual,
 		Artifact: p.built.Artifact,
 		Payloads: p.payloads,
 		Fprog:    sim.Time(r.Model.Fprog),
 		Fack:     sim.Time(r.Model.Fack),
-	}, r.Scheduler.Params)
+	}
+	if cache != nil && *cache != nil {
+		if rs, ok := (*cache).(sched.Resettable); ok && rs.Reset(env) {
+			return *cache, nil
+		}
+	}
+	s, err := sched.Build(p.schedName, env, r.Scheduler.Params)
+	if err != nil {
+		return nil, err
+	}
+	if cache != nil {
+		*cache = s
+	}
+	return s, nil
+}
+
+// execute runs one seed of the plan with the given fleet: through the warm
+// runner when rn is non-nil, or a cold core.Run otherwise. The scheduler
+// comes from the worker's cache when one is supplied, and is built fresh
+// otherwise.
+func (p *trialPlan) execute(seed int64, automata []mac.Automaton, rn *core.Runner, cache *mac.Scheduler) (*TrialResult, error) {
+	r := p.spec
+	scheduler, err := p.scheduler(cache)
 	if err != nil {
 		return nil, err
 	}

@@ -119,7 +119,16 @@ func (rs *receiverState) peekLive(h *candHeap) (candidate, bool) {
 var (
 	_ mac.Scheduler      = (*Contention)(nil)
 	_ mac.TimerScheduler = (*Contention)(nil)
+	_ Resettable         = (*Contention)(nil)
 )
+
+// Reset implements Resettable: per-run receiver state is re-initialized by
+// Attach (which reuses its capacity), so re-arming only resets the
+// reliability policy.
+func (c *Contention) Reset(Env) bool {
+	resetRel(c.Rel)
+	return true
+}
 
 // Name implements mac.Scheduler.
 func (c *Contention) Name() string {
@@ -130,10 +139,35 @@ func (c *Contention) Name() string {
 	return "contention(rel=" + rel + ")"
 }
 
-// Attach implements mac.Scheduler.
+// Attach implements mac.Scheduler. Receiver state — including the heap
+// backing arrays — is reused across attachments when the network size
+// allows, so warm re-runs allocate nothing here.
 func (c *Contention) Attach(api mac.API) {
 	c.api = api
-	c.rcv = make([]receiverState, api.Dual().N())
+	n := api.Dual().N()
+	if cap(c.rcv) < n {
+		c.rcv = make([]receiverState, n)
+		return
+	}
+	c.rcv = c.rcv[:n]
+	for i := range c.rcv {
+		rs := &c.rcv[i]
+		clearHeap(&rs.required)
+		clearHeap(&rs.optional)
+		rs.seq = 0
+		rs.scheduled = false
+		rs.nextAt = 0
+	}
+}
+
+// clearHeap empties a heap, zeroing the retained backing array so recycled
+// candidates do not pin instances.
+func clearHeap(h *candHeap) {
+	s := *h
+	for i := range s {
+		s[i] = candidate{}
+	}
+	*h = s[:0]
 }
 
 // OnBcast implements mac.Scheduler.

@@ -25,14 +25,29 @@ type Flaky struct {
 	MeanUp, MeanDown sim.Time
 
 	edges map[[2]mac.NodeID]*edgeState
+	// epoch versions the edge states: Reset bumps it, and Deliver re-draws
+	// any edge whose state is from an older epoch. That re-arms the policy
+	// for a new execution while keeping every edgeState allocation.
+	epoch uint32
 }
 
 type edgeState struct {
 	up    bool
+	drawn uint32 // epoch this state was drawn in
 	until sim.Time
 }
 
 var _ Reliability = (*Flaky)(nil)
+
+// Reset re-arms the policy for a new execution: every edge re-draws its
+// phase chain from scratch on next use, without discarding the per-edge
+// allocations.
+func (f *Flaky) Reset() {
+	f.epoch++
+	if f.epoch == 0 {
+		f.epoch = 1
+	}
+}
 
 // Name implements Reliability.
 func (f *Flaky) Name() string {
@@ -59,19 +74,26 @@ func (f *Flaky) Deliver(rng *rand.Rand, b *mac.Instance, to mac.NodeID) bool {
 	if f.edges == nil {
 		f.edges = make(map[[2]mac.NodeID]*edgeState)
 	}
+	if f.epoch == 0 {
+		f.epoch = 1
+	}
 	key := [2]mac.NodeID{b.Sender, to}
 	if key[0] > key[1] {
 		key[0], key[1] = key[1], key[0]
 	}
 	es, ok := f.edges[key]
 	if !ok {
+		es = &edgeState{}
+		f.edges[key] = es
+	}
+	if es.drawn != f.epoch {
 		// Draw the edge's phase at time zero and that phase's end. The end
 		// draw must happen here, not in the advance loop below: the loop
 		// toggles before extending, so entering it with until = 0 would flip
 		// the freshly drawn phase and the draw would mean its opposite.
-		es = &edgeState{up: rng.Intn(2) == 0}
+		es.drawn = f.epoch
+		es.up = rng.Intn(2) == 0
 		es.until = 1 + sim.Time(rng.Int63n(int64(2*f.mean(es.up))))
-		f.edges[key] = es
 	}
 	// Advance the phase chain to the instance's start time.
 	for es.until <= b.Start {

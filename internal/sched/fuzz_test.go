@@ -7,6 +7,7 @@ import (
 	"amac/internal/check"
 	"amac/internal/mac"
 	"amac/internal/sched"
+	"amac/internal/sim"
 	"amac/internal/topology"
 )
 
@@ -28,7 +29,7 @@ func (f *fuzzNode) maybeSend(ctx mac.Context) {
 	if f.wantOne || ctx.Rand().Float64() < 0.6 {
 		f.wantOne = false
 		f.budget--
-		ctx.Bcast([2]int64{int64(ctx.ID()), ctx.Rand().Int63()})
+		ctx.Bcast(sim.Payload{Kind: sim.PayloadInt, A: int64(ctx.ID()), B: ctx.Rand().Int63()})
 	}
 }
 

@@ -21,16 +21,20 @@ import (
 // line faster than one hop per Fack. The two frontiers stay in lock-step by
 // construction, so each stretch is covered by its twin.
 //
-// The scheduler recognizes the tracked messages via the IsM0/IsM1
-// predicates over broadcast payloads, keeping it independent of the
-// algorithm's payload type.
+// The scheduler recognizes the tracked messages by payload equality against
+// M0/M1 (or via the optional IsM0/IsM1 predicates), keeping it independent
+// of the algorithm's payload encoding.
 type ParallelLines struct {
 	// Net is the Figure 2 network the execution runs on. Required.
 	Net *topology.ParallelLinesC
-	// IsM0 recognizes payloads carrying the message that starts on line A.
-	IsM0 func(payload any) bool
+	// M0 is the payload of the message that starts on line A; M1 the one
+	// that starts on line B. They are matched by equality, which costs no
+	// per-build closures.
+	M0, M1 mac.Payload
+	// IsM0/IsM1, when set, override the equality matching.
+	IsM0 func(payload mac.Payload) bool
 	// IsM1 recognizes payloads carrying the message that starts on line B.
-	IsM1 func(payload any) bool
+	IsM1 func(payload mac.Payload) bool
 
 	api    mac.API
 	aFront int // highest 1-based index on line A that has received m0
@@ -40,15 +44,53 @@ type ParallelLines struct {
 var (
 	_ mac.Scheduler      = (*ParallelLines)(nil)
 	_ mac.TimerScheduler = (*ParallelLines)(nil)
+	_ Resettable         = (*ParallelLines)(nil)
 )
 
 // Name implements mac.Scheduler.
 func (p *ParallelLines) Name() string { return "parallel-lines-adversary" }
 
+// Reset implements Resettable: the network artifact and tracked payloads are
+// rebound from the new environment (custom predicates, when set, are kept).
+// Frontier state is re-initialized by Attach.
+func (p *ParallelLines) Reset(env Env) bool {
+	net, ok := env.Artifact.(*topology.ParallelLinesC)
+	if !ok {
+		return false
+	}
+	if p.IsM0 == nil || p.IsM1 == nil {
+		if len(env.Payloads) != 2 {
+			return false
+		}
+		p.M0, p.M1 = env.Payloads[0], env.Payloads[1]
+	}
+	p.Net = net
+	return true
+}
+
+// isM0 reports whether payload carries the line-A message.
+func (p *ParallelLines) isM0(payload mac.Payload) bool {
+	if p.IsM0 != nil {
+		return p.IsM0(payload)
+	}
+	return payload == p.M0
+}
+
+// isM1 reports whether payload carries the line-B message.
+func (p *ParallelLines) isM1(payload mac.Payload) bool {
+	if p.IsM1 != nil {
+		return p.IsM1(payload)
+	}
+	return payload == p.M1
+}
+
 // Attach implements mac.Scheduler.
 func (p *ParallelLines) Attach(api mac.API) {
-	if p.Net == nil || p.IsM0 == nil || p.IsM1 == nil {
-		panic("sched: ParallelLines requires Net, IsM0 and IsM1")
+	if p.Net == nil {
+		panic("sched: ParallelLines requires Net")
+	}
+	if (p.IsM0 == nil || p.IsM1 == nil) && p.M0.IsZero() && p.M1.IsZero() {
+		panic("sched: ParallelLines requires M0/M1 payloads or IsM0/IsM1 predicates")
 	}
 	p.api = api
 	p.aFront = 1
@@ -68,9 +110,9 @@ func (p *ParallelLines) lineIndex(v mac.NodeID) (line byte, idx int) {
 func (p *ParallelLines) OnBcast(b *mac.Instance) {
 	line, idx := p.lineIndex(b.Sender)
 	switch {
-	case p.IsM0(b.Payload) && line == 'a' && idx == p.aFront && idx < p.Net.D:
+	case p.isM0(b.Payload) && line == 'a' && idx == p.aFront && idx < p.Net.D:
 		p.stretch(b, line, idx)
-	case p.IsM1(b.Payload) && line == 'b' && idx == p.bFront && idx < p.Net.D:
+	case p.isM1(b.Payload) && line == 'b' && idx == p.bFront && idx < p.Net.D:
 		p.stretch(b, line, idx)
 	default:
 		p.instant(b)

@@ -14,13 +14,13 @@ import (
 // adversary without importing core: FIFO queue + duplicate filter over
 // string payloads.
 type floodNode struct {
-	queue []string
-	seen  map[string]bool
+	queue []mac.Payload
+	seen  map[mac.Payload]bool
 }
 
-func newFloodNode() *floodNode { return &floodNode{seen: map[string]bool{}} }
+func newFloodNode() *floodNode { return &floodNode{seen: map[mac.Payload]bool{}} }
 
-func (f *floodNode) learn(ctx mac.Context, m string) {
+func (f *floodNode) learn(ctx mac.Context, m mac.Payload) {
 	if f.seen[m] {
 		return
 	}
@@ -34,7 +34,7 @@ func (f *floodNode) learn(ctx mac.Context, m string) {
 
 func (f *floodNode) Wakeup(mac.Context) {}
 func (f *floodNode) Recv(ctx mac.Context, m mac.Message) {
-	f.learn(ctx, m.Payload.(string))
+	f.learn(ctx, m.Payload)
 }
 func (f *floodNode) Acked(ctx mac.Context, m mac.Message) {
 	f.queue = f.queue[1:]
@@ -42,15 +42,15 @@ func (f *floodNode) Acked(ctx mac.Context, m mac.Message) {
 		ctx.Bcast(f.queue[0])
 	}
 }
-func (f *floodNode) Arrive(ctx mac.Context, p any) { f.learn(ctx, p.(string)) }
+func (f *floodNode) Arrive(ctx mac.Context, p mac.Payload) { f.learn(ctx, p) }
 
 func TestParallelLinesForcesOneHopPerFack(t *testing.T) {
 	const D = 6
 	net := topology.NewParallelLinesC(D)
 	s := &sched.ParallelLines{
 		Net:  net,
-		IsM0: func(p any) bool { return p == "m0" },
-		IsM1: func(p any) bool { return p == "m1" },
+		IsM0: func(p mac.Payload) bool { return p == mac.Ext("m0") },
+		IsM1: func(p mac.Payload) bool { return p == mac.Ext("m1") },
 	}
 	autos := make([]mac.Automaton, net.N())
 	for i := range autos {
@@ -67,15 +67,15 @@ func TestParallelLinesForcesOneHopPerFack(t *testing.T) {
 	// Record when each line-A node first delivers m0.
 	firstM0 := make(map[int]sim.Time)
 	eng.Watch(func(ev sim.TraceEvent) {
-		if ev.Kind == "deliver" && ev.Arg == "m0" && ev.Node < D {
+		if ev.Kind == "deliver" && ev.Value() == "m0" && ev.Node < D {
 			if _, ok := firstM0[ev.Node]; !ok {
 				firstM0[ev.Node] = ev.At
 			}
 		}
 	})
 	eng.Start()
-	eng.Arrive(net.A(1), "m0", 0)
-	eng.Arrive(net.B(1), "m1", 0)
+	eng.Arrive(net.A(1), mac.Ext("m0"), 0)
+	eng.Arrive(net.B(1), mac.Ext("m1"), 0)
 	eng.Sim().SetStepLimit(1_000_000)
 	eng.Run()
 
@@ -127,8 +127,8 @@ func TestParallelLinesCrossDeliveriesExist(t *testing.T) {
 	net := topology.NewParallelLinesC(D)
 	s := &sched.ParallelLines{
 		Net:  net,
-		IsM0: func(p any) bool { return p == "m0" },
-		IsM1: func(p any) bool { return p == "m1" },
+		IsM0: func(p mac.Payload) bool { return p == mac.Ext("m0") },
+		IsM1: func(p mac.Payload) bool { return p == mac.Ext("m1") },
 	}
 	autos := make([]mac.Automaton, net.N())
 	for i := range autos {
@@ -138,8 +138,8 @@ func TestParallelLinesCrossDeliveriesExist(t *testing.T) {
 		Dual: net.Dual, Fack: fack, Fprog: fprog, Scheduler: s, Seed: 2,
 	}, autos)
 	eng.Start()
-	eng.Arrive(net.A(1), "m0", 0)
-	eng.Arrive(net.B(1), "m1", 0)
+	eng.Arrive(net.A(1), mac.Ext("m0"), 0)
+	eng.Arrive(net.B(1), mac.Ext("m1"), 0)
 	eng.Sim().SetStepLimit(1_000_000)
 	eng.Run()
 

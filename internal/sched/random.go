@@ -17,7 +17,10 @@ type Random struct {
 	api mac.API
 }
 
-var _ mac.Scheduler = (*Random)(nil)
+var (
+	_ mac.Scheduler = (*Random)(nil)
+	_ Resettable    = (*Random)(nil)
+)
 
 // Name implements mac.Scheduler.
 func (r *Random) Name() string {
@@ -26,6 +29,12 @@ func (r *Random) Name() string {
 		rel = r.Rel.Name()
 	}
 	return "random(rel=" + rel + ")"
+}
+
+// Reset implements Resettable: Random keeps no cross-run state of its own.
+func (r *Random) Reset(Env) bool {
+	resetRel(r.Rel)
+	return true
 }
 
 // Attach implements mac.Scheduler.

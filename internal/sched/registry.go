@@ -19,7 +19,7 @@ import (
 type Env struct {
 	Dual     *topology.Dual
 	Artifact any
-	Payloads []any
+	Payloads []sim.Payload
 	Fprog    sim.Time
 	Fack     sim.Time
 }
@@ -156,11 +156,10 @@ func init() {
 		if len(env.Payloads) != 2 {
 			return nil, fmt.Errorf("sched: adversary tracks exactly 2 messages, workload has %d", len(env.Payloads))
 		}
-		m0, m1 := env.Payloads[0], env.Payloads[1]
 		return &ParallelLines{
-			Net:  net,
-			IsM0: func(p any) bool { return p == m0 },
-			IsM1: func(p any) bool { return p == m1 },
+			Net: net,
+			M0:  env.Payloads[0],
+			M1:  env.Payloads[1],
 		}, nil
 	})
 }

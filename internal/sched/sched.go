@@ -68,13 +68,35 @@ func (r Bernoulli) Deliver(rng *rand.Rand, _ *mac.Instance, _ mac.NodeID) bool {
 	return rng.Float64() < r.P
 }
 
-// greyTargets returns the G′\G neighbors of b's sender selected by rel.
+// Resettable is implemented by schedulers that can be re-armed for a new
+// execution without rebuilding: Reset rebinds whatever the registry factory
+// derived from the environment (tracked payloads, topology artifacts) and
+// clears cross-run reliability state. It reports whether the scheduler could
+// be adapted to env; false means the caller must Build a fresh one. Per-run
+// working state is re-initialized by Attach, which the engine invokes at the
+// start of every execution, so Reset + Attach is observably identical to a
+// fresh factory build + Attach.
+type Resettable interface {
+	Reset(env Env) bool
+}
+
+// resetRel re-arms a stateful reliability policy (e.g. *Flaky) for a new
+// execution. Stateless policies need nothing.
+func resetRel(rel Reliability) {
+	if r, ok := rel.(interface{ Reset() }); ok {
+		r.Reset()
+	}
+}
+
+// greyTargets returns the G′\G neighbors of b's sender selected by rel. The
+// result is backed by the instance's grey scratch buffer, so steady-state
+// draws allocate nothing; it is valid until b's next broadcast.
 func greyTargets(api mac.API, b *mac.Instance, rel Reliability) []mac.NodeID {
 	if rel == nil {
 		return nil
 	}
 	d := api.Dual()
-	var out []mac.NodeID
+	out := b.GreyBuf()
 	for _, j := range d.GPrime.Neighbors(b.Sender) {
 		if d.G.HasEdge(b.Sender, j) {
 			continue
@@ -83,5 +105,6 @@ func greyTargets(api mac.API, b *mac.Instance, rel Reliability) []mac.NodeID {
 			out = append(out, j)
 		}
 	}
+	b.SetGreyBuf(out)
 	return out
 }

@@ -28,7 +28,7 @@ func (c *chattyNode) Wakeup(ctx mac.Context) { c.next(ctx) }
 func (c *chattyNode) next(ctx mac.Context) {
 	if c.sent < c.count && !ctx.Pending() {
 		c.sent++
-		ctx.Bcast([2]int{int(ctx.ID()), c.sent})
+		ctx.Bcast(sim.Payload{Kind: sim.PayloadInt, A: int64(ctx.ID()), B: int64(c.sent)})
 	}
 }
 func (c *chattyNode) Recv(_ mac.Context, _ mac.Message)    { c.recvd++ }

@@ -29,28 +29,49 @@ type Slot struct {
 	// select 0 (grey links never fire without reliable contention).
 	GreyP float64
 
-	api   mac.API
-	live  []*mac.Instance
-	armed map[sim.Time]bool
+	// greyP is GreyP with defaults resolved; Attach recomputes it without
+	// mutating the configured field, so re-attachment is idempotent.
+	greyP float64
+
+	api        mac.API
+	live       []*mac.Instance
+	armed      map[sim.Time]bool
+	contenders [][]*mac.Instance
 }
 
 var (
 	_ mac.Scheduler      = (*Slot)(nil)
 	_ mac.TimerScheduler = (*Slot)(nil)
+	_ Resettable         = (*Slot)(nil)
 )
 
 // Name implements mac.Scheduler.
 func (s *Slot) Name() string { return "slot" }
 
-// Attach implements mac.Scheduler.
+// Reset implements Resettable: all per-run state is re-initialized by
+// Attach, which reuses its capacity.
+func (s *Slot) Reset(Env) bool { return true }
+
+// Attach implements mac.Scheduler. The live set, slot map and contender
+// scratch keep their capacity across attachments.
 func (s *Slot) Attach(api mac.API) {
 	s.api = api
-	s.armed = make(map[sim.Time]bool)
+	if s.armed == nil {
+		s.armed = make(map[sim.Time]bool)
+	} else {
+		clear(s.armed)
+	}
+	for i := range s.live {
+		s.live[i] = nil
+	}
+	s.live = s.live[:0]
 	switch {
 	case s.GreyP < 0:
-		s.GreyP = 0
+		s.greyP = 0
 	case s.GreyP == 0:
-		s.GreyP = 0.5
+		s.greyP = 0.5
+	default:
+		s.greyP = s.GreyP
 	}
 }
 
@@ -105,9 +126,16 @@ func (s *Slot) handleSlot(fire sim.Time) {
 	}
 	s.live = live
 
-	// Per-receiver contender sets.
+	// Per-receiver contender sets, drawn from the pooled scratch so a warm
+	// slot allocates nothing once the per-receiver slices have grown.
 	n := d.N()
-	contenders := make([][]*mac.Instance, n)
+	if cap(s.contenders) < n {
+		s.contenders = make([][]*mac.Instance, n)
+	}
+	contenders := s.contenders[:n]
+	for j := range contenders {
+		contenders[j] = contenders[j][:0]
+	}
 	for _, b := range s.live {
 		for _, j := range d.GPrime.Neighbors(b.Sender) {
 			if b.WasDelivered(j) {
@@ -129,7 +157,7 @@ func (s *Slot) handleSlot(fire sim.Time) {
 				break
 			}
 		}
-		if !reliable && rng.Float64() >= s.GreyP {
+		if !reliable && rng.Float64() >= s.greyP {
 			continue
 		}
 		pick := cs[rng.Intn(len(cs))]

@@ -32,7 +32,7 @@ func (r *roundNode) start(ec mac.EnhancedContext) {
 	}
 	ec.SetTimer(ec.Fprog(), nil)
 	if !r.quiet {
-		ec.Bcast([2]int{int(ec.ID()), r.round})
+		ec.Bcast(sim.Payload{Kind: sim.PayloadInt, A: int64(ec.ID()), B: int64(r.round)})
 	}
 }
 

@@ -31,7 +31,10 @@ type Sync struct {
 	api mac.API
 }
 
-var _ mac.Scheduler = (*Sync)(nil)
+var (
+	_ mac.Scheduler = (*Sync)(nil)
+	_ Resettable    = (*Sync)(nil)
+)
 
 // Name implements mac.Scheduler.
 func (s *Sync) Name() string {
@@ -66,6 +69,20 @@ func (s *Sync) resolveDelays(fprog, fack sim.Time) (recv, grey, ack sim.Time, er
 		return 0, 0, 0, fmt.Errorf("sched: sync grey-delay %d outside [1, ack-delay=%d]", grey, ack)
 	}
 	return recv, grey, ack, nil
+}
+
+// Reset implements Resettable: Sync keeps no cross-run state of its own
+// (Attach re-resolves the delays idempotently), so re-arming only validates
+// the delays against the new model constants and resets the reliability
+// policy.
+func (s *Sync) Reset(env Env) bool {
+	if env.Fprog > 0 && env.Fack > 0 {
+		if _, _, _, err := s.resolveDelays(env.Fprog, env.Fack); err != nil {
+			return false
+		}
+	}
+	resetRel(s.Rel)
+	return true
 }
 
 // Attach implements mac.Scheduler, resolving defaulted delays.

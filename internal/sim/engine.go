@@ -21,12 +21,14 @@ type EventKind uint8
 const KindFunc EventKind = 0
 
 // Op is the operand set of a typed event: one object handle (always a
-// pointer in practice, so boxing it into the interface allocates nothing)
-// and two small scalars whose meaning the kind defines — a receiver id, a
-// slot boundary, a delay class.
+// pointer in practice, so boxing it into the interface allocates nothing),
+// two small scalars whose meaning the kind defines — a receiver id, a
+// slot boundary, a delay class — and one typed message payload for events
+// that carry algorithm data (environment arrivals), which travels unboxed.
 type Op struct {
 	Obj  any
 	A, B int64
+	P    Payload
 }
 
 // Dispatcher executes typed events. The engine calls Dispatch once per
@@ -46,6 +48,7 @@ type Engine struct {
 	queue    eventQueue
 	seq      uint64
 	rng      *rand.Rand
+	rngStale bool // rng predates the last Reset; re-seed before next draw
 	seed     int64
 	halted   bool
 	stepped  uint64
@@ -72,26 +75,44 @@ func (e *Engine) Seed() int64 { return e.seed }
 
 // Rand returns the engine's deterministic random stream. Algorithms and
 // schedulers must draw all randomness from here (or from streams derived via
-// Fork) so executions replay exactly. The stream is created on first use:
-// seeding a math/rand source is expensive, and throughput-oriented runs
-// never draw from it.
+// Fork) so executions replay exactly. The stream is created (or, after a
+// Reset, re-seeded in place) on first use: seeding a math/rand source is
+// expensive, and throughput-oriented runs never draw from it.
 func (e *Engine) Rand() *rand.Rand {
 	if e.rng == nil {
 		e.rng = rand.New(rand.NewSource(e.seed))
+	} else if e.rngStale {
+		e.rng.Seed(e.seed)
 	}
+	e.rngStale = false
 	return e.rng
+}
+
+// forkSeed mixes (seed, id) into the derived stream seed Fork and Reseed
+// share (SplitMix-style).
+func (e *Engine) forkSeed(id int64) int64 {
+	z := uint64(e.seed) ^ (uint64(id)+0x9e3779b97f4a7c15)*0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
 }
 
 // Fork derives an independent deterministic random stream, keyed by id, from
 // the engine seed. Per-node streams keep executions reproducible even when
 // the set or order of nodes' random draws changes.
 func (e *Engine) Fork(id int64) *rand.Rand {
-	// SplitMix-style mixing of (seed, id) into a new seed.
-	z := uint64(e.seed) ^ (uint64(id)+0x9e3779b97f4a7c15)*0xbf58476d1ce4e5b9
-	z ^= z >> 27
-	z *= 0x94d049bb133111eb
-	z ^= z >> 31
-	return rand.New(rand.NewSource(int64(z)))
+	return rand.New(rand.NewSource(e.forkSeed(id)))
+}
+
+// Reseed re-seeds r in place with the same derived stream Fork(id) would
+// return: math/rand's Seed restores the generator to exactly the
+// freshly-constructed state, so a pooled stream object reseeded this way is
+// indistinguishable from a new Fork. Warm engines reuse their per-node and
+// scheduler streams across runs through this instead of reallocating the
+// ~5KB generator state per trial.
+func (e *Engine) Reseed(r *rand.Rand, id int64) {
+	r.Seed(e.forkSeed(id))
 }
 
 // Steps reports how many events have been executed so far.
@@ -159,6 +180,17 @@ func (e *Engine) Post(t Time, kind EventKind, obj any, a, b int64) Handle {
 	return Handle{ev: ev, gen: ev.gen}
 }
 
+// PostPayload schedules a typed event like Post, carrying a typed message
+// payload in place of the object operand. The payload travels unboxed
+// through the pooled event struct, so posting algorithm data (environment
+// arrivals) allocates nothing.
+func (e *Engine) PostPayload(t Time, kind EventKind, p Payload, a, b int64) Handle {
+	ev := e.schedule(t)
+	ev.kind, ev.p, ev.a, ev.b = kind, p, a, b
+	e.queue.push(ev)
+	return Handle{ev: ev, gen: ev.gen}
+}
+
 // schedule allocates a pooled event for time t with the next sequence
 // number; the caller fills the payload and pushes it.
 func (e *Engine) schedule(t Time) *event {
@@ -173,9 +205,10 @@ func (e *Engine) schedule(t Time) *event {
 // Reset restores the engine to its initial state with a new seed, keeping
 // the event pool warm: still-queued events (a halted run leaves them behind)
 // are recycled into the free list, so the next execution schedules against
-// pre-allocated structs. The dispatcher is kept; the random stream is
-// re-derived lazily from the new seed exactly as NewEngine would. Arenas use
-// this to make repeated executions on a pinned topology allocation-free.
+// pre-allocated structs. The dispatcher is kept; the random stream object is
+// also kept and re-seeded lazily from the new seed on the next draw, which
+// is indistinguishable from the fresh stream NewEngine would derive. Arenas
+// use this to make repeated executions on a pinned topology allocation-free.
 func (e *Engine) Reset(seed int64) {
 	e.queue.recycleAll()
 	e.now = 0
@@ -184,7 +217,7 @@ func (e *Engine) Reset(seed int64) {
 	e.halted = false
 	e.limit = 0
 	e.horizon = Infinity
-	e.rng = nil
+	e.rngStale = e.rng != nil
 	e.seed = seed
 }
 
@@ -254,7 +287,7 @@ func (e *Engine) Step() bool {
 			e.queue.release(ev)
 			fn()
 		} else {
-			kind, op := ev.kind, Op{Obj: ev.obj, A: ev.a, B: ev.b}
+			kind, op := ev.kind, Op{Obj: ev.obj, A: ev.a, B: ev.b, P: ev.p}
 			e.queue.release(ev)
 			e.dispatch.Dispatch(kind, op)
 		}

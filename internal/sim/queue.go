@@ -17,9 +17,10 @@ package sim
 type event struct {
 	at   Time
 	seq  uint64
-	fn   func() // KindFunc payload
-	obj  any    // typed payload: object operand (a pointer; boxing is free)
-	a, b int64  // typed payload: scalar operands
+	fn   func()  // KindFunc payload
+	obj  any     // typed payload: object operand (a pointer; boxing is free)
+	a, b int64   // typed payload: scalar operands
+	p    Payload // typed payload: message operand (carried unboxed)
 	kind EventKind
 	gen  uint32
 	dead bool // set by cancel; dead events are skipped when popped
@@ -63,6 +64,7 @@ func (q *eventQueue) alloc(at Time, seq uint64) *event {
 func (q *eventQueue) release(ev *event) {
 	ev.fn = nil
 	ev.obj = nil
+	ev.p = Payload{}
 	ev.kind = KindFunc
 	ev.dead = false
 	ev.gen++
@@ -84,6 +86,7 @@ func (q *eventQueue) recycleAll() {
 	for i, ev := range q.items {
 		ev.fn = nil
 		ev.obj = nil
+		ev.p = Payload{}
 		ev.kind = KindFunc
 		ev.dead = false
 		ev.gen++

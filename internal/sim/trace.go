@@ -8,16 +8,23 @@ import (
 // TraceEvent is one record in an execution trace. Kind is a small string
 // vocabulary owned by the layer that emits the event (the MAC engine emits
 // "bcast", "rcv", "ack", "abort"; algorithms may emit their own kinds).
+// The argument travels as a typed Payload so recording an event allocates
+// nothing; Value recovers the dynamic value for consumers that want the old
+// boxed form.
 type TraceEvent struct {
 	At   Time
 	Kind string
 	Node int
-	Arg  any
+	P    Payload
 }
+
+// Value boxes the event's argument back into its dynamic Go value. It
+// allocates; post-run consumers only.
+func (ev TraceEvent) Value() any { return ev.P.Value() }
 
 // String renders the event compactly for debugging output.
 func (ev TraceEvent) String() string {
-	return fmt.Sprintf("%v %s@%d %v", ev.At, ev.Kind, ev.Node, ev.Arg)
+	return fmt.Sprintf("%v %s@%d %v", ev.At, ev.Kind, ev.Node, ev.Value())
 }
 
 // Trace accumulates TraceEvents in execution order. The zero value is ready
@@ -44,7 +51,7 @@ func (tr *Trace) Disabled() bool { return tr.disabled }
 
 // Reset restores the zero-value configuration (enabled, no cap, nothing
 // dropped) and discards the recorded events while keeping the buffer
-// capacity, so a reused trace appends without reallocating. Retained Arg
+// capacity, so a reused trace appends without reallocating. Retained payload
 // references are zeroed for the collector.
 func (tr *Trace) Reset() {
 	clear(tr.events)
