@@ -8,6 +8,7 @@
 //
 //	amacbench [-quick] [-trials N] [-seed S] [-check] [-parallel P]
 //	          [-no-arena] [-only id-substring] [-json BENCH.json]
+//	          [-server http://host:7437]
 //	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // -parallel runs each experiment's (sweep point, trial) simulations on a
@@ -34,7 +35,9 @@ import (
 	"time"
 
 	"amac/internal/harness"
+	"amac/internal/jobs"
 	"amac/internal/perfrecord"
+	"amac/internal/scenario"
 )
 
 func main() {
@@ -45,6 +48,7 @@ func main() {
 	parallel := flag.Int("parallel", runtime.NumCPU(), "worker pool size for sweep points and trials")
 	noArena := flag.Bool("no-arena", false, "disable cross-trial run-arena and fleet reuse for pinned topologies (debugging)")
 	only := flag.String("only", "", "run only experiments whose id contains this substring")
+	server := flag.String("server", "", "run experiment sweeps on an amacd daemon at this base URL instead of in-process")
 	jsonPath := flag.String("json", "", "write a machine-readable perf record (events/sec, allocs) to this path")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile covering the selected experiments to this path")
 	memProfile := flag.String("memprofile", "", "write an allocation profile (heap, alloc_objects/alloc_space) to this path")
@@ -78,6 +82,12 @@ func main() {
 		Check:       *checkFlag,
 		Parallelism: *parallel,
 		NoArena:     *noArena,
+	}
+	if *server != "" {
+		client := &jobs.Client{Base: *server}
+		opts.Sweeper = func(id string, specs []scenario.Spec, _ scenario.SweepOptions) ([]*scenario.Report, error) {
+			return client.RunSpecs(id, specs)
+		}
 	}
 
 	experiments := harness.Experiments()

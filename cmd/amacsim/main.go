@@ -16,7 +16,12 @@
 //	amacsim -topology parallel-lines -n 16 -alg bmmb -sched adversary -trace
 //	amacsim -topology line -n 64 -alg bmmb -trials 16 -parallel 8
 //	amacsim -scenario scenarios/grid-online-flaky.json
+//	amacsim -scenario scenarios/quickstart.json -server http://localhost:7437
 //	amacsim -topology ring -n 48 -k 3 -dump > scenarios/my-ring.json
+//
+// -server submits the scenario as a job to a running amacd daemon and
+// renders the merged result; the report is byte-identical to the in-process
+// run because executions are pure functions of (spec, seed).
 //
 // With -trials > 1 the same configuration is replayed across consecutive
 // seeds on a worker pool (-parallel), reporting per-seed completions in
@@ -33,6 +38,7 @@ import (
 
 	"amac/internal/check"
 	"amac/internal/core"
+	"amac/internal/jobs"
 	"amac/internal/metrics"
 	"amac/internal/scenario"
 	"amac/internal/topology"
@@ -77,6 +83,7 @@ func run(args []string, out io.Writer) error {
 		stats        = fs.Bool("stats", false, "print per-node and per-message metrics")
 		trace        = fs.Bool("trace", false, "dump the event trace")
 		cGrey        = fs.Float64("c", 1.6, "grey zone constant for -topology rgg")
+		server       = fs.String("server", "", "submit the scenario to an amacd daemon at this base URL instead of running in-process")
 	)
 	switch err := fs.Parse(args); {
 	case err == nil:
@@ -113,7 +120,7 @@ func run(args []string, out io.Writer) error {
 				spec.Run.Parallelism = *par
 			case "check":
 				spec.Run.Check = *doCheck
-			case "scenario", "dump", "stats", "trace":
+			case "scenario", "dump", "stats", "trace", "server":
 				// Orthogonal to the spec contents.
 			default:
 				if conflict == nil {
@@ -143,6 +150,20 @@ func run(args []string, out io.Writer) error {
 	}
 	if spec.Run.Parallelism == 0 {
 		spec.Run.Parallelism = *par
+	}
+
+	if *server != "" {
+		// Remote execution ships scalar trial records; the engine (and with
+		// it the trace and per-node metrics) stays on the daemon.
+		if *stats || *trace {
+			return fmt.Errorf("-stats and -trace need the in-process engine and cannot combine with -server")
+		}
+		client := &jobs.Client{Base: *server}
+		reports, err := client.RunSpecs(spec.Name, []scenario.Spec{spec})
+		if err != nil {
+			return err
+		}
+		return printReport(out, reports[0], false, false)
 	}
 
 	report, err := scenario.Run(spec)

@@ -20,38 +20,52 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"amac/internal/perfrecord"
 )
 
 func main() {
-	base := flag.String("base", "", "baseline perf record (required)")
-	next := flag.String("new", "", "candidate perf record (required)")
-	threshold := flag.Float64("threshold", 0.15, "maximum tolerated events/sec drop or allocs/event growth as a fraction (0.15 = 15%)")
-	minWall := flag.Float64("min-wall", 0.05, "minimum wall seconds (in both records) for an experiment to be gated rather than just reported")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its process edges injected, so tests can drive the gate
+// end-to-end: 0 = within threshold, 1 = regression or unreadable record,
+// 2 = usage error.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	base := fs.String("base", "", "baseline perf record (required)")
+	next := fs.String("new", "", "candidate perf record (required)")
+	threshold := fs.Float64("threshold", 0.15, "maximum tolerated events/sec drop or allocs/event growth as a fraction (0.15 = 15%)")
+	minWall := fs.Float64("min-wall", 0.05, "minimum wall seconds (in both records) for an experiment to be gated rather than just reported")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 	if *base == "" || *next == "" {
-		fmt.Fprintln(os.Stderr, "benchdiff: both -base and -new are required")
-		flag.Usage()
-		os.Exit(2)
+		fmt.Fprintln(stderr, "benchdiff: both -base and -new are required")
+		fs.Usage()
+		return 2
 	}
 	if *threshold < 0 || *threshold >= 1 {
-		fmt.Fprintf(os.Stderr, "benchdiff: -threshold must be in [0, 1), got %g\n", *threshold)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "benchdiff: -threshold must be in [0, 1), got %g\n", *threshold)
+		return 2
 	}
 
 	bf, err := perfrecord.Load(*base)
 	if err != nil {
-		fail(err)
+		fmt.Fprintf(stderr, "benchdiff: %v\n", err)
+		return 1
 	}
 	nf, err := perfrecord.Load(*next)
 	if err != nil {
-		fail(err)
+		fmt.Fprintf(stderr, "benchdiff: %v\n", err)
+		return 1
 	}
 	if bf.Quick != nf.Quick || bf.Trials != nf.Trials || bf.Seed != nf.Seed ||
 		bf.Parallelism != nf.Parallelism || bf.NoArena != nf.NoArena {
-		fmt.Printf("note: records were taken under different options — throughput deltas may reflect configuration, not code\n"+
+		fmt.Fprintf(stdout, "note: records were taken under different options — throughput deltas may reflect configuration, not code\n"+
 			"  base: quick=%v trials=%d seed=%d parallel=%d no-arena=%v\n"+
 			"  new:  quick=%v trials=%d seed=%d parallel=%d no-arena=%v\n",
 			bf.Quick, bf.Trials, bf.Seed, bf.Parallelism, bf.NoArena,
@@ -60,50 +74,47 @@ func main() {
 
 	deltas := perfrecord.Compare(bf, nf)
 	if len(deltas) == 0 {
-		fail(fmt.Errorf("baseline %s contains no experiments", *base))
+		fmt.Fprintf(stderr, "benchdiff: baseline %s contains no experiments\n", *base)
+		return 1
 	}
-	fmt.Printf("%-28s %14s %14s %8s %12s %12s %8s\n",
+	fmt.Fprintf(stdout, "%-28s %14s %14s %8s %12s %12s %8s\n",
 		"experiment", "base ev/s", "new ev/s", "ratio", "base alloc/op", "new alloc/op", "ratio")
 	regressed := 0
 	for _, d := range deltas {
 		switch {
 		case d.Missing:
-			fmt.Printf("%-28s %14.0f %14s %8s %12s %12s %8s  MISSING from new record\n",
+			fmt.Fprintf(stdout, "%-28s %14.0f %14s %8s %12s %12s %8s  MISSING from new record\n",
 				d.ID, d.BaseEventsPerSec, "-", "-", "-", "-", "-")
 			regressed++
 			continue
 		case d.Noisy(*minWall):
 			// Wall time too short to judge events/sec; per-event allocation
 			// is deterministic at any speed, so it is still gated below.
-			fmt.Printf("%-28s %14.0f %14.0f %8.3f %12.2f %12.2f %8.3f  ev/s not gated (ran < %.0fms)\n",
+			fmt.Fprintf(stdout, "%-28s %14.0f %14.0f %8.3f %12.2f %12.2f %8.3f  ev/s not gated (ran < %.0fms)\n",
 				d.ID, d.BaseEventsPerSec, d.NewEventsPerSec, d.Ratio,
 				d.BaseAllocsPerOp, d.NewAllocsPerOp, d.AllocRatio, *minWall*1000)
 		case d.Regressed(*threshold):
-			fmt.Printf("%-28s %14.0f %14.0f %8.3f %12.2f %12.2f %8.3f  REGRESSION (> %.0f%% ev/s drop)\n",
+			fmt.Fprintf(stdout, "%-28s %14.0f %14.0f %8.3f %12.2f %12.2f %8.3f  REGRESSION (> %.0f%% ev/s drop)\n",
 				d.ID, d.BaseEventsPerSec, d.NewEventsPerSec, d.Ratio,
 				d.BaseAllocsPerOp, d.NewAllocsPerOp, d.AllocRatio, *threshold*100)
 			regressed++
 		default:
-			fmt.Printf("%-28s %14.0f %14.0f %8.3f %12.2f %12.2f %8.3f  ok\n",
+			fmt.Fprintf(stdout, "%-28s %14.0f %14.0f %8.3f %12.2f %12.2f %8.3f  ok\n",
 				d.ID, d.BaseEventsPerSec, d.NewEventsPerSec, d.Ratio,
 				d.BaseAllocsPerOp, d.NewAllocsPerOp, d.AllocRatio)
 		}
 		if d.AllocRegressed(*threshold) {
-			fmt.Printf("%-28s %14s %14s %8s %12.2f %12.2f %8.3f  ALLOC REGRESSION (> %.0f%% more allocs/event)\n",
+			fmt.Fprintf(stdout, "%-28s %14s %14s %8s %12.2f %12.2f %8.3f  ALLOC REGRESSION (> %.0f%% more allocs/event)\n",
 				d.ID, "", "", "", d.BaseAllocsPerOp, d.NewAllocsPerOp, d.AllocRatio, *threshold*100)
 			regressed++
 		}
 	}
 	if regressed > 0 {
-		fmt.Printf("\nbenchdiff: %d of %d experiments regressed past the %.0f%% threshold\n",
+		fmt.Fprintf(stdout, "\nbenchdiff: %d of %d experiments regressed past the %.0f%% threshold\n",
 			regressed, len(deltas), *threshold*100)
-		os.Exit(1)
+		return 1
 	}
-	fmt.Printf("\nbenchdiff: all %d experiments within the %.0f%% threshold\n",
+	fmt.Fprintf(stdout, "\nbenchdiff: all %d experiments within the %.0f%% threshold\n",
 		len(deltas), *threshold*100)
-}
-
-func fail(err error) {
-	fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
-	os.Exit(1)
+	return 0
 }

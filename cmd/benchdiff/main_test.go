@@ -1,0 +1,178 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"amac/internal/perfrecord"
+)
+
+// writeRecord marshals a perf record into dir and returns its path.
+func writeRecord(t *testing.T, dir, name string, f perfrecord.File) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := f.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// rec builds an experiment sample from its gate-relevant axes. SimEvents is
+// fixed so allocs translate to allocs/op directly.
+func rec(id string, evPerSec, wall, allocsPerOp float64) perfrecord.Record {
+	r := perfrecord.Record{
+		ID:           id,
+		WallSeconds:  wall,
+		SimEvents:    1000,
+		EventsPerSec: evPerSec,
+		Allocs:       uint64(allocsPerOp * 1000),
+		AllocBytes:   uint64(allocsPerOp * 16000),
+	}
+	r.Normalize()
+	return r
+}
+
+// runDiff invokes the gate over two records and returns (exit code, stdout).
+func runDiff(t *testing.T, base, next perfrecord.File, extra ...string) (int, string) {
+	t.Helper()
+	dir := t.TempDir()
+	args := append([]string{
+		"-base", writeRecord(t, dir, "base.json", base),
+		"-new", writeRecord(t, dir, "new.json", next),
+	}, extra...)
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String() + stderr.String()
+}
+
+func file(recs ...perfrecord.Record) perfrecord.File {
+	return perfrecord.File{Trials: 3, Seed: 1, Parallelism: 4, Experiments: recs}
+}
+
+// TestThresholdEdges pins the gate boundary: Regressed uses a strict
+// ratio < 1-threshold, so a drop of exactly the threshold passes and any
+// drop beyond it fails.
+func TestThresholdEdges(t *testing.T) {
+	base := file(rec("exp", 1000, 1.0, 50))
+	cases := []struct {
+		name     string
+		newEvSec float64
+		want     int
+	}{
+		{"unchanged", 1000, 0},
+		{"improved", 1400, 0},
+		{"exactly at threshold", 850, 0}, // ratio 0.85 == 1-0.15: not < , passes
+		{"just past threshold", 849, 1},
+		{"halved", 500, 1},
+	}
+	for _, tc := range cases {
+		code, out := runDiff(t, base, file(rec("exp", tc.newEvSec, 1.0, 50)))
+		if code != tc.want {
+			t.Errorf("%s: exit %d, want %d\n%s", tc.name, code, tc.want, out)
+		}
+		if tc.want == 1 && !strings.Contains(out, "REGRESSION") {
+			t.Errorf("%s: regression not reported:\n%s", tc.name, out)
+		}
+	}
+
+	// A custom -threshold moves the edge.
+	if code, out := runDiff(t, base, file(rec("exp", 849, 1.0, 50)), "-threshold", "0.30"); code != 0 {
+		t.Errorf("15%% drop failed a 30%% gate (exit %d):\n%s", code, out)
+	}
+	if code, _ := runDiff(t, base, file(rec("exp", 950, 1.0, 50)), "-threshold", "0.01"); code != 1 {
+		t.Error("5% drop passed a 1% gate")
+	}
+}
+
+// TestMissingExperimentFails pins that a silently dropped experiment fails
+// the gate regardless of threshold.
+func TestMissingExperimentFails(t *testing.T) {
+	base := file(rec("kept", 1000, 1.0, 50), rec("dropped", 1000, 1.0, 50))
+	code, out := runDiff(t, base, file(rec("kept", 1000, 1.0, 50)), "-threshold", "0.99")
+	if code != 1 {
+		t.Fatalf("missing experiment exited %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "MISSING from new record") {
+		t.Fatalf("missing experiment not reported:\n%s", out)
+	}
+	// New-only experiments cannot regress and are ignored.
+	code, out = runDiff(t, file(rec("kept", 1000, 1.0, 50)), base)
+	if code != 0 {
+		t.Fatalf("extra new experiment exited %d, want 0\n%s", code, out)
+	}
+}
+
+// TestAllocRegressionGate pins the allocation gate: allocs/event growth past
+// the threshold fails even when throughput held, and zero-alloc baselines
+// (records predating the per-op fields) never alloc-gate.
+func TestAllocRegressionGate(t *testing.T) {
+	base := file(rec("exp", 1000, 1.0, 50))
+	code, out := runDiff(t, base, file(rec("exp", 1000, 1.0, 60)))
+	if code != 1 || !strings.Contains(out, "ALLOC REGRESSION") {
+		t.Fatalf("20%% alloc growth: exit %d\n%s", code, out)
+	}
+	// Exactly at 1+threshold passes (strict >).
+	if code, out := runDiff(t, base, file(rec("exp", 1000, 1.0, 57.5))); code != 0 {
+		t.Fatalf("alloc growth exactly at threshold: exit %d\n%s", code, out)
+	}
+	// Fewer allocations pass.
+	if code, _ := runDiff(t, base, file(rec("exp", 1000, 1.0, 10))); code != 0 {
+		t.Error("alloc improvement failed the gate")
+	}
+	// Legacy baseline without per-op fields: alloc growth is ungated.
+	legacy := perfrecord.Record{ID: "exp", WallSeconds: 1.0, SimEvents: 1000, EventsPerSec: 1000}
+	if code, out := runDiff(t, file(legacy), file(rec("exp", 1000, 1.0, 500))); code != 0 {
+		t.Fatalf("legacy baseline alloc-gated: exit %d\n%s", code, out)
+	}
+}
+
+// TestNoiseFloor pins -min-wall: millisecond-scale runs report throughput
+// without gating it, but their allocation gate still applies.
+func TestNoiseFloor(t *testing.T) {
+	base := file(rec("fast", 1000, 0.002, 50))
+	code, out := runDiff(t, base, file(rec("fast", 100, 0.002, 50)))
+	if code != 0 {
+		t.Fatalf("millisecond-scale throughput drop gated: exit %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "ev/s not gated") {
+		t.Fatalf("noise floor not reported:\n%s", out)
+	}
+	// Either side below the floor suffices.
+	if code, _ := runDiff(t, file(rec("fast", 1000, 1.0, 50)), file(rec("fast", 100, 0.002, 50))); code != 0 {
+		t.Error("new-side noise gated")
+	}
+	// Allocations stay gated below the noise floor.
+	if code, out := runDiff(t, base, file(rec("fast", 1000, 0.002, 90))); code != 1 || !strings.Contains(out, "ALLOC REGRESSION") {
+		t.Fatalf("alloc regression under noise floor: exit %d\n%s", code, out)
+	}
+	// -min-wall 0 gates everything.
+	if code, _ := runDiff(t, base, file(rec("fast", 100, 0.002, 50)), "-min-wall", "0"); code != 1 {
+		t.Error("-min-wall 0 did not gate a millisecond-scale drop")
+	}
+}
+
+// TestUsageAndLoadErrors pins the exit-code contract: 2 for usage errors,
+// 1 for unreadable or empty records.
+func TestUsageAndLoadErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-base", "only.json"}, &stdout, &stderr); code != 2 {
+		t.Errorf("missing -new exited %d, want 2", code)
+	}
+	if code := run([]string{"-nonsense"}, &stdout, &stderr); code != 2 {
+		t.Errorf("unknown flag exited %d, want 2", code)
+	}
+	dir := t.TempDir()
+	good := writeRecord(t, dir, "good.json", file(rec("exp", 1000, 1.0, 50)))
+	if code := run([]string{"-base", good, "-new", good, "-threshold", "1.5"}, &stdout, &stderr); code != 2 {
+		t.Errorf("out-of-range threshold exited %d, want 2", code)
+	}
+	if code := run([]string{"-base", filepath.Join(dir, "absent.json"), "-new", good}, &stdout, &stderr); code != 1 {
+		t.Errorf("unreadable baseline exited %d, want 1", code)
+	}
+	empty := writeRecord(t, dir, "empty.json", perfrecord.File{})
+	if code := run([]string{"-base", empty, "-new", good}, &stdout, &stderr); code != 1 {
+		t.Errorf("empty baseline exited %d, want 1", code)
+	}
+}

@@ -1,25 +1,57 @@
 package graph
 
-import "sort"
+import (
+	"slices"
+	"sync"
+)
 
 // Unreachable is the distance reported for nodes in a different connected
 // component.
 const Unreachable = -1
 
-// BFS returns the hop distance from src to every node; Unreachable for nodes
-// in other components.
-func (g *Graph) BFS(src NodeID) []int {
-	g.check(src)
-	dist := make([]int, g.n)
+// bfsScratch is the frontier/visited storage behind the BFS-family queries.
+// The buffers are pooled rather than hung off the Graph because finished
+// graphs are shared read-only across parallel harness workers: per-graph
+// scratch would make concurrent Diameter/IsConnected calls race, while a
+// pooled scratch is exclusively owned between get and put. Connectivity
+// probes run once per rejected draw inside the random-topology builders, so
+// steady-state sweeps must not pay an allocation here.
+type bfsScratch struct {
+	dist  []int
+	queue []NodeID
+}
+
+var bfsPool = sync.Pool{New: func() any { return new(bfsScratch) }}
+
+// getScratch returns a scratch with capacity for n nodes. dist contents are
+// stale; callers reset the entries they rely on (resetDist, or restoring
+// visited entries after each walk).
+func getScratch(n int) *bfsScratch {
+	s := bfsPool.Get().(*bfsScratch)
+	if cap(s.dist) < n {
+		s.dist = make([]int, n)
+		s.queue = make([]NodeID, 0, n)
+	}
+	s.dist = s.dist[:n]
+	return s
+}
+
+func putScratch(s *bfsScratch) { bfsPool.Put(s) }
+
+func resetDist(dist []int) {
 	for i := range dist {
 		dist[i] = Unreachable
 	}
+}
+
+// bfsInto walks the component of src, writing hop distances into dist —
+// whose entries must be Unreachable beforehand — and returns the visited
+// nodes in traversal order in queue's storage.
+func (g *Graph) bfsInto(src NodeID, dist []int, queue []NodeID) []NodeID {
 	dist[src] = 0
-	queue := make([]NodeID, 0, g.n)
-	queue = append(queue, src)
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
+	queue = append(queue[:0], src)
+	for qi := 0; qi < len(queue); qi++ {
+		u := queue[qi]
 		for _, v := range g.adj[u] {
 			if dist[v] == Unreachable {
 				dist[v] = dist[u] + 1
@@ -27,20 +59,43 @@ func (g *Graph) BFS(src NodeID) []int {
 			}
 		}
 	}
+	return queue
+}
+
+// BFS returns the hop distance from src to every node; Unreachable for nodes
+// in other components.
+func (g *Graph) BFS(src NodeID) []int {
+	g.check(src)
+	dist := make([]int, g.n)
+	resetDist(dist)
+	s := getScratch(g.n)
+	s.queue = g.bfsInto(src, dist, s.queue)
+	putScratch(s)
 	return dist
 }
 
 // Dist returns the hop distance dG(u, v), or Unreachable when disconnected.
 func (g *Graph) Dist(u, v NodeID) int {
-	return g.BFS(u)[v]
+	g.check(u)
+	g.check(v)
+	s := getScratch(g.n)
+	defer putScratch(s)
+	resetDist(s.dist)
+	s.queue = g.bfsInto(u, s.dist, s.queue)
+	return s.dist[v]
 }
 
 // Eccentricity returns the maximum finite BFS distance from src (distance to
 // the farthest node in src's component).
 func (g *Graph) Eccentricity(src NodeID) int {
+	g.check(src)
+	s := getScratch(g.n)
+	defer putScratch(s)
+	resetDist(s.dist)
+	s.queue = g.bfsInto(src, s.dist, s.queue)
 	max := 0
-	for _, d := range g.BFS(src) {
-		if d > max {
+	for _, v := range s.queue {
+		if d := s.dist[v]; d > max {
 			max = d
 		}
 	}
@@ -58,12 +113,19 @@ func (g *Graph) Diameter() int {
 	if g.diamOK {
 		return g.diam
 	}
+	s := getScratch(g.n)
+	resetDist(s.dist)
 	max := 0
 	for u := 0; u < g.n; u++ {
-		if e := g.Eccentricity(NodeID(u)); e > max {
-			max = e
+		s.queue = g.bfsInto(NodeID(u), s.dist, s.queue)
+		for _, v := range s.queue {
+			if d := s.dist[v]; d > max {
+				max = d
+			}
+			s.dist[v] = Unreachable // restore for the next source
 		}
 	}
+	putScratch(s)
 	g.diam, g.diamOK = max, true
 	return max
 }
@@ -71,36 +133,35 @@ func (g *Graph) Diameter() int {
 // Components returns the connected components as slices of node IDs, each
 // sorted, ordered by smallest member.
 func (g *Graph) Components() [][]NodeID {
-	seen := make([]bool, g.n)
+	s := getScratch(g.n)
+	resetDist(s.dist)
 	var comps [][]NodeID
-	for s := 0; s < g.n; s++ {
-		if seen[s] {
+	for u := 0; u < g.n; u++ {
+		if s.dist[u] != Unreachable {
 			continue
 		}
-		var comp []NodeID
-		queue := []NodeID{NodeID(s)}
-		seen[s] = true
-		for len(queue) > 0 {
-			u := queue[0]
-			queue = queue[1:]
-			comp = append(comp, u)
-			for _, v := range g.adj[u] {
-				if !seen[v] {
-					seen[v] = true
-					queue = append(queue, v)
-				}
-			}
-		}
+		s.queue = g.bfsInto(NodeID(u), s.dist, s.queue)
+		comp := append([]NodeID(nil), s.queue...)
 		sortNodeIDs(comp)
 		comps = append(comps, comp)
 	}
+	putScratch(s)
 	return comps
 }
 
 // IsConnected reports whether g has exactly one connected component (true
-// for the empty and single-node graphs).
+// for the empty and single-node graphs). A single BFS from node 0 — no
+// component materialization, because the random-topology builders probe
+// connectivity on every rejected draw.
 func (g *Graph) IsConnected() bool {
-	return g.n <= 1 || len(g.Components()) == 1
+	if g.n <= 1 {
+		return true
+	}
+	s := getScratch(g.n)
+	defer putScratch(s)
+	resetDist(s.dist)
+	s.queue = g.bfsInto(0, s.dist, s.queue)
+	return len(s.queue) == g.n
 }
 
 // Ball returns all nodes within r hops of center (including center), sorted.
@@ -179,5 +240,5 @@ func (g *Graph) PowerInto(r int, dst *Graph) *Graph {
 }
 
 func sortNodeIDs(s []NodeID) {
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	slices.Sort(s)
 }

@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 
+	"amac/internal/scenario"
 	"amac/internal/sim"
 )
 
@@ -31,6 +32,13 @@ type Options struct {
 	// topologies (amacbench -no-arena). Executions and rendered tables
 	// are byte-identical either way; this is the debugging escape hatch.
 	NoArena bool
+	// Sweeper overrides how RunSweep executes an experiment's spec grid:
+	// nil runs in-process via scenario.SweepWithOptions; amacbench
+	// -server installs a jobs client here so experiments run on an amacd
+	// daemon. Executions are pure functions of (spec, seed), so rendered
+	// tables are byte-identical either way. The id is the experiment's,
+	// for job naming.
+	Sweeper func(id string, specs []scenario.Spec, o scenario.SweepOptions) ([]*scenario.Report, error)
 }
 
 func (o Options) withDefaults() Options {

@@ -76,7 +76,13 @@ func RunSweep(o Options, def SweepDef) *Table {
 			specs = append(specs, withOptions(pt.Spec, o))
 		}
 	}
-	reports, err := scenario.SweepWithOptions(specs, scenario.SweepOptions{
+	sweeper := o.Sweeper
+	if sweeper == nil {
+		sweeper = func(_ string, specs []scenario.Spec, so scenario.SweepOptions) ([]*scenario.Report, error) {
+			return scenario.SweepWithOptions(specs, so)
+		}
+	}
+	reports, err := sweeper(def.ID, specs, scenario.SweepOptions{
 		Parallelism: o.Parallelism,
 		NoArena:     o.NoArena,
 	})

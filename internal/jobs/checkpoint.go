@@ -1,0 +1,96 @@
+package jobs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// The checkpoint layout under the store directory, per job:
+//
+//	<dir>/<jobID>/job.json        the submitted job spec (resolved form)
+//	<dir>/<jobID>/shard-0007.json one completed shard's trial records
+//	<dir>/<jobID>/result.json     the merged result; its presence marks done
+//
+// Every file is written atomically (temp file + rename in the same
+// directory), so a daemon killed mid-write leaves either the old state or
+// the new state, never a torn file. Resume scans job directories that have
+// a job.json but no result.json, validates each shard checkpoint against
+// the re-derived shard plan, and reruns only what is missing or invalid.
+
+// shardRecord is the on-disk form of one completed shard.
+type shardRecord struct {
+	// Job is the owning job's ID; a checkpoint copied into the wrong
+	// directory fails validation instead of corrupting a merge.
+	Job string `json:"job"`
+	// Index, Spec, Lo and Hi echo the planned shard; resume validates
+	// them against the re-derived plan.
+	Index int `json:"index"`
+	Spec  int `json:"spec"`
+	Lo    int `json:"lo"`
+	Hi    int `json:"hi"`
+	// Trials are the shard's results in task order.
+	Trials []TrialRecord `json:"trials"`
+}
+
+// writeFileAtomic writes data to path via a temp file and rename, fsyncing
+// the file so a checkpoint that exists after a crash is complete.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+func shardPath(jobDir string, index int) string {
+	return filepath.Join(jobDir, fmt.Sprintf("shard-%04d.json", index))
+}
+
+// writeShard checkpoints one completed shard.
+func writeShard(jobDir, jobID string, sh Shard, trials []TrialRecord) error {
+	rec := shardRecord{Job: jobID, Index: sh.Index, Spec: sh.Spec, Lo: sh.Lo, Hi: sh.Hi, Trials: trials}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("jobs: encode shard %d: %w", sh.Index, err)
+	}
+	return writeFileAtomic(shardPath(jobDir, sh.Index), append(data, '\n'))
+}
+
+// readShard loads shard sh's checkpoint and validates it against the plan.
+// It returns (nil, nil) when no valid checkpoint exists — the shard must
+// run — and the records when one does.
+func readShard(jobDir, jobID string, sh Shard) ([]TrialRecord, error) {
+	data, err := os.ReadFile(shardPath(jobDir, sh.Index))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var rec shardRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		// A torn or foreign file is "not checkpointed", not fatal: the
+		// shard reruns and the rewrite replaces it.
+		return nil, nil
+	}
+	if rec.Job != jobID || rec.Index != sh.Index || rec.Spec != sh.Spec ||
+		rec.Lo != sh.Lo || rec.Hi != sh.Hi || len(rec.Trials) != sh.Hi-sh.Lo {
+		return nil, nil
+	}
+	return rec.Trials, nil
+}

@@ -1,0 +1,135 @@
+// Package jobs is the sharded, resumable execution layer behind cmd/amacd:
+// it turns a sweep's flattened (spec, trial) task space — deterministic at
+// any parallelism since trial seeds are exact int64s — into shards that run
+// independently, checkpoint to disk as they complete, and merge back in
+// index order to a result byte-identical to a single-machine
+// scenario.Sweep. The HTTP server and client in this package make the CLI
+// tools thin clients of a long-running daemon.
+package jobs
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"amac/internal/scenario"
+)
+
+// DefaultShardTrials is the checkpoint granularity when a job does not set
+// one: every shard covers at most this many (spec, trial) tasks.
+const DefaultShardTrials = 16
+
+// Spec is the wire format of a job: a sweep over one or more scenario
+// specs, plus sharding and execution knobs. POST /jobs also accepts a bare
+// scenario.Spec, which wraps into a one-spec job (see Parse).
+type Spec struct {
+	// Name labels the job in listings; it does not affect execution.
+	Name string `json:"name,omitempty"`
+	// Description is free-form documentation carried with the job.
+	Description string `json:"description,omitempty"`
+	// Sweep is the spec grid, executed exactly like scenario.Sweep over
+	// the same slice.
+	Sweep []scenario.Spec `json:"sweep"`
+	// ShardTrials caps the (spec, trial) tasks per shard; 0 selects
+	// DefaultShardTrials. Shards never span spec boundaries, so a spec
+	// with fewer trials than this still gets its own shard tail.
+	ShardTrials int `json:"shard_trials,omitempty"`
+	// Parallelism bounds concurrent trials within a shard; 0 lets the
+	// daemon choose (its -workers flag). Results are byte-identical at
+	// any value.
+	Parallelism int `json:"parallelism,omitempty"`
+}
+
+// WithDefaults returns the spec with zero values resolved, mirroring
+// scenario.Spec.WithDefaults: the resolved form is what executes, and what
+// the job ID hashes.
+func (j Spec) WithDefaults() Spec {
+	if j.ShardTrials == 0 {
+		j.ShardTrials = DefaultShardTrials
+	}
+	resolved := make([]scenario.Spec, len(j.Sweep))
+	for i, s := range j.Sweep {
+		resolved[i] = s.WithDefaults()
+	}
+	j.Sweep = resolved
+	return j
+}
+
+// Validate checks the job and every spec of its sweep.
+func (j Spec) Validate() error {
+	if len(j.Sweep) == 0 {
+		return fmt.Errorf("jobs: job has no sweep specs")
+	}
+	if j.ShardTrials < 0 {
+		return fmt.Errorf("jobs: negative shard_trials %d", j.ShardTrials)
+	}
+	if j.Parallelism < 0 {
+		return fmt.Errorf("jobs: negative parallelism %d", j.Parallelism)
+	}
+	for i, s := range j.Sweep {
+		if err := s.Validate(); err != nil {
+			return fmt.Errorf("jobs: sweep spec %d (%s): %w", i, s.Name, err)
+		}
+	}
+	return nil
+}
+
+// Parse decodes a job spec from JSON. A document with a top-level "sweep"
+// key parses strictly as a job; anything else must parse strictly as a
+// scenario.Spec and wraps into a one-spec job named after the scenario.
+// Both forms reject unknown fields, so typos fail loudly instead of
+// silently running a default.
+func Parse(data []byte) (Spec, error) {
+	var probe map[string]json.RawMessage
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return Spec{}, fmt.Errorf("jobs: parse job: %w", err)
+	}
+	if _, ok := probe["sweep"]; !ok {
+		s, err := scenario.Parse(data)
+		if err != nil {
+			return Spec{}, fmt.Errorf("jobs: not a job spec (no \"sweep\" key) and %w", err)
+		}
+		return Spec{Name: s.Name, Sweep: []scenario.Spec{s}}, nil
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var j Spec
+	if err := dec.Decode(&j); err != nil {
+		return Spec{}, fmt.Errorf("jobs: parse job: %w", err)
+	}
+	return j, nil
+}
+
+// Load reads and parses a job spec file.
+func Load(path string) (Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Spec{}, fmt.Errorf("jobs: %w", err)
+	}
+	j, err := Parse(data)
+	if err != nil {
+		return Spec{}, fmt.Errorf("jobs: %s: %w", path, err)
+	}
+	return j, nil
+}
+
+// JSON renders the job spec as indented JSON that Parse round-trips.
+func (j Spec) JSON() ([]byte, error) {
+	return json.MarshalIndent(j, "", "  ")
+}
+
+// ID returns the job's content-addressed identity: a hex digest of the
+// resolved spec's canonical JSON. Submitting the same job twice therefore
+// lands on the same checkpoint directory and resumes instead of rerunning,
+// and a daemon restart re-derives the same ID from the job.json it wrote.
+func (j Spec) ID() (string, error) {
+	canon, err := json.Marshal(j.WithDefaults())
+	if err != nil {
+		return "", fmt.Errorf("jobs: hash job: %w", err)
+	}
+	sum := sha256.Sum256(canon)
+	return hex.EncodeToString(sum[:8]), nil
+}

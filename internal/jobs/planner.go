@@ -1,0 +1,47 @@
+package jobs
+
+import "amac/internal/scenario"
+
+// Shard is one unit of checkpointed work: a consecutive slice [Lo, Hi) of
+// the sweep's flattened task space (the scenario.SweepOffsets coordinate
+// system) that stays within one spec, so a shard's trials land in exactly
+// one SpecResult on merge.
+type Shard struct {
+	// Index is the shard's position in plan order; checkpoints are named
+	// by it and merges concatenate by it.
+	Index int `json:"index"`
+	// Spec is the index into the job's sweep of the spec this shard runs.
+	Spec int `json:"spec"`
+	// Lo and Hi bound the shard's tasks in sweep task-space coordinates.
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+	// SeedLo and SeedHi are the derived trial seeds of the boundary
+	// tasks, recorded for observability: a stuck shard names the exact
+	// seeds to replay.
+	SeedLo int64 `json:"seed_lo"`
+	SeedHi int64 `json:"seed_hi"`
+}
+
+// Shards splits the job's task space into execution shards: each spec's
+// trial range is cut into runs of at most ShardTrials tasks, in task order.
+// The plan is a pure function of the job, so a restarted daemon re-derives
+// the identical shard list and its checkpoints stay addressable.
+func Shards(job Spec) []Shard {
+	job = job.WithDefaults()
+	offsets := scenario.SweepOffsets(job.Sweep)
+	var shards []Shard
+	for si, s := range job.Sweep {
+		for lo := offsets[si]; lo < offsets[si+1]; lo += job.ShardTrials {
+			hi := min(lo+job.ShardTrials, offsets[si+1])
+			shards = append(shards, Shard{
+				Index:  len(shards),
+				Spec:   si,
+				Lo:     lo,
+				Hi:     hi,
+				SeedLo: s.Run.Seed + int64(lo-offsets[si]),
+				SeedHi: s.Run.Seed + int64(hi-1-offsets[si]),
+			})
+		}
+	}
+	return shards
+}

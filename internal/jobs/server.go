@@ -1,0 +1,97 @@
+package jobs
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+)
+
+// maxJobBytes bounds a POST /jobs body; a job spec is a JSON grid of
+// scenario specs, far below this.
+const maxJobBytes = 8 << 20
+
+// NewHandler returns the daemon's HTTP API over a store:
+//
+//	POST   /jobs             submit a job spec or bare scenario spec (JSON);
+//	                         returns {"id": ...} with 202 (accepted) or 200
+//	                         when the identical job already exists
+//	GET    /jobs             list known job IDs
+//	GET    /jobs/{id}        status + per-shard progress
+//	GET    /jobs/{id}/result the merged result (409 until the job is done)
+//	DELETE /jobs/{id}        delete a finished job and its checkpoints
+func NewHandler(s *Store) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxJobBytes))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		job, err := Parse(body)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		known := false
+		if id, err := job.ID(); err == nil {
+			_, known = s.Status(id)
+		}
+		id, err := s.Submit(job)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		code := http.StatusAccepted
+		if known {
+			code = http.StatusOK
+		}
+		writeJSON(w, code, map[string]string{"id": id})
+	})
+	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string][]string{"jobs": s.Jobs()})
+	})
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, ok := s.Status(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, errors.New("jobs: unknown job"))
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("GET /jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		data, ok, err := s.Result(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, errors.New("jobs: unknown job"))
+			return
+		}
+		if err != nil {
+			httpError(w, http.StatusConflict, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data)
+	})
+	mux.HandleFunc("DELETE /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if err := s.Delete(r.PathValue("id")); err != nil {
+			code := http.StatusConflict
+			if _, ok := s.Status(r.PathValue("id")); !ok {
+				code = http.StatusNotFound
+			}
+			httpError(w, code, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -171,76 +171,165 @@ func Sweep(specs []Spec, parallelism int) ([]*Report, error) {
 	return SweepWithOptions(specs, SweepOptions{Parallelism: parallelism})
 }
 
+// SweepOffsets returns the flattened task-space offsets of a sweep: tasks
+// [offsets[i], offsets[i+1]) are spec i's trials in seed order, and
+// offsets[len(specs)] is the total task count. Task t of spec i runs with
+// seed Run.Seed + (t - offsets[i]). This is the coordinate system SweepShard
+// partitions, and shard planners derive their shard boundaries from it.
+func SweepOffsets(specs []Spec) []int {
+	offsets := make([]int, len(specs)+1)
+	for i, s := range specs {
+		offsets[i+1] = offsets[i] + s.WithDefaults().Run.Trials
+	}
+	return offsets
+}
+
 // SweepWithOptions is Sweep with explicit options. Trials of each pinned-
 // topology spec share one warm run arena per (spec, worker) pair — pool-
 // local state that no two goroutines touch concurrently — so repeated
 // trials skip fleet construction and engine allocation while the parallel
 // reduction stays byte-identical.
 func SweepWithOptions(specs []Spec, o SweepOptions) ([]*Report, error) {
-	resolved := make([]Spec, len(specs))
-	shared := make([]*topology.Built, len(specs))
-	offsets := make([]int, len(specs)+1)
+	p, err := newSweepPlan(specs, o, 0, -1)
+	if err != nil {
+		return nil, err
+	}
+	total := p.offsets[len(specs)]
+	trials, err := p.run(o.Parallelism, 0, total)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Report, len(specs))
+	for i := range specs {
+		out[i] = &Report{Spec: p.resolved[i], Trials: trials[p.offsets[i]:p.offsets[i+1]]}
+	}
+	return out, nil
+}
+
+// SweepShard executes tasks [lo, hi) of the sweep's flattened (spec, trial)
+// task space — the SweepOffsets coordinate system — and returns their
+// results in task order. Every task is a pure function of its (spec, seed),
+// and the warm per-worker state a shard builds is byte-identical to the
+// state a whole-sweep run would use, so concatenating the results of any
+// partition of [0, total) in index order reproduces SweepWithOptions over
+// the same specs exactly. This is the distribution primitive behind
+// internal/jobs: shards run on different processes (or machines) and merge
+// back byte-identically.
+func SweepShard(specs []Spec, lo, hi int, o SweepOptions) ([]*TrialResult, error) {
+	p, err := newSweepPlan(specs, o, lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	return p.run(o.Parallelism, lo, hi)
+}
+
+// sweepPlan is the resolved execution plan of a sweep: every spec validated
+// and resolved, the flattened task-space offsets, and — for the task range
+// the caller will run — shared pinned topologies and per-worker warm state.
+// It is the single sweep pipeline behind SweepWithOptions (which runs the
+// full task space) and SweepShard (which runs a slice of it), so the two
+// cannot diverge.
+type sweepPlan struct {
+	specs     []Spec // as passed (cold fallback paths re-resolve these)
+	resolved  []Spec
+	offsets   []int
+	shared    []*topology.Built
+	warms     []*warmRun
+	warmRands []*warmRandRun
+}
+
+// newSweepPlan validates and resolves the specs and prepares warm state for
+// the specs whose trials intersect [lo, hi); hi < 0 selects the full task
+// space. Pinned topologies and warm arenas are only built for intersecting
+// specs, so a narrow shard of a wide grid pays for its own slice only.
+func newSweepPlan(specs []Spec, o SweepOptions, lo, hi int) (*sweepPlan, error) {
+	p := &sweepPlan{
+		specs:     specs,
+		resolved:  make([]Spec, len(specs)),
+		offsets:   make([]int, len(specs)+1),
+		shared:    make([]*topology.Built, len(specs)),
+		warms:     make([]*warmRun, len(specs)),
+		warmRands: make([]*warmRandRun, len(specs)),
+	}
 	for i, s := range specs {
 		if err := s.Validate(); err != nil {
 			return nil, fmt.Errorf("scenario: spec %d (%s): %w", i, s.Name, err)
 		}
-		resolved[i] = s.WithDefaults()
-		if topologyPinned(resolved[i]) {
-			var err error
-			if shared[i], err = buildTopology(resolved[i], resolved[i].Run.Seed); err != nil {
-				return nil, fmt.Errorf("scenario: spec %d (%s): %w", i, s.Name, err)
-			}
-		}
-		offsets[i+1] = offsets[i] + resolved[i].Run.Trials
+		p.resolved[i] = s.WithDefaults()
+		p.offsets[i+1] = p.offsets[i] + p.resolved[i].Run.Trials
 	}
-	total := offsets[len(specs)]
-	workers := par.Workers(o.Parallelism, total)
-	warms := make([]*warmRun, len(specs))
-	warmRands := make([]*warmRandRun, len(specs))
+	total := p.offsets[len(specs)]
+	if hi < 0 {
+		hi = total
+	}
+	if lo < 0 || hi > total || lo > hi {
+		return nil, fmt.Errorf("scenario: shard [%d, %d) outside the sweep's task space [0, %d)", lo, hi, total)
+	}
+	workers := par.Workers(o.Parallelism, hi-lo)
 	for i := range specs {
-		if o.NoArena || resolved[i].Run.NoArena {
+		if p.offsets[i+1] <= lo || p.offsets[i] >= hi {
 			continue
 		}
-		if shared[i] != nil {
+		if topologyPinned(p.resolved[i]) {
 			var err error
-			if warms[i], err = newWarmRun(resolved[i], shared[i], workers); err != nil {
+			if p.shared[i], err = buildTopology(p.resolved[i], p.resolved[i].Run.Seed); err != nil {
+				return nil, fmt.Errorf("scenario: spec %d (%s): %w", i, specs[i].Name, err)
+			}
+		}
+		if o.NoArena || p.resolved[i].Run.NoArena {
+			continue
+		}
+		if p.shared[i] != nil {
+			var err error
+			if p.warms[i], err = newWarmRun(p.resolved[i], p.shared[i], workers); err != nil {
 				return nil, fmt.Errorf("scenario: spec %d (%s): %w", i, specs[i].Name, err)
 			}
 		} else {
-			warmRands[i] = newWarmRandRun(resolved[i], workers)
+			p.warmRands[i] = newWarmRandRun(p.resolved[i], workers)
 		}
 	}
-	trials := make([]*TrialResult, total)
-	errs := make([]error, total)
-	par.ForWorker(o.Parallelism, total, func(worker, task int) {
+	return p, nil
+}
+
+// run executes tasks [lo, hi) on a pool of the given parallelism and
+// returns their results in task order. Trial seeds are derived from the
+// global task index, never the shard-local one, so shard boundaries cannot
+// shift an execution.
+func (p *sweepPlan) run(parallelism, lo, hi int) ([]*TrialResult, error) {
+	trials := make([]*TrialResult, hi-lo)
+	errs := make([]error, hi-lo)
+	par.ForWorker(parallelism, hi-lo, func(worker, i int) {
+		task := lo + i
 		// Binary search is overkill: sweeps are small, scan.
 		si := 0
-		for offsets[si+1] <= task {
+		for p.offsets[si+1] <= task {
 			si++
 		}
-		seed := resolved[si].Run.Seed + int64(task-offsets[si])
+		seed := p.resolved[si].Run.Seed + int64(task-p.offsets[si])
 		switch {
-		case warms[si] != nil:
-			trials[task], errs[task] = warms[si].trial(seed, worker)
-		case warmRands[si] != nil:
-			trials[task], errs[task] = warmRands[si].trial(seed, worker,
-				task == offsets[si] || task == offsets[si+1]-1)
-		case shared[si] != nil:
-			trials[task], errs[task] = trialOn(specs[si], seed, shared[si])
+		case p.warms[si] != nil:
+			trials[i], errs[i] = p.warms[si].trial(seed, worker)
+		case p.warmRands[si] != nil:
+			// keepBuilt marks the first and last tasks this call runs for
+			// the spec: their instances build into stable storage so the
+			// returned TrialResults honor the Built contract (see
+			// TrialResult.Built) even when the range is a shard.
+			first := max(p.offsets[si], lo)
+			last := min(p.offsets[si+1], hi) - 1
+			trials[i], errs[i] = p.warmRands[si].trial(seed, worker,
+				task == first || task == last)
+		case p.shared[si] != nil:
+			trials[i], errs[i] = trialOn(p.specs[si], seed, p.shared[si])
 		default:
-			trials[task], errs[task] = Trial(specs[si], seed)
+			trials[i], errs[i] = Trial(p.specs[si], seed)
 		}
 	})
-	for task, err := range errs {
+	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("scenario: sweep task %d: %w", task, err)
+			return nil, fmt.Errorf("scenario: sweep task %d: %w", lo+i, err)
 		}
 	}
-	out := make([]*Report, len(specs))
-	for i := range specs {
-		out[i] = &Report{Spec: resolved[i], Trials: trials[offsets[i]:offsets[i+1]]}
-	}
-	return out, nil
+	return trials, nil
 }
 
 // warmRun is the reusable trial context of one pinned-topology spec: the
@@ -263,7 +352,16 @@ type warmRun struct {
 	// scheduler yet (or the scheduler cannot Reset).
 	runners []*core.Runner
 	fleets  [][]mac.Automaton
-	scheds  []mac.Scheduler
+	scheds  []schedSlot
+}
+
+// schedSlot is a worker's cached scheduler together with its rendered
+// self-description: Reset + Attach reuses the same instance trial after
+// trial, so the name — a fmt.Sprintf per render — is computed once when the
+// scheduler is built instead of once per trial.
+type schedSlot struct {
+	s    mac.Scheduler
+	name string
 }
 
 // newWarmRun resolves the spec once (the same resolution a cold trial
@@ -278,7 +376,7 @@ func newWarmRun(r Spec, built *topology.Built, workers int) (*warmRun, error) {
 		proto:     core.NewRunner(built.Dual),
 		runners:   make([]*core.Runner, workers),
 		fleets:    make([][]mac.Automaton, workers),
-		scheds:    make([]mac.Scheduler, workers),
+		scheds:    make([]schedSlot, workers),
 	}, nil
 }
 
@@ -326,8 +424,14 @@ type warmRandRun struct {
 	spec       Spec // resolved
 	workspaces []*topology.Workspace
 	runners    []*core.Runner
-	scheds     []mac.Scheduler
+	scheds     []schedSlot
 	pools      []fleetPool
+	// plans interns resolved trial plans by drawn node count, per worker.
+	// Everything in a plan except the built instance and the horizon is a
+	// pure function of (spec, n) for the non-construction workload kinds,
+	// so a draw whose size the worker has seen before skips workload and
+	// payload re-derivation entirely (see planFor).
+	plans []map[int]*trialPlan
 }
 
 // newWarmRandRun allocates the per-worker slots; workspaces and runners are
@@ -337,9 +441,39 @@ func newWarmRandRun(r Spec, workers int) *warmRandRun {
 		spec:       r,
 		workspaces: make([]*topology.Workspace, workers),
 		runners:    make([]*core.Runner, workers),
-		scheds:     make([]mac.Scheduler, workers),
+		scheds:     make([]schedSlot, workers),
 		pools:      make([]fleetPool, workers),
+		plans:      make([]map[int]*trialPlan, workers),
 	}
+}
+
+// planFor returns the worker's interned trial plan for the draw's node
+// count, rebound to the fresh instance, or resolves and interns a new one.
+// Interning is sound because every plan field other than the instance and
+// the horizon depends only on (spec, n): singleton origin placement is a
+// function of n and K, single-source and explicit workloads only
+// bounds-check nodes against n, and the poisson stream is keyed by the
+// spec-level workload seed, which is constant across trials. Construction
+// workloads read the drawn artifact and are never interned — they only
+// arise on deterministic families, which take the pinned path anyway.
+func (w *warmRandRun) planFor(built *topology.Built, worker int) (*trialPlan, error) {
+	if w.spec.Workload.Kind == WorkloadConstruction {
+		return resolvePlan(w.spec, built)
+	}
+	n := built.Dual.N()
+	if p := w.plans[worker][n]; p != nil {
+		p.rebind(built)
+		return p, nil
+	}
+	p, err := resolvePlan(w.spec, built)
+	if err != nil {
+		return nil, err
+	}
+	if w.plans[worker] == nil {
+		w.plans[worker] = make(map[int]*trialPlan)
+	}
+	w.plans[worker][n] = p
+	return p, nil
 }
 
 // trial executes one seed on the given worker's warm state. The execution
@@ -372,7 +506,7 @@ func (w *warmRandRun) trial(seed int64, worker int, keepBuilt bool) (*TrialResul
 	} else {
 		rn.Rebind(built.Dual)
 	}
-	p, err := resolvePlan(w.spec, built)
+	p, err := w.planFor(built, worker)
 	if err != nil {
 		return nil, err
 	}
@@ -423,6 +557,30 @@ func BuildTopology(s Spec, seed int64) (*topology.Built, error) {
 // instance (see BuildTopology). The instance is treated as read-only.
 func TrialOn(s Spec, seed int64, built *topology.Built) (*TrialResult, error) {
 	return trialOn(s, seed, built)
+}
+
+// ResolveWorkload resolves the spec's workload against a built instance —
+// the same resolution every trial performs. The result depends only on the
+// spec and the instance, never on the trial seed, so clients reconstructing
+// reports from serialized trial records (internal/jobs) recover the exact
+// workload a remote worker ran.
+func ResolveWorkload(s Spec, built *topology.Built) (*core.Workload, error) {
+	assignment, workload, err := buildWorkload(s.WithDefaults(), built)
+	if err != nil {
+		return nil, err
+	}
+	if workload == nil {
+		workload = core.FromAssignment(assignment)
+	}
+	return workload, nil
+}
+
+// TopologyPinned reports whether every trial of the spec runs on the same
+// network instance (built once from the run's base seed), as opposed to a
+// fresh draw per trial seed. Exported for report reconstruction: a pinned
+// spec's instance is rebuilt once, an unpinned spec's per trial seed.
+func TopologyPinned(s Spec) bool {
+	return topologyPinned(s.WithDefaults())
 }
 
 // buildTopology constructs the trial's network instance.
@@ -536,12 +694,26 @@ func (p *trialPlan) newFleet() ([]mac.Automaton, error) {
 	return p.alg.NewFleet(p.built.Dual, p.k, p.spec.Algorithm.Params)
 }
 
+// rebind points an interned plan at a fresh draw of the same node count,
+// recomputing the only instance-dependent field: the horizon, whose
+// registered formula may read instance invariants like the diameter. The
+// result is field-for-field identical to resolvePlan(spec, built), which
+// TestInternedPlanMatchesResolved pins.
+func (p *trialPlan) rebind(built *topology.Built) {
+	p.built = built
+	horizon := sim.Time(p.spec.Run.Horizon)
+	if horizon == 0 && p.alg.Horizon != nil {
+		horizon = p.alg.Horizon(built.Dual, p.k, sim.Time(p.spec.Model.Fprog), p.spec.Algorithm.Params)
+	}
+	p.horizon = horizon
+}
+
 // scheduler returns the trial's scheduler: the cached one re-armed via
 // sched.Resettable when cache points at a compatible instance, or a fresh
 // build (stored back into a non-nil cache for the worker's next trial).
 // Reset + Attach is observably identical to a fresh build + Attach, so the
 // cache never changes executions.
-func (p *trialPlan) scheduler(cache *mac.Scheduler) (mac.Scheduler, error) {
+func (p *trialPlan) scheduler(cache *schedSlot) (mac.Scheduler, string, error) {
 	r := p.spec
 	env := sched.Env{
 		Dual:     p.built.Dual,
@@ -550,28 +722,29 @@ func (p *trialPlan) scheduler(cache *mac.Scheduler) (mac.Scheduler, error) {
 		Fprog:    sim.Time(r.Model.Fprog),
 		Fack:     sim.Time(r.Model.Fack),
 	}
-	if cache != nil && *cache != nil {
-		if rs, ok := (*cache).(sched.Resettable); ok && rs.Reset(env) {
-			return *cache, nil
+	if cache != nil && cache.s != nil {
+		if rs, ok := cache.s.(sched.Resettable); ok && rs.Reset(env) {
+			return cache.s, cache.name, nil
 		}
 	}
 	s, err := sched.Build(p.schedName, env, r.Scheduler.Params)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
+	name := s.Name()
 	if cache != nil {
-		*cache = s
+		cache.s, cache.name = s, name
 	}
-	return s, nil
+	return s, name, nil
 }
 
 // execute runs one seed of the plan with the given fleet: through the warm
 // runner when rn is non-nil, or a cold core.Run otherwise. The scheduler
 // comes from the worker's cache when one is supplied, and is built fresh
 // otherwise.
-func (p *trialPlan) execute(seed int64, automata []mac.Automaton, rn *core.Runner, cache *mac.Scheduler) (*TrialResult, error) {
+func (p *trialPlan) execute(seed int64, automata []mac.Automaton, rn *core.Runner, cache *schedSlot) (*TrialResult, error) {
 	r := p.spec
-	scheduler, err := p.scheduler(cache)
+	scheduler, schedName, err := p.scheduler(cache)
 	if err != nil {
 		return nil, err
 	}
@@ -604,7 +777,7 @@ func (p *trialPlan) execute(seed int64, automata []mac.Automaton, rn *core.Runne
 		Seed:          seed,
 		Built:         p.built,
 		Workload:      p.workload,
-		SchedulerName: scheduler.Name(),
+		SchedulerName: schedName,
 		Result:        res,
 	}, nil
 }
