@@ -7,9 +7,13 @@
 // Usage:
 //
 //	amacbench [-quick] [-trials N] [-seed S] [-check] [-parallel P]
-//	          [-no-arena] [-only id-substring] [-json BENCH.json]
-//	          [-server http://host:7437]
+//	          [-no-arena] [-only id-substring] [-experiments large-n]
+//	          [-json BENCH.json] [-server http://host:7437]
 //	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//
+// -experiments enables gated experiment groups (comma-separated). The
+// large-n group pushes sweeps to n = 10^5 and takes minutes to hours; it
+// never runs by default and its records stay out of the benchdiff gate.
 //
 // -parallel runs each experiment's (sweep point, trial) simulations on a
 // bounded worker pool; tables are byte-identical at any parallelism.
@@ -48,6 +52,7 @@ func main() {
 	parallel := flag.Int("parallel", runtime.NumCPU(), "worker pool size for sweep points and trials")
 	noArena := flag.Bool("no-arena", false, "disable cross-trial run-arena and fleet reuse for pinned topologies (debugging)")
 	only := flag.String("only", "", "run only experiments whose id contains this substring")
+	gates := flag.String("experiments", "", "comma-separated gated experiment groups to enable (e.g. \"large-n\"); gated experiments are skipped by default")
 	server := flag.String("server", "", "run experiment sweeps on an amacd daemon at this base URL instead of in-process")
 	jsonPath := flag.String("json", "", "write a machine-readable perf record (events/sec, allocs) to this path")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile covering the selected experiments to this path")
@@ -105,9 +110,18 @@ func main() {
 		Seed:        *seed,
 		NoArena:     *noArena,
 	}
+	enabled := map[string]bool{}
+	for _, g := range strings.Split(*gates, ",") {
+		if g = strings.TrimSpace(g); g != "" {
+			enabled[g] = true
+		}
+	}
 	ran := 0
 	for _, e := range experiments {
 		if *only != "" && !strings.Contains(e.ID, *only) {
+			continue
+		}
+		if e.Gate != "" && !enabled[e.Gate] {
 			continue
 		}
 		var msBefore runtime.MemStats

@@ -18,6 +18,11 @@
 //	amacsim -scenario scenarios/grid-online-flaky.json
 //	amacsim -scenario scenarios/quickstart.json -server http://localhost:7437
 //	amacsim -topology ring -n 48 -k 3 -dump > scenarios/my-ring.json
+//	amacsim -scenario scenarios/large-n-rgg.json && amacsim -read-trace large-n-rgg.s1.amtr
+//
+// A scenario with run.trace_file streams each trial's trace to a binary
+// file instead of RAM (the large-n path); -read-trace decodes such a file,
+// printing a per-kind summary, or the full rendered trace with -trace.
 //
 // -server submits the scenario as a job to a running amacd daemon and
 // renders the merged result; the report is byte-identical to the in-process
@@ -41,6 +46,7 @@ import (
 	"amac/internal/jobs"
 	"amac/internal/metrics"
 	"amac/internal/scenario"
+	"amac/internal/sim"
 	"amac/internal/topology"
 )
 
@@ -84,6 +90,7 @@ func run(args []string, out io.Writer) error {
 		trace        = fs.Bool("trace", false, "dump the event trace")
 		cGrey        = fs.Float64("c", 1.6, "grey zone constant for -topology rgg")
 		server       = fs.String("server", "", "submit the scenario to an amacd daemon at this base URL instead of running in-process")
+		readTrace    = fs.String("read-trace", "", "decode a binary trace file (written via a scenario's trace_file) and print a summary; -trace dumps every event")
 	)
 	switch err := fs.Parse(args); {
 	case err == nil:
@@ -93,6 +100,13 @@ func run(args []string, out io.Writer) error {
 	default:
 		// The FlagSet printed the error and usage; just set the exit code.
 		return errUsage
+	}
+
+	if *readTrace != "" {
+		if *scenarioPath != "" || *server != "" {
+			return fmt.Errorf("-read-trace decodes an existing file and cannot combine with -scenario or -server")
+		}
+		return readTraceFile(*readTrace, out, *trace)
 	}
 
 	var spec scenario.Spec
@@ -171,6 +185,49 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	return printReport(out, report, *stats, *trace)
+}
+
+// readTraceFile streams a binary trace from disk (never holding it in
+// memory — large-n traces outgrow RAM by design) and prints either every
+// rendered event (dump) or a per-kind summary with the covered time span.
+func readTraceFile(path string, out io.Writer, dump bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := sim.NewTraceReader(f)
+	if err != nil {
+		return err
+	}
+	kinds := map[string]int{}
+	var order []string
+	total := 0
+	var last sim.Time
+	for {
+		ev, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("%s: event %d: %w", path, total, err)
+		}
+		if dump {
+			fmt.Fprintln(out, ev.String())
+		}
+		if kinds[ev.Kind] == 0 {
+			order = append(order, ev.Kind) // first-seen order, matching the interning
+		}
+		kinds[ev.Kind]++
+		total++
+		last = ev.At
+	}
+	fmt.Fprintf(out, "trace      : %s\n", path)
+	fmt.Fprintf(out, "events     : %d spanning [0, %d] ticks\n", total, int64(last))
+	for _, k := range order {
+		fmt.Fprintf(out, "  %-8s : %d\n", k, kinds[k])
+	}
+	return nil
 }
 
 // specFromFlags assembles the declarative scenario the legacy flag set

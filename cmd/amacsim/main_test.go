@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -99,5 +100,44 @@ func TestDumpRoundTrip(t *testing.T) {
 	}
 	if first.String() != second.String() {
 		t.Fatalf("dump of a loaded scenario diverged:\n%s\nvs\n%s", first.String(), second.String())
+	}
+}
+
+// TestReadTraceDecodesStreamedRun drives the full streaming loop a large-n
+// user runs: a scenario with run.trace_file, then -read-trace over the file
+// it produced. The summary must report the events of that execution, and
+// the flag must refuse to combine with -scenario.
+func TestReadTraceDecodesStreamedRun(t *testing.T) {
+	dir := t.TempDir()
+	path := writeScenario(t, "-topology", "ring", "-n", "12", "-k", "2", "-check=false")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pattern := filepath.Join(dir, "ring.amtr")
+	patched := strings.Replace(string(raw), `"run": {`,
+		`"run": {"trace_file": `+strconv.Quote(pattern)+`, `, 1)
+	if err := os.WriteFile(path, []byte(patched), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	if err := run([]string{"-scenario", path}, &out); err != nil {
+		t.Fatalf("streamed run: %v\n%s", err, out.String())
+	}
+
+	out.Reset()
+	traceFile := filepath.Join(dir, "ring.s1.amtr")
+	if err := run([]string{"-read-trace", traceFile}, &out); err != nil {
+		t.Fatalf("read-trace: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"events     : ", "bcast", "deliver"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("summary missing %q:\n%s", want, out.String())
+		}
+	}
+
+	if err := run([]string{"-read-trace", traceFile, "-scenario", path}, &out); err == nil {
+		t.Fatal("-read-trace with -scenario accepted")
 	}
 }

@@ -43,6 +43,13 @@ type Algorithm struct {
 	StepLimit uint64
 }
 
+// fmmbDiameterSamples and fmmbDiameterSeed fix the sampling parameters of
+// FMMB's default diameter input, so equal specs resolve to equal schedules.
+const (
+	fmmbDiameterSamples = 8
+	fmmbDiameterSeed    = 1
+)
+
 var algRegistry = map[string]Algorithm{}
 
 // RegisterAlgorithm adds an algorithm to the registry. It panics on a
@@ -93,13 +100,17 @@ func ValidateAlgorithmSpec(name string, p topology.Params) error {
 }
 
 // fmmbConfigFromParams resolves an FMMBConfig for a k-message workload on d.
-// The diameter bound defaults to the true diameter of G (simulated nodes
-// receive it as an input, matching the paper's assumption).
+// The diameter bound defaults to the diameter of G — exact below
+// graph.ExactDiameterCutoff (simulated nodes receive it as an input,
+// matching the paper's assumption), sampled above it, where the exact
+// all-sources computation would dwarf the run itself. Pass the "d"
+// parameter to pin the bound on large networks whose sampled estimate
+// proves too tight.
 func fmmbConfigFromParams(d *topology.Dual, k int, p topology.Params) FMMBConfig {
 	return FMMBConfig{
 		N:             d.N(),
 		K:             k,
-		D:             p.Int("d", d.G.Diameter()),
+		D:             p.Int("d", d.G.ApproxDiameter(fmmbDiameterSamples, fmmbDiameterSeed)),
 		C:             p.Float("c", 1.6),
 		GatherPeriods: p.Int("gather-periods", 0),
 		ActiveProb:    p.Float("active-prob", 0),

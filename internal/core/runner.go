@@ -48,6 +48,12 @@ type RunConfig struct {
 	// Result is unaffected. Ignored when Check is set: the MMB checker
 	// re-derives the problem conditions from the full trace.
 	NoTrace bool
+	// Sink, when set, streams trace events out instead of accumulating
+	// them in the engine's in-memory trace — pair with a sim.TraceWriter
+	// for networks whose traces exceed RAM. The completion watcher is
+	// unaffected. Ignored when Check is set (the checkers read the full
+	// in-memory trace) and when NoTrace disables recording.
+	Sink sim.TraceSink
 	// EpsAbort forwards to the engine.
 	EpsAbort sim.Time
 }
@@ -142,6 +148,14 @@ func (cfg *RunConfig) resolve() (*Workload, error) {
 	}
 	return workload, nil
 }
+
+// horizonDiameterSamples and horizonDiameterSeed fix the sampling
+// parameters of the default-horizon diameter estimate, so equal
+// configurations always resolve to equal horizons.
+const (
+	horizonDiameterSamples = 8
+	horizonDiameterSeed    = 1
+)
 
 // Run executes the configured MMB instance to completion (or horizon) and
 // returns the result. Invalid configurations return a descriptive error
@@ -358,11 +372,15 @@ func runWith(cfg RunConfig, rn *Runner) (*Result, error) {
 	cfg.Workload = workload
 	n := cfg.Dual.N()
 	k := cfg.Workload.K()
-	d := cfg.Dual.G.Diameter()
 	if cfg.Horizon == 0 {
 		// Trivial upper bound O(D·k·Fack) with headroom, plus slack for
 		// FMMB's polylog terms on small networks, shifted by the last
-		// arrival for online workloads.
+		// arrival for online workloads. The diameter is sampled above
+		// graph.ExactDiameterCutoff (exact — and identical — below it):
+		// the all-sources exact computation is quadratic and would
+		// dominate setup on 10^5-node networks, and the double-sweep
+		// estimate is a lower bound whose slack the 4x headroom absorbs.
+		d := cfg.Dual.G.ApproxDiameter(horizonDiameterSamples, horizonDiameterSeed)
 		cfg.Horizon = cfg.Workload.MaxAt() +
 			sim.Time(4*(d+1)*(k+1))*cfg.Fack + 4096*cfg.Fprog
 	}
@@ -379,6 +397,9 @@ func runWith(cfg RunConfig, rn *Runner) (*Result, error) {
 		Seed:      cfg.Seed,
 		EpsAbort:  cfg.EpsAbort,
 		NoTrace:   cfg.NoTrace && !cfg.Check,
+	}
+	if !cfg.Check {
+		mcfg.Sink = cfg.Sink
 	}
 	if rn != nil {
 		mcfg.Arena = rn.arena

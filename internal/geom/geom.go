@@ -43,9 +43,23 @@ func (e Embedding) UnitDisk(radius float64) *graph.Graph {
 }
 
 // UnitDiskInto is UnitDisk emitting into g (reset first, keeping its
-// adjacency storage — see graph.Reset) and returns g.
+// adjacency storage — see graph.Reset) and returns g. Past
+// cellGridMinNodes the candidate pairs come from a cell-grid bucketing of
+// the embedding instead of the all-pairs scan; the edge set is identical.
 func (e Embedding) UnitDiskInto(g *graph.Graph, radius float64) *graph.Graph {
 	g.Reset(len(e))
+	if len(e) >= cellGridMinNodes && radius > 0 {
+		var cg cellGrid
+		cg.build(e, radius)
+		for u := 0; u < len(e); u++ {
+			for _, v := range cg.candidates(e, graph.NodeID(u)) {
+				if e[u].Dist(e[v]) <= radius {
+					g.AddEdge(graph.NodeID(u), v)
+				}
+			}
+		}
+		return g
+	}
 	for u := 0; u < len(e); u++ {
 		for v := u + 1; v < len(e); v++ {
 			if e[u].Dist(e[v]) <= radius {
@@ -75,6 +89,28 @@ func (e Embedding) GreyZoneInto(g *graph.Graph, c, p float64, rng *rand.Rand) *g
 		panic("geom: grey zone constant c must be >= 1")
 	}
 	g.Reset(len(e))
+	if len(e) >= cellGridMinNodes {
+		// Cell-grid path: candidates(u) returns every v > u within one cell
+		// length c, in increasing v — a superset of the pairs at distance
+		// ≤ c, visited in the same (u, v)-lexicographic order as the scan
+		// below. Since the scan draws from rng only for pairs with
+		// 1 < d ≤ c, and all such pairs are candidates, the random stream
+		// is consumed identically on both paths.
+		var cg cellGrid
+		cg.build(e, c)
+		for u := 0; u < len(e); u++ {
+			for _, v := range cg.candidates(e, graph.NodeID(u)) {
+				d := e[u].Dist(e[v])
+				switch {
+				case d <= 1:
+					g.AddEdge(graph.NodeID(u), v)
+				case d <= c && (p >= 1 || rng.Float64() < p):
+					g.AddEdge(graph.NodeID(u), v)
+				}
+			}
+		}
+		return g
+	}
 	for u := 0; u < len(e); u++ {
 		for v := u + 1; v < len(e); v++ {
 			d := e[u].Dist(e[v])

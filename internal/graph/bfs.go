@@ -46,13 +46,14 @@ func resetDist(dist []int) {
 
 // bfsInto walks the component of src, writing hop distances into dist —
 // whose entries must be Unreachable beforehand — and returns the visited
-// nodes in traversal order in queue's storage.
+// nodes in traversal order in queue's storage. The graph must be finalized
+// (every public entry point below finalizes first).
 func (g *Graph) bfsInto(src NodeID, dist []int, queue []NodeID) []NodeID {
 	dist[src] = 0
 	queue = append(queue[:0], src)
 	for qi := 0; qi < len(queue); qi++ {
 		u := queue[qi]
-		for _, v := range g.adj[u] {
+		for _, v := range g.row(u) {
 			if dist[v] == Unreachable {
 				dist[v] = dist[u] + 1
 				queue = append(queue, v)
@@ -66,6 +67,7 @@ func (g *Graph) bfsInto(src NodeID, dist []int, queue []NodeID) []NodeID {
 // in other components.
 func (g *Graph) BFS(src NodeID) []int {
 	g.check(src)
+	g.finalize()
 	dist := make([]int, g.n)
 	resetDist(dist)
 	s := getScratch(g.n)
@@ -78,6 +80,7 @@ func (g *Graph) BFS(src NodeID) []int {
 func (g *Graph) Dist(u, v NodeID) int {
 	g.check(u)
 	g.check(v)
+	g.finalize()
 	s := getScratch(g.n)
 	defer putScratch(s)
 	resetDist(s.dist)
@@ -89,6 +92,7 @@ func (g *Graph) Dist(u, v NodeID) int {
 // the farthest node in src's component).
 func (g *Graph) Eccentricity(src NodeID) int {
 	g.check(src)
+	g.finalize()
 	s := getScratch(g.n)
 	defer putScratch(s)
 	resetDist(s.dist)
@@ -108,6 +112,7 @@ func (g *Graph) Eccentricity(src NodeID) int {
 // same network for every execution); the memo is lock-guarded because
 // finished graphs are shared read-only across parallel harness workers.
 func (g *Graph) Diameter() int {
+	g.finalize()
 	g.diamMu.Lock()
 	defer g.diamMu.Unlock()
 	if g.diamOK {
@@ -133,6 +138,7 @@ func (g *Graph) Diameter() int {
 // Components returns the connected components as slices of node IDs, each
 // sorted, ordered by smallest member.
 func (g *Graph) Components() [][]NodeID {
+	g.finalize()
 	s := getScratch(g.n)
 	resetDist(s.dist)
 	var comps [][]NodeID
@@ -157,6 +163,7 @@ func (g *Graph) IsConnected() bool {
 	if g.n <= 1 {
 		return true
 	}
+	g.finalize()
 	s := getScratch(g.n)
 	defer putScratch(s)
 	resetDist(s.dist)
@@ -168,6 +175,7 @@ func (g *Graph) IsConnected() bool {
 // It matches the paper's N_G^r(j) notation.
 func (g *Graph) Ball(center NodeID, r int) []NodeID {
 	g.check(center)
+	g.finalize()
 	dist := map[NodeID]int{center: 0}
 	queue := []NodeID{center}
 	for len(queue) > 0 {
@@ -176,7 +184,7 @@ func (g *Graph) Ball(center NodeID, r int) []NodeID {
 		if dist[u] == r {
 			continue
 		}
-		for _, v := range g.adj[u] {
+		for _, v := range g.row(u) {
 			if _, ok := dist[v]; !ok {
 				dist[v] = dist[u] + 1
 				queue = append(queue, v)
@@ -208,6 +216,7 @@ func (g *Graph) PowerInto(r int, dst *Graph) *Graph {
 	if dst == g {
 		panic("graph: PowerInto onto its own receiver")
 	}
+	g.finalize()
 	dst.Reset(g.n)
 	dist := make([]int, g.n)
 	for i := range dist {
@@ -222,7 +231,7 @@ func (g *Graph) PowerInto(r int, dst *Graph) *Graph {
 			if dist[v] == r {
 				continue
 			}
-			for _, w := range g.adj[v] {
+			for _, w := range g.row(v) {
 				if dist[w] == Unreachable {
 					dist[w] = dist[v] + 1
 					queue = append(queue, w)

@@ -1,0 +1,443 @@
+package graph
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// refGraph is the pre-refactor slice-of-slices adjacency, kept as the
+// executable specification the flat-CSR Graph is property-tested against:
+// every query below is re-derived from this naive form and compared
+// field-for-field with the CSR answer on randomized edge streams.
+type refGraph struct {
+	n   int
+	adj []map[NodeID]bool
+}
+
+func newRef(n int) *refGraph {
+	adj := make([]map[NodeID]bool, n)
+	for i := range adj {
+		adj[i] = map[NodeID]bool{}
+	}
+	return &refGraph{n: n, adj: adj}
+}
+
+func (r *refGraph) addEdge(u, v NodeID) {
+	r.adj[u][v] = true
+	r.adj[v][u] = true
+}
+
+func (r *refGraph) neighbors(u NodeID) []NodeID {
+	out := make([]NodeID, 0, len(r.adj[u]))
+	for v := range r.adj[u] {
+		out = append(out, v)
+	}
+	slices.Sort(out)
+	return out
+}
+
+func (r *refGraph) m() int {
+	total := 0
+	for _, nb := range r.adj {
+		total += len(nb)
+	}
+	return total / 2
+}
+
+func (r *refGraph) bfs(src NodeID) []int {
+	dist := make([]int, r.n)
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	dist[src] = 0
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range r.neighbors(u) {
+			if dist[v] == Unreachable {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+func (r *refGraph) diameter() int {
+	max := 0
+	for u := 0; u < r.n; u++ {
+		for _, d := range r.bfs(NodeID(u)) {
+			if d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
+func (r *refGraph) components() [][]NodeID {
+	seen := make([]bool, r.n)
+	var comps [][]NodeID
+	for u := 0; u < r.n; u++ {
+		if seen[u] {
+			continue
+		}
+		var comp []NodeID
+		for v, d := range r.bfs(NodeID(u)) {
+			if d != Unreachable {
+				comp = append(comp, NodeID(v))
+				seen[v] = true
+			}
+		}
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+func (r *refGraph) greedyMIS() []NodeID {
+	blocked := make([]bool, r.n)
+	var mis []NodeID
+	for u := 0; u < r.n; u++ {
+		if blocked[u] {
+			continue
+		}
+		mis = append(mis, NodeID(u))
+		for v := range r.adj[u] {
+			blocked[v] = true
+		}
+	}
+	return mis
+}
+
+// checkAgainstRef compares every CSR query against its naive re-derivation.
+func checkAgainstRef(t *testing.T, g *Graph, r *refGraph, rng *rand.Rand) {
+	t.Helper()
+	if g.N() != r.n {
+		t.Fatalf("N = %d, want %d", g.N(), r.n)
+	}
+	if g.M() != r.m() {
+		t.Fatalf("M = %d, want %d", g.M(), r.m())
+	}
+	maxDeg := 0
+	for u := 0; u < r.n; u++ {
+		want := r.neighbors(NodeID(u))
+		got := g.Neighbors(NodeID(u))
+		if !slices.Equal(got, want) {
+			t.Fatalf("Neighbors(%d) = %v, want %v", u, got, want)
+		}
+		if g.Degree(NodeID(u)) != len(want) {
+			t.Fatalf("Degree(%d) = %d, want %d", u, g.Degree(NodeID(u)), len(want))
+		}
+		if len(want) > maxDeg {
+			maxDeg = len(want)
+		}
+	}
+	if g.MaxDegree() != maxDeg {
+		t.Fatalf("MaxDegree = %d, want %d", g.MaxDegree(), maxDeg)
+	}
+	// Random pair membership probes, hitting both present and absent edges.
+	for i := 0; i < 50 && r.n >= 2; i++ {
+		u := NodeID(rng.Intn(r.n))
+		v := NodeID(rng.Intn(r.n))
+		if u == v {
+			continue
+		}
+		if g.HasEdge(u, v) != r.adj[u][v] {
+			t.Fatalf("HasEdge(%d,%d) = %v, want %v", u, v, g.HasEdge(u, v), r.adj[u][v])
+		}
+	}
+	var wantEdges [][2]NodeID
+	for u := 0; u < r.n; u++ {
+		for _, v := range r.neighbors(NodeID(u)) {
+			if NodeID(u) < v {
+				wantEdges = append(wantEdges, [2]NodeID{NodeID(u), v})
+			}
+		}
+	}
+	if gotEdges := g.Edges(); !slices.Equal(gotEdges, wantEdges) {
+		t.Fatalf("Edges = %v, want %v", gotEdges, wantEdges)
+	}
+	for i := 0; i < 3 && r.n > 0; i++ {
+		src := NodeID(rng.Intn(r.n))
+		if got, want := g.BFS(src), r.bfs(src); !slices.Equal(got, want) {
+			t.Fatalf("BFS(%d) = %v, want %v", src, got, want)
+		}
+	}
+	if got, want := g.Diameter(), r.diameter(); got != want {
+		t.Fatalf("Diameter = %d, want %d", got, want)
+	}
+	wantComps := r.components()
+	gotComps := g.Components()
+	if len(gotComps) != len(wantComps) {
+		t.Fatalf("Components: %d components, want %d", len(gotComps), len(wantComps))
+	}
+	for i := range wantComps {
+		if !slices.Equal(gotComps[i], wantComps[i]) {
+			t.Fatalf("component %d = %v, want %v", i, gotComps[i], wantComps[i])
+		}
+	}
+	if got, want := g.IsConnected(), len(wantComps) <= 1; got != want {
+		t.Fatalf("IsConnected = %v, want %v", got, want)
+	}
+	if got, want := g.GreedyMIS(), r.greedyMIS(); !slices.Equal(got, want) {
+		t.Fatalf("GreedyMIS = %v, want %v", got, want)
+	}
+	if mis := g.GreedyMIS(); len(mis) > 0 && !g.IsMaximalIndependent(mis) {
+		t.Fatalf("GreedyMIS %v is not maximal independent", mis)
+	}
+}
+
+// TestCSRMatchesReference drives randomized edge streams — with duplicate
+// inserts, HasEdge probes interleaved mid-build, and reads that force
+// compaction between build phases — through both the CSR graph and the
+// naive reference, then compares every query. This is the pre/post-refactor
+// equivalence contract for the flat-CSR core.
+func TestCSRMatchesReference(t *testing.T) {
+	cases := []struct {
+		n     int
+		edges int
+		seed  int64
+	}{
+		{0, 0, 1},
+		{1, 0, 2},
+		{2, 1, 3},
+		{7, 4, 4},
+		{16, 10, 5},
+		{16, 60, 6},
+		{40, 30, 7},
+		{40, 200, 8},
+		{97, 400, 9},
+		{128, 128, 10},
+	}
+	for _, tc := range cases {
+		rng := rand.New(rand.NewSource(tc.seed))
+		g := New(tc.n)
+		r := newRef(tc.n)
+		for i := 0; i < tc.edges; i++ {
+			u := NodeID(rng.Intn(tc.n))
+			v := NodeID(rng.Intn(tc.n))
+			if u == v {
+				continue
+			}
+			// Interleave membership probes with inserts: this is the access
+			// pattern of the randomized topology builders, and it exercises
+			// the pending-arc overlay rather than the compacted rows.
+			if g.HasEdge(u, v) != r.adj[u][v] {
+				t.Fatalf("n=%d seed=%d: mid-build HasEdge(%d,%d) = %v, want %v",
+					tc.n, tc.seed, u, v, g.HasEdge(u, v), r.adj[u][v])
+			}
+			g.AddEdge(u, v)
+			if rng.Intn(4) == 0 {
+				g.AddEdge(v, u) // duplicate insert must stay idempotent
+			}
+			r.addEdge(u, v)
+			if rng.Intn(8) == 0 {
+				g.M() // force a compaction mid-stream
+			}
+		}
+		checkAgainstRef(t, g, r, rng)
+
+		// Mutate after the reads above: the merge path now folds new pending
+		// arcs into an already-compacted CSR block.
+		for i := 0; i < tc.edges/2; i++ {
+			u := NodeID(rng.Intn(tc.n))
+			v := NodeID(rng.Intn(tc.n))
+			if u == v {
+				continue
+			}
+			g.AddEdge(u, v)
+			r.addEdge(u, v)
+		}
+		checkAgainstRef(t, g, r, rng)
+	}
+}
+
+// TestCSRRecycledStorageMatchesFresh pins the structure-sharing contract:
+// a Reset graph and a CloneInto destination must be observably identical to
+// freshly allocated ones, across shrinking and growing node counts.
+func TestCSRRecycledStorageMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	recycled := New(0)
+	clone := New(0)
+	for _, n := range []int{30, 7, 64, 1, 50} {
+		recycled.Reset(n)
+		r := newRef(n)
+		for i := 0; i < 3*n; i++ {
+			u := NodeID(rng.Intn(n))
+			v := NodeID(rng.Intn(n))
+			if u == v {
+				continue
+			}
+			recycled.AddEdge(u, v)
+			r.addEdge(u, v)
+		}
+		checkAgainstRef(t, recycled, r, rng)
+		checkAgainstRef(t, recycled.CloneInto(clone), r, rng)
+	}
+}
+
+// TestApproxDiameterExactBelowCutoff: at or below ExactDiameterCutoff nodes
+// ApproxDiameter must be the exact diameter for every (k, seed) — the
+// property that keeps the shipped experiment tables byte-identical.
+func TestApproxDiameterExactBelowCutoff(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, n := range []int{1, 9, 33, 80} {
+		g := New(n)
+		for i := 0; i < 2*n; i++ {
+			u := NodeID(rng.Intn(n))
+			v := NodeID(rng.Intn(n))
+			if u != v {
+				g.AddEdge(u, v)
+			}
+		}
+		want := g.Diameter()
+		for _, k := range []int{0, 1, 4} {
+			for _, seed := range []int64{1, 99} {
+				if got := g.ApproxDiameter(k, seed); got != want {
+					t.Fatalf("n=%d: ApproxDiameter(%d,%d) = %d, want exact %d", n, k, seed, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestApproxDiameterAboveCutoff exercises the sampled double-sweep path on
+// graphs past the cutoff: the estimate is a diameter lower bound, exact on
+// paths (a double sweep from any source reaches an endpoint), deterministic
+// in (k, seed), and superseded by the exact value once Diameter has run.
+func TestApproxDiameterAboveCutoff(t *testing.T) {
+	n := ExactDiameterCutoff + 101
+	g := line(n)
+	want := n - 1
+	if got := g.ApproxDiameter(1, 7); got != want {
+		t.Fatalf("line ApproxDiameter = %d, want %d", got, want)
+	}
+
+	// A cycle: every double sweep finds an antipodal pair, so the sample is
+	// exact at n/2 regardless of the source draw.
+	cyc := line(n)
+	cyc.AddEdge(0, NodeID(n-1))
+	if got, want := cyc.ApproxDiameter(2, 3), n/2; got != want {
+		t.Fatalf("cycle ApproxDiameter = %d, want %d", got, want)
+	}
+
+	// A star: diameter 2, and any double sweep sees it (sweep 1 ends on a
+	// leaf, whose eccentricity is 2). Also checks determinism and the
+	// lower-bound property against the cheap exact value.
+	star := New(n)
+	for i := 1; i < n; i++ {
+		star.AddEdge(0, NodeID(i))
+	}
+	a := star.ApproxDiameter(3, 5)
+	if b := star.ApproxDiameter(3, 5); b != a {
+		t.Fatalf("ApproxDiameter not deterministic: %d then %d", a, b)
+	}
+	if a != 2 {
+		t.Fatalf("star ApproxDiameter = %d, want 2", a)
+	}
+	if exact := star.Diameter(); a > exact {
+		t.Fatalf("ApproxDiameter %d exceeds exact diameter %d", a, exact)
+	}
+	// Once the exact diameter is memoized it wins over any sample.
+	if got := star.ApproxDiameter(1, 12345); got != 2 {
+		t.Fatalf("post-Diameter ApproxDiameter = %d, want exact 2", got)
+	}
+
+	// Mutation invalidates the memo: extending the line stretches the
+	// diameter, and the refreshed sample must see it.
+	g.AddEdge(NodeID(n-1), NodeID(n-2)) // duplicate — no-op, memo intact
+	if got := g.ApproxDiameter(1, 7); got != want {
+		t.Fatalf("after duplicate AddEdge: ApproxDiameter = %d, want %d", got, want)
+	}
+}
+
+// TestSampleEccentricities checks the sampling primitive: k exact
+// eccentricities, deterministic in seed, each bounded by the diameter.
+func TestSampleEccentricities(t *testing.T) {
+	g := line(600)
+	ecc := g.SampleEccentricities(5, 9)
+	if len(ecc) != 5 {
+		t.Fatalf("len = %d, want 5", len(ecc))
+	}
+	if again := g.SampleEccentricities(5, 9); !slices.Equal(again, ecc) {
+		t.Fatalf("not deterministic: %v then %v", again, ecc)
+	}
+	diam := g.Diameter()
+	for i, e := range ecc {
+		// On a path, every eccentricity is at least half the diameter.
+		if e > diam || e < diam/2 {
+			t.Fatalf("ecc[%d] = %d outside [%d, %d]", i, e, diam/2, diam)
+		}
+	}
+	if got := len(g.SampleEccentricities(0, 1)); got != 1 {
+		t.Fatalf("k<1 clamps to 1 sample, got %d", got)
+	}
+}
+
+// TestBFSQueriesAllocationFree pins the pooled-scratch contract: once the
+// BFS pool is warm, the distance/connectivity/eccentricity queries the
+// builders and runners issue per trial must not allocate. A regression here
+// puts an O(n) allocation back into every rejected topology draw.
+func TestBFSQueriesAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race mode drops sync.Pool puts at random, so the pooled scratch may allocate")
+	}
+	g := line(512)
+	g.Finalize()
+	// Warm the pool and each query's internal state.
+	g.Dist(0, 511)
+	g.Eccentricity(5)
+	g.IsConnected()
+
+	allocs := testing.AllocsPerRun(20, func() {
+		if g.Dist(0, 511) != 511 {
+			t.Fatal("wrong distance")
+		}
+		if g.Eccentricity(5) != 506 {
+			t.Fatal("wrong eccentricity")
+		}
+		if !g.IsConnected() {
+			t.Fatal("line disconnected")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm BFS queries allocate %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestSharedGraphQueriesConcurrent hammers the read-only query surface of
+// one finalized graph from many goroutines — the sharing pattern of
+// parallel harness workers. Run under -race this pins the lock discipline
+// of the Diameter/ApproxDiameter memo and the pooled BFS scratch.
+func TestSharedGraphQueriesConcurrent(t *testing.T) {
+	g := line(ExactDiameterCutoff + 50)
+	g.Finalize()
+	done := make(chan int, 8)
+	for w := 0; w < 8; w++ {
+		go func(w int) {
+			d := 0
+			for i := 0; i < 20; i++ {
+				switch w % 4 {
+				case 0:
+					d = g.ApproxDiameter(2, 1)
+				case 1:
+					d = g.Diameter()
+				case 2:
+					d = g.Eccentricity(NodeID(i))
+					g.SampleEccentricities(1, int64(i))
+				case 3:
+					g.BFS(NodeID(w * 100))
+					d = g.Dist(0, NodeID(w*100+i))
+				}
+			}
+			done <- d
+		}(w)
+	}
+	for w := 0; w < 8; w++ {
+		if d := <-done; d < 0 {
+			t.Fatalf("worker returned %d", d)
+		}
+	}
+}

@@ -6,19 +6,51 @@ package graph
 
 import (
 	"fmt"
-	"sort"
+	"math"
+	"slices"
 	"sync"
 )
 
 // NodeID identifies a node. Node IDs are dense integers in [0, N).
 type NodeID int
 
-// Graph is an undirected simple graph over nodes 0..n-1 stored as sorted
-// adjacency lists. The zero value is an empty graph with no nodes; use New.
+// Graph is an undirected simple graph over nodes 0..n-1 stored as one flat
+// CSR arc array: off has length n+1 and node u's sorted neighbor row is
+// arcs[off[u]:off[u+1]]. One contiguous block for the whole graph — the
+// same layout mac.Arena uses for delivery rows — keeps million-node
+// adjacency cache-friendly and lets consumers index straight off the shared
+// arc array. The zero value is an empty graph with no nodes; use New.
+//
+// Mutation is build-phase-only and not goroutine-safe (like the previous
+// slice-of-slices representation): AddEdge appends to a pending arc buffer
+// and the first read — Neighbors, BFS, M, Edges, ... — compacts it into the
+// CSR block (sort + merge + dedup, so duplicate AddEdge calls stay
+// idempotent). HasEdge alone answers without compacting, through a lazily
+// built membership overlay, because the randomized builders interleave
+// HasEdge probes with AddEdge and must stay O(1) amortized per call.
+// Graphs shared read-only across goroutines must be finalized first (see
+// Finalize; topology.BuildInto does this for every registry build).
 type Graph struct {
-	n   int
-	m   int // edge count, maintained at mutation time
-	adj [][]NodeID
+	n int
+	m int // edge count, recomputed when pending arcs compact
+
+	off  []int32  // row offsets, len n+1 (nil only for the zero value)
+	arcs []NodeID // flat arc array, rows sorted, concatenated in node order
+
+	// offBuf/arcsBuf are the spare buffers finalize merges into; the old
+	// storage is retained for the next merge, so alternating build/read
+	// phases on a recycled graph allocate nothing in steady state.
+	offBuf  []int32
+	arcsBuf []NodeID
+
+	// pend holds arcs added since the last finalize, packed u<<32|v (both
+	// directions per AddEdge), unsorted and possibly duplicated.
+	pend []uint64
+	// seen is the pending-arc membership overlay HasEdge consults while
+	// dirty; built lazily on the first such probe and kept in sync by
+	// AddEdge from then on (seenOK). Invalidated by finalize and Reset.
+	seen   map[uint64]struct{}
+	seenOK bool
 
 	// diam memoizes Diameter() under diamMu: finished graphs are shared
 	// read-only across harness workers, so the lazy fill must be
@@ -27,6 +59,12 @@ type Graph struct {
 	diamMu sync.Mutex
 	diam   int
 	diamOK bool
+	// adiam memoizes ApproxDiameter for the sampling arguments it was
+	// computed with, under the same lock and invalidation rule.
+	adiam     int
+	adiamOK   bool
+	adiamK    int
+	adiamSeed int64
 }
 
 // New returns an empty graph with n nodes and no edges.
@@ -34,59 +72,64 @@ func New(n int) *Graph {
 	if n < 0 {
 		panic("graph: negative node count")
 	}
-	return &Graph{n: n, adj: make([][]NodeID, n)}
+	return &Graph{n: n, off: make([]int32, n+1)}
 }
 
 // N returns the number of nodes.
 func (g *Graph) N() int { return g.n }
 
 // Reset restores g to an empty graph with n nodes while keeping the backing
-// storage of its adjacency rows, so rebuilding a same-shaped graph performs
-// no allocation. It is the structure-sharing construction mode behind
-// topology.Workspace: a Reset graph is observably identical to New(n), only
-// the memory is recycled.
+// storage of its arc block and pending buffer, so rebuilding a same-shaped
+// graph performs no allocation. It is the structure-sharing construction
+// mode behind topology.Workspace: a Reset graph is observably identical to
+// New(n), only the memory is recycled.
 func (g *Graph) Reset(n int) {
 	if n < 0 {
 		panic("graph: negative node count")
 	}
-	if cap(g.adj) < n {
-		old := g.adj[:cap(g.adj)]
-		g.adj = make([][]NodeID, n)
-		// Keep the old rows' backing arrays; the loop below truncates them.
-		copy(g.adj, old)
+	if cap(g.off) < n+1 {
+		g.off = make([]int32, n+1)
 	} else {
-		g.adj = g.adj[:n]
+		g.off = g.off[:n+1]
+		clear(g.off)
 	}
-	for i := range g.adj {
-		g.adj[i] = g.adj[i][:0]
-	}
+	g.arcs = g.arcs[:0]
+	g.pend = g.pend[:0]
+	g.seenOK = false
 	g.n = n
 	g.m = 0
 	g.diamOK = false
+	g.adiamOK = false
 }
 
-// CloneInto copies g into dst, reusing dst's adjacency storage (see Reset).
-// It returns dst. The graphs must be distinct.
+// CloneInto copies g into dst, reusing dst's storage (see Reset). It
+// returns dst. The graphs must be distinct.
 func (g *Graph) CloneInto(dst *Graph) *Graph {
 	if dst == g {
 		panic("graph: CloneInto onto itself")
 	}
+	g.finalize()
 	dst.Reset(g.n)
+	dst.off = append(dst.off[:0], g.off...)
+	dst.arcs = append(dst.arcs[:0], g.arcs...)
 	dst.m = g.m
-	for u := range g.adj {
-		dst.adj[u] = append(dst.adj[u], g.adj[u]...)
-	}
 	return dst
 }
 
-// M returns the number of edges. The count is maintained by AddEdge, so
-// validation paths can call M freely without an adjacency sweep.
-func (g *Graph) M() int { return g.m }
+// M returns the number of edges.
+func (g *Graph) M() int {
+	g.finalize()
+	return g.m
+}
 
 func (g *Graph) check(v NodeID) {
 	if v < 0 || int(v) >= g.n {
 		panic(fmt.Sprintf("graph: node %d out of range [0,%d)", v, g.n))
 	}
+}
+
+func pack(u, v NodeID) uint64 {
+	return uint64(uint32(u))<<32 | uint64(uint32(v))
 }
 
 // AddEdge inserts the undirected edge (u, v). Self-loops are rejected;
@@ -97,55 +140,169 @@ func (g *Graph) AddEdge(u, v NodeID) {
 	if u == v {
 		panic("graph: self-loop")
 	}
-	if g.insertArc(u, v) {
-		g.insertArc(v, u)
-		g.m++
-		g.diamOK = false
+	if g.hasArc(u, v) {
+		return
 	}
+	g.pend = append(g.pend, pack(u, v), pack(v, u))
+	if g.seenOK {
+		g.seen[pack(u, v)] = struct{}{}
+		g.seen[pack(v, u)] = struct{}{}
+	}
+	g.diamOK = false
+	g.adiamOK = false
 }
 
-// insertArc adds v to u's adjacency list, reporting whether it was new.
-func (g *Graph) insertArc(u, v NodeID) bool {
-	nbrs := g.adj[u]
-	i := sort.Search(len(nbrs), func(i int) bool { return nbrs[i] >= v })
-	if i < len(nbrs) && nbrs[i] == v {
-		return false
+// hasArc reports whether (u, v) is in the compacted CSR block (pending arcs
+// not considered) by binary-searching u's sorted row.
+func (g *Graph) hasArc(u, v NodeID) bool {
+	row := g.arcs[g.off[u]:g.off[u+1]]
+	lo, hi := 0, len(row)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if row[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
 	}
-	nbrs = append(nbrs, 0)
-	copy(nbrs[i+1:], nbrs[i:])
-	nbrs[i] = v
-	g.adj[u] = nbrs
-	return true
+	return lo < len(row) && row[lo] == v
 }
 
-// HasEdge reports whether (u, v) is an edge.
+// HasEdge reports whether (u, v) is an edge. It answers without compacting
+// pending arcs: the randomized builders interleave HasEdge with AddEdge,
+// and a full compaction per probe would be quadratic.
 func (g *Graph) HasEdge(u, v NodeID) bool {
 	g.check(u)
 	g.check(v)
-	nbrs := g.adj[u]
-	i := sort.Search(len(nbrs), func(i int) bool { return nbrs[i] >= v })
-	return i < len(nbrs) && nbrs[i] == v
+	if g.hasArc(u, v) {
+		return true
+	}
+	if len(g.pend) == 0 {
+		return false
+	}
+	if !g.seenOK {
+		g.buildSeen()
+	}
+	_, ok := g.seen[pack(u, v)]
+	return ok
 }
 
-// Neighbors returns u's adjacency list in increasing order. The returned
-// slice is owned by the graph; callers must not mutate it.
+// buildSeen fills the pending-arc membership overlay from pend, reusing the
+// map's buckets across builds.
+func (g *Graph) buildSeen() {
+	if g.seen == nil {
+		g.seen = make(map[uint64]struct{}, len(g.pend))
+	} else {
+		clear(g.seen)
+	}
+	for _, k := range g.pend {
+		g.seen[k] = struct{}{}
+	}
+	g.seenOK = true
+}
+
+// Finalize compacts any pending arcs into the flat CSR block. Every read
+// API does this implicitly; builders that hand a graph to concurrent
+// readers call it explicitly so no reader races the compaction. It is
+// idempotent and cheap when nothing is pending.
+func (g *Graph) Finalize() { g.finalize() }
+
+func (g *Graph) finalize() {
+	if len(g.pend) == 0 {
+		return
+	}
+	slices.Sort(g.pend)
+	need := len(g.arcs) + len(g.pend)
+	dst := g.arcsBuf[:0]
+	if cap(dst) < need {
+		dst = make([]NodeID, 0, need)
+	}
+	newOff := g.offBuf
+	if cap(newOff) < g.n+1 {
+		newOff = make([]int32, g.n+1)
+	} else {
+		newOff = newOff[:g.n+1]
+	}
+	pi := 0
+	for u := 0; u < g.n; u++ {
+		newOff[u] = int32(len(dst))
+		oi, oe := int(g.off[u]), int(g.off[u+1])
+		for {
+			havePend := pi < len(g.pend) && g.pend[pi]>>32 == uint64(u)
+			if oi >= oe && !havePend {
+				break
+			}
+			var v NodeID
+			if !havePend {
+				v = g.arcs[oi]
+				oi++
+			} else if oi >= oe {
+				v = NodeID(uint32(g.pend[pi]))
+				pi++
+			} else if pv := NodeID(uint32(g.pend[pi])); pv < g.arcs[oi] {
+				v = pv
+				pi++
+			} else {
+				v = g.arcs[oi]
+				oi++
+			}
+			if n := len(dst); n > int(newOff[u]) && dst[n-1] == v {
+				continue // duplicate within the merged row
+			}
+			dst = append(dst, v)
+		}
+	}
+	if len(dst) > math.MaxInt32 {
+		panic("graph: arc count exceeds int32 offsets")
+	}
+	newOff[g.n] = int32(len(dst))
+	// Swap: the displaced storage becomes the spare for the next merge.
+	g.arcsBuf, g.arcs = g.arcs, dst
+	g.offBuf, g.off = g.off, newOff
+	g.pend = g.pend[:0]
+	g.seenOK = false
+	g.m = len(g.arcs) / 2
+}
+
+// row returns u's neighbor row. The graph must be finalized.
+func (g *Graph) row(u NodeID) []NodeID {
+	return g.arcs[g.off[u]:g.off[u+1]]
+}
+
+// Neighbors returns u's adjacency list in increasing order, as a zero-copy
+// subslice of the graph's flat arc array. The slice is owned by the graph;
+// callers must not mutate it, and it is invalidated by the next mutation.
 func (g *Graph) Neighbors(u NodeID) []NodeID {
 	g.check(u)
-	return g.adj[u]
+	g.finalize()
+	return g.arcs[g.off[u]:g.off[u+1]:g.off[u+1]]
+}
+
+// CSR exposes the finalized flat adjacency: off has length N()+1 and node
+// u's sorted neighbor row occupies arcs[off[u]:off[u+1]]. Consumers that
+// keep per-arc side state (mac.Arena's delivery rows and reliability bits)
+// index straight off this shared array instead of re-deriving per-node
+// rows. Both slices are owned by the graph, must not be mutated, and are
+// invalidated by the next mutation.
+func (g *Graph) CSR() (off []int32, arcs []NodeID) {
+	g.finalize()
+	return g.off, g.arcs
 }
 
 // Degree returns the number of neighbors of u.
 func (g *Graph) Degree(u NodeID) int {
 	g.check(u)
-	return len(g.adj[u])
+	g.finalize()
+	return int(g.off[u+1] - g.off[u])
 }
 
 // MaxDegree returns the maximum degree over all nodes (0 for empty graphs).
 func (g *Graph) MaxDegree() int {
+	g.finalize()
 	max := 0
-	for _, nbrs := range g.adj {
-		if len(nbrs) > max {
-			max = len(nbrs)
+	for u := 0; u < g.n; u++ {
+		if d := int(g.off[u+1] - g.off[u]); d > max {
+			max = d
 		}
 	}
 	return max
@@ -154,9 +311,10 @@ func (g *Graph) MaxDegree() int {
 // Edges returns every edge once, as pairs (u, v) with u < v, in
 // lexicographic order.
 func (g *Graph) Edges() [][2]NodeID {
-	out := make([][2]NodeID, 0, g.M())
+	g.finalize()
+	out := make([][2]NodeID, 0, g.m)
 	for u := 0; u < g.n; u++ {
-		for _, v := range g.adj[u] {
+		for _, v := range g.row(NodeID(u)) {
 			if NodeID(u) < v {
 				out = append(out, [2]NodeID{NodeID(u), v})
 			}
@@ -167,12 +325,7 @@ func (g *Graph) Edges() [][2]NodeID {
 
 // Clone returns a deep copy of g.
 func (g *Graph) Clone() *Graph {
-	c := New(g.n)
-	c.m = g.m
-	for u := range g.adj {
-		c.adj[u] = append([]NodeID(nil), g.adj[u]...)
-	}
-	return c
+	return g.CloneInto(New(g.n))
 }
 
 // Union returns a new graph with n nodes containing the edges of both g and
@@ -189,15 +342,23 @@ func Union(g, h *Graph) *Graph {
 }
 
 // IsSubgraphOf reports whether every edge of g is also an edge of h (the
-// paper's G ⊆ G′ requirement). It walks the adjacency rows directly —
-// no edge-slice allocation — because dual validation runs once per trial.
+// paper's G ⊆ G′ requirement). It merge-walks the two sorted CSR rows per
+// node — no edge-slice allocation, O(m + m′) total — because dual
+// validation runs once per trial.
 func (g *Graph) IsSubgraphOf(h *Graph) bool {
 	if g.n != h.n {
 		return false
 	}
+	g.finalize()
+	h.finalize()
 	for u := 0; u < g.n; u++ {
-		for _, v := range g.adj[u] {
-			if NodeID(u) < v && !h.HasEdge(NodeID(u), v) {
+		gr, hr := g.row(NodeID(u)), h.row(NodeID(u))
+		hi := 0
+		for _, v := range gr {
+			for hi < len(hr) && hr[hi] < v {
+				hi++
+			}
+			if hi >= len(hr) || hr[hi] != v {
 				return false
 			}
 		}
@@ -208,12 +369,13 @@ func (g *Graph) IsSubgraphOf(h *Graph) bool {
 // IsIndependent reports whether no two nodes in set are adjacent in g
 // (G-independence, Section 4 of the paper).
 func (g *Graph) IsIndependent(set []NodeID) bool {
+	g.finalize()
 	in := make(map[NodeID]bool, len(set))
 	for _, v := range set {
 		in[v] = true
 	}
 	for _, v := range set {
-		for _, u := range g.adj[v] {
+		for _, u := range g.row(v) {
 			if in[u] {
 				return false
 			}
@@ -237,7 +399,7 @@ func (g *Graph) IsMaximalIndependent(set []NodeID) bool {
 			continue
 		}
 		covered := false
-		for _, v := range g.adj[u] {
+		for _, v := range g.row(NodeID(u)) {
 			if in[v] {
 				covered = true
 				break

@@ -6,6 +6,7 @@ package graph
 // against: both produce maximal independent sets; the distributed one does
 // it in O(polylog n) Fprog-rounds over the abstract MAC layer.
 func (g *Graph) GreedyMIS() []NodeID {
+	g.finalize()
 	blocked := make([]bool, g.n)
 	var mis []NodeID
 	for u := 0; u < g.n; u++ {
@@ -14,7 +15,7 @@ func (g *Graph) GreedyMIS() []NodeID {
 		}
 		mis = append(mis, NodeID(u))
 		blocked[u] = true
-		for _, v := range g.adj[u] {
+		for _, v := range g.row(NodeID(u)) {
 			blocked[v] = true
 		}
 	}
@@ -27,6 +28,7 @@ func (g *Graph) GreedyMIS() []NodeID {
 // maxDist = 3 over an MIS). Node i of the result corresponds to set[i];
 // the mapping is returned alongside.
 func (g *Graph) Overlay(set []NodeID, maxDist int) (*Graph, []NodeID) {
+	g.finalize()
 	idx := make(map[NodeID]int, len(set))
 	members := append([]NodeID(nil), set...)
 	sortNodeIDs(members)
@@ -57,7 +59,7 @@ func (g *Graph) boundedBFS(src NodeID, radius int) map[NodeID]int {
 		if dist[u] == radius {
 			continue
 		}
-		for _, v := range g.adj[u] {
+		for _, v := range g.row(u) {
 			if _, ok := dist[v]; !ok {
 				dist[v] = dist[u] + 1
 				queue = append(queue, v)

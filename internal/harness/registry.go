@@ -3,23 +3,31 @@ package harness
 // Experiment is one registered evaluation experiment: a stable identifier
 // and a runner from harness options to a rendered table.
 type Experiment struct {
-	ID  string
-	Run func(Options) *Table
+	ID string
+	// Gate names the opt-in group of a gated experiment. Ungated
+	// experiments ("") run by default; gated ones run only when the
+	// caller enables their group (amacbench -experiments large-n),
+	// keeping minute-to-hour-scale sweeps out of default runs and CI.
+	Gate string
+	Run  func(Options) *Table
 }
 
 // Experiments returns every registered experiment in canonical order — the
 // order cmd/amacbench prints and EXPERIMENTS.md records.
 func Experiments() []Experiment {
 	return []Experiment{
-		{"fig1-std-reliable", Fig1StdReliable},
-		{"fig1-std-rrestricted", Fig1StdRRestricted},
-		{"fig1-std-arbitrary", Fig1StdArbitrary},
-		{"fig1-std-greyzone-lb", Fig2LowerBound},
-		{"fig1-std-greyzone-rand", Fig1StdGreyZoneRand},
-		{"fig1-enh-greyzone", Fig1EnhGreyZone},
-		{"ablation-bmmb-vs-fmmb", AblationFackRatio},
-		{"mis-subroutine", MISExperiment},
-		{"gather-spread-subroutines", SubroutineExperiment},
-		{"ablation-message-complexity", MessageComplexity},
+		{"fig1-std-reliable", "", Fig1StdReliable},
+		{"fig1-std-rrestricted", "", Fig1StdRRestricted},
+		{"fig1-std-arbitrary", "", Fig1StdArbitrary},
+		{"fig1-std-greyzone-lb", "", Fig2LowerBound},
+		{"fig1-std-greyzone-rand", "", Fig1StdGreyZoneRand},
+		{"fig1-enh-greyzone", "", Fig1EnhGreyZone},
+		{"ablation-bmmb-vs-fmmb", "", AblationFackRatio},
+		{"mis-subroutine", "", MISExperiment},
+		{"gather-spread-subroutines", "", SubroutineExperiment},
+		{"ablation-message-complexity", "", MessageComplexity},
+		{"amacd-service-path", "", ServicePath},
+		{"large-n-rgg", "large-n", LargeNRGG},
+		{"large-n-grid", "large-n", LargeNGrid},
 	}
 }

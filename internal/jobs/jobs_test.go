@@ -489,3 +489,66 @@ func TestReportsReconstruction(t *testing.T) {
 		}
 	}
 }
+
+// TestStatusDoneTrials pins the per-trial progress surface: at every
+// afterShard checkpoint the aggregate DoneTrials equals the number of
+// trials whose shards have completed, the per-shard counts sum to the
+// aggregate, and a finished job reports every trial done. (The intra-shard
+// partial counts come from scenario.SweepOptions.Progress, whose exactness
+// is covered by the scenario package's own tests.)
+func TestStatusDoneTrials(t *testing.T) {
+	job := testJob()
+	s, err := Open(t.TempDir(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	type snapshot struct {
+		shardHi int
+		status  JobStatus
+	}
+	var snaps []snapshot
+	s.SetAfterShard(func(id string, sh Shard) error {
+		if st, ok := s.Status(id); ok {
+			snaps = append(snaps, snapshot{sh.Hi, st})
+		}
+		return nil
+	})
+
+	id, err := s.Submit(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, ok := s.Wait(id)
+	if !ok || st.State != StateDone {
+		t.Fatalf("job ended %+v", st)
+	}
+
+	total := 0
+	for _, spec := range job.WithDefaults().Sweep {
+		total += spec.Run.Trials
+	}
+	if st.TotalTrials != total || st.DoneTrials != total {
+		t.Fatalf("final progress %d/%d, want %d/%d", st.DoneTrials, st.TotalTrials, total, total)
+	}
+
+	if len(snaps) == 0 {
+		t.Fatal("afterShard hook observed no status")
+	}
+	for _, snap := range snaps {
+		if snap.status.DoneTrials != snap.shardHi {
+			t.Fatalf("after shard ending at %d: DoneTrials = %d", snap.shardHi, snap.status.DoneTrials)
+		}
+		sum := 0
+		for _, shSt := range snap.status.Shards {
+			if shSt.Done && shSt.DoneTrials != shSt.Hi-shSt.Lo {
+				t.Fatalf("done shard [%d,%d) reports %d trials", shSt.Lo, shSt.Hi, shSt.DoneTrials)
+			}
+			sum += shSt.DoneTrials
+		}
+		if sum != snap.status.DoneTrials {
+			t.Fatalf("per-shard counts sum to %d, aggregate says %d", sum, snap.status.DoneTrials)
+		}
+	}
+}

@@ -24,6 +24,10 @@ const (
 type ShardStatus struct {
 	Shard
 	Done bool `json:"done"`
+	// DoneTrials counts completed trials within the shard: Hi-Lo once
+	// the shard's checkpoint has landed, a live count streamed from the
+	// worker pool while the shard is running, 0 before it starts.
+	DoneTrials int `json:"done_trials"`
 }
 
 // JobStatus is the wire form of GET /jobs/{id}.
@@ -68,6 +72,12 @@ type jobEntry struct {
 	err    string
 	done   []bool        // per shard
 	finish chan struct{} // closed on done/failed
+	// running/partial track per-trial progress within the shard currently
+	// executing: running is its index (-1 when none) and partial the
+	// number of its trials completed so far, streamed from the sweep
+	// worker pool via scenario.SweepOptions.Progress.
+	running int
+	partial int
 }
 
 // Open creates (or reopens) a store over dir and starts its run loop.
@@ -146,12 +156,13 @@ func (s *Store) newEntry(job Spec, id string) *jobEntry {
 	resolved := job.WithDefaults()
 	shards := Shards(resolved)
 	return &jobEntry{
-		job:    resolved,
-		id:     id,
-		shards: shards,
-		state:  StateQueued,
-		done:   make([]bool, len(shards)),
-		finish: make(chan struct{}),
+		job:     resolved,
+		id:      id,
+		shards:  shards,
+		state:   StateQueued,
+		done:    make([]bool, len(shards)),
+		finish:  make(chan struct{}),
+		running: -1,
 	}
 }
 
@@ -258,7 +269,19 @@ func (s *Store) runJob(e *jobEntry) error {
 			s.markDone(e, i)
 			continue
 		}
-		trials, err := scenario.SweepShard(e.job.Sweep, sh.Lo, sh.Hi, scenario.SweepOptions{Parallelism: par})
+		s.mu.Lock()
+		e.running, e.partial = i, 0
+		s.mu.Unlock()
+		trials, err := scenario.SweepShard(e.job.Sweep, sh.Lo, sh.Hi, scenario.SweepOptions{
+			Parallelism: par,
+			Progress: func(done int) {
+				s.mu.Lock()
+				if e.running == i && done > e.partial {
+					e.partial = done
+				}
+				s.mu.Unlock()
+			},
+		})
 		if err != nil {
 			return fmt.Errorf("jobs: shard %d [%d, %d): %w", sh.Index, sh.Lo, sh.Hi, err)
 		}
@@ -294,6 +317,9 @@ func (s *Store) runJob(e *jobEntry) error {
 func (s *Store) markDone(e *jobEntry, shard int) {
 	s.mu.Lock()
 	e.done[shard] = true
+	if e.running == shard {
+		e.running, e.partial = -1, 0
+	}
 	s.mu.Unlock()
 }
 
@@ -308,10 +334,15 @@ func (s *Store) Status(id string) (JobStatus, bool) {
 	st := JobStatus{ID: e.id, Name: e.job.Name, State: e.state, Error: e.err}
 	for i, sh := range e.shards {
 		st.TotalTrials += sh.Hi - sh.Lo
-		if e.done[i] {
-			st.DoneTrials += sh.Hi - sh.Lo
+		dt := 0
+		switch {
+		case e.done[i]:
+			dt = sh.Hi - sh.Lo
+		case e.running == i:
+			dt = e.partial
 		}
-		st.Shards = append(st.Shards, ShardStatus{Shard: sh, Done: e.done[i]})
+		st.DoneTrials += dt
+		st.Shards = append(st.Shards, ShardStatus{Shard: sh, Done: e.done[i], DoneTrials: dt})
 	}
 	return st, true
 }

@@ -8,48 +8,75 @@ import (
 	"amac/internal/topology"
 )
 
-// csrIndex is the per-topology delivery-position index an Arena derives from
-// G′ once and shares, read-only, with every instance of every execution on
-// that topology: for each directed G′ arc (sender, to) it precomputes the
-// slot of to in the sender's sorted neighbor row and whether the arc is
-// reliable (a G edge). Instance delivery lookups and the engine's Deliver
-// validation become one hash probe each — O(1) — instead of binary searches
-// over the adjacency rows.
+// csrIndex is the per-topology delivery index an Arena derives from the
+// dual once and shares, read-only, with every instance of every execution
+// on that topology. It no longer stores positions at all: off and arcs
+// alias G′'s own flat CSR adjacency (graph.Graph stores one arc array for
+// the whole graph), so a sender's delivery row and its slot numbering are
+// literally the graph's — the only derived state is one reliability bit
+// per directed arc (is the arc also a G edge), packed into a bitset
+// indexed by global arc position. Rebind refreshes the aliases and
+// recomputes the bitset with one merge walk of the G and G′ rows, O(m+m′),
+// instead of refilling a 2m′-entry hash map — at million-node scale the
+// map alone was hundreds of megabytes.
 type csrIndex struct {
-	// pos maps arcKey(sender, to) → slot<<1 | reliableBit.
-	pos map[uint64]int32
-	// arcs is the total directed-arc count 2m′ — the delivery block's
+	// off/arcs alias G′'s CSR storage (graph.CSR); row u is
+	// arcs[off[u]:off[u+1]], sorted. Invalidated if the graph mutates —
+	// the arena rebinds before any such graph is run again.
+	off  []int32
+	arcs []NodeID
+	// reliable bit i is set when directed arc i (global position in arcs)
+	// is also a G edge.
+	reliable []uint64
+	// arcCount is the total directed-arc count 2m′ — the delivery block's
 	// growth floor (one row per node's first broadcast is exactly one
 	// full arc space).
-	arcs int
-}
-
-// arcKey packs a directed (sender, to) pair into one map key.
-func arcKey(sender, to NodeID) uint64 {
-	return uint64(uint32(sender))<<32 | uint64(uint32(to))
+	arcCount int
 }
 
 func newCSRIndex(d *topology.Dual) *csrIndex {
-	idx := &csrIndex{pos: make(map[uint64]int32, 2*d.GPrime.M())}
+	idx := &csrIndex{}
 	idx.fill(d)
 	return idx
 }
 
-// fill derives the position index of d into the existing map storage:
-// cleared, not reallocated, so rebinding to a network of similar arc count
-// reuses the buckets.
+// fill derives the index from d into existing storage: the adjacency
+// aliases are reassigned and the reliability bitset is rebuilt in place
+// (reallocated only when the arc count grew), so rebinding to a network of
+// similar size allocates nothing.
 func (idx *csrIndex) fill(d *topology.Dual) {
-	clear(idx.pos)
-	idx.arcs = 2 * d.GPrime.M()
-	for v := 0; v < d.N(); v++ {
-		for s, u := range d.GPrime.Neighbors(NodeID(v)) {
-			val := int32(s) << 1
-			if d.G.HasEdge(NodeID(v), u) {
-				val |= 1
+	gOff, gArcs := d.G.CSR()
+	pOff, pArcs := d.GPrime.CSR()
+	idx.off, idx.arcs = pOff, pArcs
+	idx.arcCount = len(pArcs)
+	words := (len(pArcs) + 63) / 64
+	if cap(idx.reliable) < words {
+		idx.reliable = make([]uint64, words)
+	} else {
+		idx.reliable = idx.reliable[:words]
+		clear(idx.reliable)
+	}
+	for u := 0; u < d.N(); u++ {
+		gi, ge := int(gOff[u]), int(gOff[u+1])
+		pi, pe := int(pOff[u]), int(pOff[u+1])
+		for gi < ge && pi < pe {
+			switch {
+			case gArcs[gi] == pArcs[pi]:
+				idx.reliable[pi>>6] |= 1 << (uint(pi) & 63)
+				gi++
+				pi++
+			case gArcs[gi] < pArcs[pi]:
+				gi++ // G arc missing from G′: Validate rejects such duals
+			default:
+				pi++
 			}
-			idx.pos[arcKey(NodeID(v), u)] = val
 		}
 	}
+}
+
+// isReliable reports whether global arc position i is a G edge.
+func (idx *csrIndex) isReliable(i int32) bool {
+	return idx.reliable[i>>6]&(1<<(uint(i)&63)) != 0
 }
 
 // Arena owns the reusable run state for repeated executions on one pinned
@@ -139,19 +166,19 @@ func (a *Arena) Rebind(d *topology.Dual) {
 		// The index is aliased across a Fork relationship (either
 		// direction): refilling it in place would corrupt the other side,
 		// so replace it and own the copy from here on.
-		a.csr = &csrIndex{pos: make(map[uint64]int32, 2*d.GPrime.M())}
+		a.csr = &csrIndex{}
 		a.csrShared = false
 		a.forked.Store(false)
 	}
 	a.csr.fill(d)
-	if a.csr.arcs > len(a.block) {
+	if a.csr.arcCount > len(a.block) {
 		// Same growth policy as row() below — double with an arc-space
 		// floor; keep the two in sync. Growing here (rather than leaving it
 		// to row's lazy path) keeps used and the block consistent across
 		// the network switch.
 		newLen := 2 * len(a.block)
-		if newLen < a.csr.arcs {
-			newLen = a.csr.arcs
+		if newLen < a.csr.arcCount {
+			newLen = a.csr.arcCount
 		}
 		a.block = make([]sim.Time, newLen)
 		a.used = 0
@@ -181,8 +208,8 @@ func (a *Arena) reset() {
 func (a *Arena) row(deg int) []sim.Time {
 	if need := a.used + deg; need > len(a.block) {
 		newLen := 2 * len(a.block)
-		if newLen < a.csr.arcs {
-			newLen = a.csr.arcs
+		if newLen < a.csr.arcCount {
+			newLen = a.csr.arcCount
 		}
 		if newLen < need {
 			newLen = need
@@ -194,11 +221,14 @@ func (a *Arena) row(deg int) []sim.Time {
 	return r
 }
 
-// instance returns a broadcast-instance record backed by arena storage:
-// the delivery row comes from the flat block, the struct from the pool, and
-// the CSR index makes its lookups O(1).
+// instance returns a broadcast-instance record backed by arena storage: the
+// delivery row comes from the flat block, the struct from the pool, and the
+// neighbor row plus its base offset come straight off the graph's shared
+// arc array, giving Deliver its slot and reliability bit with one binary
+// search over the row.
 func (a *Arena) instance(id InstanceID, sender NodeID, payload Payload, start sim.Time) *Instance {
-	row := a.dual.GPrime.Neighbors(sender)
+	base := a.csr.off[sender]
+	row := a.csr.arcs[base:a.csr.off[sender+1]:a.csr.off[sender+1]]
 	fresh := Instance{
 		ID:                id,
 		Sender:            sender,
@@ -207,6 +237,7 @@ func (a *Arena) instance(id InstanceID, sender NodeID, payload Payload, start si
 		nbrs:              row,
 		deliveredAt:       a.row(len(row)),
 		csr:               a.csr,
+		base:              base,
 		remainingReliable: a.dual.G.Degree(sender),
 	}
 	if a.next < len(a.insts) {

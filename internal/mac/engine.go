@@ -28,6 +28,12 @@ type Config struct {
 	EpsAbort sim.Time
 	// TraceCap bounds trace memory; 0 keeps everything.
 	TraceCap int
+	// Sink, when set, receives every trace event instead of the in-memory
+	// trace — the streaming path for networks whose full trace cannot be
+	// held in RAM (pair with a sim.TraceWriter). Watchers still observe
+	// every event; NoTrace still disables recording entirely. Checkers
+	// need the in-memory trace, so Check-enabled runs leave Sink unset.
+	Sink sim.TraceSink
 	// NoTrace disables trace recording entirely. Watchers still observe
 	// every event; when none are registered either, the engine skips event
 	// construction altogether — the throughput fast path.
@@ -266,7 +272,11 @@ func (e *Engine) emit(kind string, node NodeID, arg Payload) {
 		return
 	}
 	ev := sim.TraceEvent{At: e.sim.Now(), Kind: kind, Node: int(node), P: arg}
-	e.trace.Append(ev)
+	if e.cfg.Sink != nil {
+		e.cfg.Sink.Append(ev)
+	} else {
+		e.trace.Append(ev)
+	}
 	for _, w := range e.watchers {
 		w(ev)
 	}
@@ -432,21 +442,21 @@ func (e *Engine) Deliver(b *Instance, to NodeID) {
 	}
 	now := e.sim.Now()
 	if b.csr != nil {
-		// Arena fast path: one precomputed position probe replaces the G′
-		// membership search, the delivered lookup and the G reliability
-		// search — every check and its failure order unchanged.
-		v, ok := b.csr.pos[arcKey(b.Sender, to)]
-		if !ok {
+		// Arena fast path: the instance's row IS the graph's CSR row, so
+		// one binary search over it yields the G′ membership check, the
+		// delivery slot and (via the global arc position base+slot) the
+		// reliability bit — every check and its failure order unchanged.
+		slot := b.slot(to)
+		if slot < 0 {
 			panic(fmt.Sprintf("mac: delivery %d→%d without a G' edge", b.Sender, to))
 		}
-		slot := int(v >> 1)
 		if b.deliveredAt[slot] != 0 {
 			panic(fmt.Sprintf("mac: duplicate delivery of instance %d to %d", b.ID, to))
 		}
 		e.checkDeliveryTerm(b, now)
 		b.deliveredAt[slot] = now + 1
 		b.receivers = append(b.receivers, to)
-		if v&1 != 0 {
+		if b.csr.isReliable(b.base + int32(slot)) {
 			b.remainingReliable--
 		}
 	} else {

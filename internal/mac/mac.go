@@ -183,7 +183,8 @@ type Instance struct {
 	TermAt sim.Time
 	Term   Status
 
-	// nbrs is the sender's sorted G′ neighbor row, owned by the topology.
+	// nbrs is the sender's sorted G′ neighbor row — for arena-built
+	// instances, a zero-copy subslice of the graph's flat CSR arc array.
 	nbrs []NodeID
 	// deliveredAt[i] is the rcv time at nbrs[i] plus one; zero means not
 	// delivered. The +1 bias lets the slice start as plain zeroed memory
@@ -191,9 +192,11 @@ type Instance struct {
 	// fill; arena-built instances carve the row out of one flat pre-zeroed
 	// block instead.
 	deliveredAt []sim.Time
-	// csr, when non-nil, is the arena's precomputed (sender, neighbor) →
-	// slot index, making slot lookups O(1) instead of a binary search.
-	csr *csrIndex
+	// csr, when non-nil, is the arena's shared delivery index; base is the
+	// sender's row offset into its global arc array, so slot s of this
+	// instance is global arc base+s — where the reliability bit lives.
+	csr  *csrIndex
+	base int32
 	// overflow records marks outside the row's domain — nodes that are not
 	// G′ neighbors, or negative rcv times, both only constructible by
 	// checker tests building invalid histories; nil in every real
@@ -231,16 +234,12 @@ func NewInstance(id InstanceID, sender NodeID, payload Payload, start sim.Time, 
 	}
 }
 
-// slot returns the index of to in the sender's neighbor row, or -1. With an
-// arena index attached the lookup is one hash probe; standalone instances
-// binary-search the sorted row.
+// slot returns the index of to in the sender's sorted neighbor row, or -1,
+// by binary search — with or without an arena, since arena instances share
+// the graph's own row and need no separate position table. Rows are node
+// degrees, so the search is a handful of comparisons on the sparse
+// networks the model studies.
 func (b *Instance) slot(to NodeID) int {
-	if b.csr != nil {
-		if v, ok := b.csr.pos[arcKey(b.Sender, to)]; ok {
-			return int(v >> 1)
-		}
-		return -1
-	}
 	lo, hi := 0, len(b.nbrs)
 	for lo < hi {
 		mid := int(uint(lo+hi) >> 1)

@@ -2,6 +2,10 @@ package scenario
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
 
 	"amac/internal/core"
 	"amac/internal/graph"
@@ -161,6 +165,14 @@ type SweepOptions struct {
 	// applies). Executions are identical either way; this is the
 	// debugging escape hatch.
 	NoArena bool
+	// Progress, when set, is called after each completed trial with the
+	// cumulative number of trials finished so far in this call (1..total).
+	// Trials complete on a worker pool, so the callback must be safe for
+	// concurrent use; counts are assigned atomically and each value in
+	// 1..total is delivered exactly once, though not necessarily in
+	// order. Purely observational — results are identical with or
+	// without it.
+	Progress func(done int)
 }
 
 // Sweep executes a grid of specs, flattening every (spec, trial) pair onto
@@ -236,6 +248,7 @@ type sweepPlan struct {
 	shared    []*topology.Built
 	warms     []*warmRun
 	warmRands []*warmRandRun
+	progress  func(done int)
 }
 
 // newSweepPlan validates and resolves the specs and prepares warm state for
@@ -250,6 +263,7 @@ func newSweepPlan(specs []Spec, o SweepOptions, lo, hi int) (*sweepPlan, error) 
 		shared:    make([]*topology.Built, len(specs)),
 		warms:     make([]*warmRun, len(specs)),
 		warmRands: make([]*warmRandRun, len(specs)),
+		progress:  o.Progress,
 	}
 	for i, s := range specs {
 		if err := s.Validate(); err != nil {
@@ -298,6 +312,7 @@ func newSweepPlan(specs []Spec, o SweepOptions, lo, hi int) (*sweepPlan, error) 
 func (p *sweepPlan) run(parallelism, lo, hi int) ([]*TrialResult, error) {
 	trials := make([]*TrialResult, hi-lo)
 	errs := make([]error, hi-lo)
+	var completed atomic.Int64
 	par.ForWorker(parallelism, hi-lo, func(worker, i int) {
 		task := lo + i
 		// Binary search is overkill: sweeps are small, scan.
@@ -322,6 +337,9 @@ func (p *sweepPlan) run(parallelism, lo, hi int) ([]*TrialResult, error) {
 			trials[i], errs[i] = trialOn(p.specs[si], seed, p.shared[si])
 		default:
 			trials[i], errs[i] = Trial(p.specs[si], seed)
+		}
+		if errs[i] == nil && p.progress != nil {
+			p.progress(int(completed.Add(1)))
 		}
 	})
 	for i, err := range errs {
@@ -764,11 +782,31 @@ func (p *trialPlan) execute(seed int64, automata []mac.Automaton, rn *core.Runne
 		NoTrace:          r.Run.NoTrace,
 		EpsAbort:         sim.Time(r.Model.EpsAbort),
 	}
+	var tw *sim.TraceWriter
+	var tf *os.File
+	if r.Run.TraceFile != "" {
+		path := TraceFilePath(r.Run.TraceFile, seed)
+		tf, err = os.Create(path)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: trace file: %w", err)
+		}
+		tw = sim.NewTraceWriter(tf)
+		cfg.Sink = tw
+	}
 	var res *core.Result
 	if rn != nil {
 		res, err = rn.Run(cfg)
 	} else {
 		res, err = core.Run(cfg)
+	}
+	if tw != nil {
+		ferr := tw.Flush()
+		if cerr := tf.Close(); ferr == nil {
+			ferr = cerr
+		}
+		if err == nil && ferr != nil {
+			err = fmt.Errorf("scenario: trace file %s: %w", tf.Name(), ferr)
+		}
 	}
 	if err != nil {
 		return nil, err
@@ -780,6 +818,16 @@ func (p *trialPlan) execute(seed int64, automata []mac.Automaton, rn *core.Runne
 		SchedulerName: schedName,
 		Result:        res,
 	}, nil
+}
+
+// TraceFilePath derives the per-trial trace stream path from a spec's
+// trace_file: the trial seed is spliced in before the extension
+// ("out.amtr" with seed 3 -> "out.s3.amtr"), so multi-trial runs and
+// parallel workers never share a file. Exported so consumers locate the
+// files a run produced.
+func TraceFilePath(pattern string, seed int64) string {
+	ext := filepath.Ext(pattern)
+	return fmt.Sprintf("%s.s%d%s", strings.TrimSuffix(pattern, ext), seed, ext)
 }
 
 // buildWorkload resolves the workload spec against the built topology. It

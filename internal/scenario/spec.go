@@ -149,6 +149,14 @@ type RunSpec struct {
 	// byte-identical either way; reuse only changes where the memory
 	// comes from.
 	NoArena bool `json:"no_arena,omitempty"`
+	// TraceFile streams each trial's trace to a binary file (see
+	// sim.TraceWriter) instead of accumulating it in RAM — the path for
+	// networks whose traces exceed memory. The trial seed is spliced in
+	// before the extension ("out.amtr" -> "out.s3.amtr"), so parallel
+	// trials and multi-trial runs never collide on one file.
+	// Incompatible with Check (the checkers read the in-memory trace)
+	// and NoTrace (nothing to stream).
+	TraceFile string `json:"trace_file,omitempty"`
 }
 
 // WithDefaults returns a copy with every defaulted scalar resolved, so
@@ -270,6 +278,14 @@ func (s Spec) Validate() error {
 	}
 	if r.Run.Horizon < 0 {
 		return fmt.Errorf("scenario: run: negative horizon %d", r.Run.Horizon)
+	}
+	if r.Run.TraceFile != "" {
+		if r.Run.Check {
+			return fmt.Errorf("scenario: run: trace_file is incompatible with check (the checkers read the in-memory trace)")
+		}
+		if r.Run.NoTrace {
+			return fmt.Errorf("scenario: run: trace_file is incompatible with no_trace")
+		}
 	}
 	return nil
 }

@@ -27,6 +27,16 @@ func (ev TraceEvent) String() string {
 	return fmt.Sprintf("%v %s@%d %v", ev.At, ev.Kind, ev.Node, ev.Value())
 }
 
+// TraceSink consumes trace events in execution order as a layer emits them.
+// The in-memory Trace is one implementation; TraceWriter streams events to
+// disk in a compact binary form for networks whose full trace cannot be
+// held in memory (a 10^6-node flood emits tens of millions of events).
+// Sinks are called from the single-threaded engine loop and need no
+// internal synchronization.
+type TraceSink interface {
+	Append(ev TraceEvent)
+}
+
 // Trace accumulates TraceEvents in execution order. The zero value is ready
 // to use and unbounded; SetCap bounds memory for long soak runs by keeping
 // only the most recent events (the checkers that need full traces disable

@@ -176,7 +176,15 @@ func BuildInto(name string, p Params, seed int64, ws *Workspace) (*Built, error)
 		seed = p.Int64("seed", 1)
 	}
 	ws.begin()
-	return registry[name].builder(p, seed, ws)
+	b, err := registry[name].builder(p, seed, ws)
+	if b != nil && b.Dual != nil {
+		// Compact any pending arcs into the CSR blocks before the network
+		// escapes the builder: built graphs are shared read-only across
+		// parallel trial workers, which must never race a lazy compaction.
+		b.Dual.G.Finalize()
+		b.Dual.GPrime.Finalize()
+	}
+	return b, err
 }
 
 func sortedKeys(m map[string]bool) []string {
