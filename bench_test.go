@@ -224,10 +224,17 @@ func BenchmarkEngineThroughput(b *testing.B) {
 }
 
 // BenchmarkEngineThroughputNoTrace is the same flood on the no-trace fast
-// path (RunConfig.NoTrace): the completion watcher still observes every
-// event, but nothing is recorded.
+// path (RunOptions.Trace = TraceOff): the completion watcher still observes
+// every event, but nothing is recorded.
 func BenchmarkEngineThroughputNoTrace(b *testing.B) {
 	benchThroughput(b, true)
+}
+
+func traceOpts(noTrace bool) core.RunOptions {
+	if noTrace {
+		return core.RunOptions{Trace: core.TraceOff}
+	}
+	return core.RunOptions{}
 }
 
 func benchThroughput(b *testing.B, noTrace bool) {
@@ -245,7 +252,7 @@ func benchThroughput(b *testing.B, noTrace bool) {
 			Assignment:       core.SingleSource(64, 0, 4),
 			Automata:         core.NewBMMBFleet(64),
 			HaltOnCompletion: true,
-			NoTrace:          noTrace,
+			Options:          traceOpts(noTrace),
 		})
 		if !res.Solved {
 			b.Fatal("not solved")
@@ -278,7 +285,7 @@ func BenchmarkEngineThroughputSparse(b *testing.B) {
 			Assignment:       core.SingleSource(n, 0, 1),
 			Automata:         core.NewBMMBFleet(n),
 			HaltOnCompletion: true,
-			NoTrace:          true,
+			Options:          core.RunOptions{Trace: core.TraceOff},
 		})
 		if !res.Solved {
 			b.Fatal("not solved")

@@ -51,6 +51,7 @@ func main() {
 	checkFlag := flag.Bool("check", false, "verify the abstract MAC layer guarantees on every run (slower)")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "worker pool size for sweep points and trials")
 	noArena := flag.Bool("no-arena", false, "disable cross-trial run-arena and fleet reuse for pinned topologies (debugging)")
+	shards := flag.Int("shards", 0, "worker count for experiments with a component-sharded leg (0 = NumCPU); tables are byte-identical at any value")
 	only := flag.String("only", "", "run only experiments whose id contains this substring")
 	gates := flag.String("experiments", "", "comma-separated gated experiment groups to enable (e.g. \"large-n\"); gated experiments are skipped by default")
 	server := flag.String("server", "", "run experiment sweeps on an amacd daemon at this base URL instead of in-process")
@@ -87,6 +88,7 @@ func main() {
 		Check:       *checkFlag,
 		Parallelism: *parallel,
 		NoArena:     *noArena,
+		Shards:      *shards,
 	}
 	if *server != "" {
 		client := &jobs.Client{Base: *server}

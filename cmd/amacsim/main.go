@@ -72,7 +72,7 @@ func run(args []string, out io.Writer) error {
 	var (
 		scenarioPath = fs.String("scenario", "", "run a saved scenario spec (JSON file) instead of assembling one from flags")
 		dump         = fs.Bool("dump", false, "print the assembled scenario spec as JSON and exit")
-		topo         = fs.String("topology", "line", "registered topology: line | ring | star | grid | tree | rgg | rline | noisy-line | grid-crosstalk | parallel-lines | star-choke")
+		topo         = fs.String("topology", "line", "registered topology: line | ring | star | grid | tree | rgg | rline | pods | noisy-line | grid-crosstalk | parallel-lines | star-choke")
 		n            = fs.Int("n", 32, "number of nodes (grid uses the nearest square)")
 		k            = fs.Int("k", 2, "number of MMB messages")
 		r            = fs.Int("r", 2, "restriction radius for -topology rline")
@@ -86,6 +86,7 @@ func run(args []string, out io.Writer) error {
 		trials       = fs.Int("trials", 1, "replay the run across this many consecutive seeds")
 		par          = fs.Int("parallel", runtime.NumCPU(), "worker pool size for -trials > 1")
 		doCheck      = fs.Bool("check", true, "verify the abstract MAC layer guarantees")
+		shards       = fs.Int("shards", 0, "worker count for the component-sharded executor (0 = legacy serial engine)")
 		stats        = fs.Bool("stats", false, "print per-node and per-message metrics")
 		trace        = fs.Bool("trace", false, "dump the event trace")
 		cGrey        = fs.Float64("c", 1.6, "grey zone constant for -topology rgg")
@@ -134,6 +135,8 @@ func run(args []string, out io.Writer) error {
 				spec.Run.Parallelism = *par
 			case "check":
 				spec.Run.Check = *doCheck
+			case "shards":
+				spec.Run.Shards = *shards
 			case "scenario", "dump", "stats", "trace", "server":
 				// Orthogonal to the spec contents.
 			default:
@@ -152,6 +155,7 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
+		spec.Run.Shards = *shards
 	}
 
 	if *dump {
@@ -265,6 +269,10 @@ func specFromFlags(topo string, n, k, r int, algName, sname string, rel float64,
 		}
 	case "rline":
 		spec.Topology.Params = topology.Params{"n": float64(n), "r": float64(r), "p": 0.6}
+	case "pods":
+		// One pod per message: k disjoint r-restricted lines, the
+		// component-sharded executor's native workload.
+		spec.Topology.Params = topology.Params{"n": float64(n), "k": float64(k), "r": float64(r), "p": 0.6}
 	case "noisy-line":
 		spec.Topology.Params = topology.Params{"n": float64(n), "extra": float64(n)}
 	case "grid-crosstalk":
@@ -344,11 +352,17 @@ func printReport(out io.Writer, rep *scenario.Report, stats, trace bool) error {
 		fmt.Fprintf(out, "MMB violations: %v\n", res.MMBViolations)
 	}
 	if stats {
-		m := metrics.Collect(d, res.Engine.Instances(), res.Engine.Trace())
+		if res.Engine == nil {
+			return fmt.Errorf("-stats needs the per-instance records the decomposed executor does not retain (drop -shards)")
+		}
+		m := metrics.Collect(d, res.Engine.Instances(), res.Trace)
 		fmt.Fprint(out, m.String())
 	}
 	if trace {
-		fmt.Fprint(out, res.Engine.Trace().String())
+		if res.Trace == nil {
+			return fmt.Errorf("-trace needs the in-memory trace (run with trace mode %q)", core.TraceMemory)
+		}
+		fmt.Fprint(out, res.Trace.String())
 	}
 	if !res.Solved {
 		return fmt.Errorf("MMB not solved within the horizon")

@@ -56,7 +56,7 @@ func main() {
 	// Narrate m0's march down line A from the recorded trace.
 	m0 := core.Msg{ID: 0, Origin: net.A(1)}
 	fmt.Println("m0's frontier progress down line A (one hop per Fack — the adversary's work):")
-	for _, ev := range res.Engine.Trace().Filter(core.DeliverKind) {
+	for _, ev := range res.Trace.Filter(core.DeliverKind) {
 		if ev.Value().(core.Msg) != m0 {
 			continue
 		}

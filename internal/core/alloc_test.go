@@ -29,7 +29,7 @@ func TestBMMBFloodAllocationBudget(t *testing.T) {
 			Assignment:       SingleSource(16, 0, 2),
 			Automata:         NewBMMBFleet(16),
 			HaltOnCompletion: true,
-			NoTrace:          true,
+			Options:          RunOptions{Trace: TraceOff},
 		})
 	}
 	if res := run(); !res.Solved {
@@ -80,7 +80,7 @@ func TestWarmArenaTrialAllocations(t *testing.T) {
 			Assignment:       assignment,
 			Automata:         fleet,
 			HaltOnCompletion: true,
-			NoTrace:          true,
+			Options:          RunOptions{Trace: TraceOff},
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -115,7 +115,7 @@ func TestWarmArenaTrialAllocations(t *testing.T) {
 			Assignment:       assignment,
 			Automata:         NewBMMBFleet(n),
 			HaltOnCompletion: true,
-			NoTrace:          true,
+			Options:          RunOptions{Trace: TraceOff},
 		})
 		if !res.Solved {
 			t.Fatal("flood not solved")

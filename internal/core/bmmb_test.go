@@ -29,7 +29,7 @@ func runBMMB(t *testing.T, d *topology.Dual, s mac.Scheduler, a Assignment, seed
 		Assignment:       a,
 		Automata:         NewBMMBFleet(d.N()),
 		HaltOnCompletion: true,
-		Check:            true,
+		Options:          RunOptions{Check: true},
 	})
 	if len(res.MMBViolations) != 0 {
 		t.Fatalf("MMB violations: %v", res.MMBViolations)
@@ -141,7 +141,7 @@ func TestBMMBDeliversExactlyOnce(t *testing.T) {
 	}
 	// Count deliver events in the trace: exactly one per (node, msg).
 	counts := make(map[[2]int]int)
-	for _, ev := range res.Engine.Trace().Filter(DeliverKind) {
+	for _, ev := range res.Trace.Filter(DeliverKind) {
 		m := ev.Value().(Msg)
 		counts[[2]int{ev.Node, m.ID}]++
 	}

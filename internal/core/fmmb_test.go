@@ -28,7 +28,7 @@ func runFMMB(t *testing.T, d *topology.Dual, c float64, a Assignment, seed int64
 		Horizon:          sim.Time(cfg.Rounds()+2) * testFprog,
 		StepLimit:        1 << 62,
 		HaltOnCompletion: true,
-		Check:            true,
+		Options:          RunOptions{Check: true},
 	})
 	if len(res.MMBViolations) != 0 {
 		t.Fatalf("MMB violations: %v", res.MMBViolations)

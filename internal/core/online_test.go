@@ -61,7 +61,7 @@ func TestOnlineBMMBStaggeredArrivals(t *testing.T) {
 		Dual: d, Fack: testFack, Fprog: testFprog,
 		Scheduler: &sched.Contention{}, Seed: 9,
 		Workload: w, Automata: NewBMMBFleet(12),
-		HaltOnCompletion: true, Check: true,
+		HaltOnCompletion: true, Options: RunOptions{Check: true},
 	})
 	if !res.Solved {
 		t.Fatalf("online run unsolved: %d/%d", res.Delivered, res.Required)
@@ -122,7 +122,7 @@ func TestOnlineBMMBPoissonEndToEnd(t *testing.T) {
 		Dual: d, Fack: testFack, Fprog: testFprog,
 		Scheduler: &sched.Contention{Rel: sched.Bernoulli{P: 0.5}}, Seed: 3,
 		Workload: w, Automata: NewBMMBFleet(d.N()),
-		HaltOnCompletion: true, Check: true,
+		HaltOnCompletion: true, Options: RunOptions{Check: true},
 	})
 	if !res.Solved {
 		t.Fatalf("unsolved: %d/%d by %v", res.Delivered, res.Required, res.End)

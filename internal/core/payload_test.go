@@ -131,7 +131,7 @@ func TestAlgorithmTracesNeverBox(t *testing.T) {
 			if !res.Solved {
 				t.Fatalf("%s not solved: %d/%d", name, res.Delivered, res.Required)
 			}
-			events := res.Engine.Trace().Events()
+			events := res.Trace.Events()
 			if len(events) == 0 {
 				t.Fatal("empty trace")
 			}

@@ -83,7 +83,7 @@ func TestBMMBWideSeedSweepContention(t *testing.T) {
 			Assignment:       a,
 			Automata:         NewBMMBFleet(16),
 			HaltOnCompletion: true,
-			Check:            true,
+			Options:          RunOptions{Check: true},
 		})
 		if !res.Solved {
 			t.Fatalf("seed %d: not solved (%d/%d)", seed, res.Delivered, res.Required)

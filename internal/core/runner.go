@@ -17,8 +17,17 @@ type RunConfig struct {
 	Dual *topology.Dual
 	// Fack and Fprog are the model constants in ticks.
 	Fack, Fprog sim.Time
-	// Scheduler supplies the model's non-determinism. Required.
+	// Scheduler supplies the model's non-determinism. Required; it serves
+	// every single-engine execution (the legacy path, and decomposed runs
+	// that degenerate to one engine).
 	Scheduler mac.Scheduler
+	// NewScheduler constructs a fresh scheduler instance. Required when
+	// Options.Shards >= 1 (each component shard / region engine gets its
+	// own instance; sharing one would entangle their random streams) and
+	// forbidden otherwise. Instances must be built deterministically —
+	// equal calls, equal schedulers — and the function must be safe to call
+	// from concurrent shard workers.
+	NewScheduler func() mac.Scheduler
 	// Mode selects Standard (default) or Enhanced.
 	Mode mac.Mode
 	// Seed drives all randomness.
@@ -41,19 +50,11 @@ type RunConfig struct {
 	// delivery happens (the runner observes completion; the algorithms
 	// themselves never learn k, matching the problem statement).
 	HaltOnCompletion bool
-	// Check runs the model-guarantee checkers after the run.
-	Check bool
-	// NoTrace disables trace recording for throughput-oriented runs. The
-	// runner's own completion watcher still observes every event, so
-	// Result is unaffected. Ignored when Check is set: the MMB checker
-	// re-derives the problem conditions from the full trace.
-	NoTrace bool
-	// Sink, when set, streams trace events out instead of accumulating
-	// them in the engine's in-memory trace — pair with a sim.TraceWriter
-	// for networks whose traces exceed RAM. The completion watcher is
-	// unaffected. Ignored when Check is set (the checkers read the full
-	// in-memory trace) and when NoTrace disables recording.
-	Sink sim.TraceSink
+	// Options is the unified observation/verification/parallelism block:
+	// trace mode, sink, checking, and the decomposed-executor knobs. The
+	// zero value (trace to memory, no check, legacy executor) matches the
+	// old defaults; illegal combinations fail Validate.
+	Options RunOptions
 	// EpsAbort forwards to the engine.
 	EpsAbort sim.Time
 }
@@ -81,11 +82,19 @@ type Result struct {
 	// MMBViolations lists violations of the MMB problem's own
 	// correctness conditions (duplicate or unsolicited delivers).
 	MMBViolations []string
+	// Trace holds the recorded execution trace when Options.Trace is
+	// TraceMemory, nil otherwise. On the legacy executor it aliases the
+	// engine's trace (pooled on a warm Runner: valid until the next Run);
+	// on the decomposed executor it is a freshly merged trace the caller
+	// owns.
+	Trace *sim.Trace
 	// Engine exposes the underlying engine for post-run inspection. For
 	// executions on a warm Runner the engine is pooled: it stays valid
 	// only until the Runner's next Run recycles it, so inspect (or copy
 	// out of) it before starting another trial. Plain core.Run results
-	// keep their engine indefinitely.
+	// keep their engine indefinitely. Decomposed executions (Options.Shards
+	// >= 1 on a multi-component network, or Options.Regions > 1) run many
+	// engines and leave Engine nil.
 	Engine *mac.Engine
 }
 
@@ -119,6 +128,15 @@ func (cfg *RunConfig) resolve() (*Workload, error) {
 	if cfg.EpsAbort < 0 {
 		return nil, fmt.Errorf("core: EpsAbort must be >= 0, got %d", cfg.EpsAbort)
 	}
+	if err := cfg.Options.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Options.Shards >= 1 && cfg.NewScheduler == nil {
+		return nil, fmt.Errorf("core: Options.Shards=%d requires NewScheduler (each shard engine needs its own scheduler instance)", cfg.Options.Shards)
+	}
+	if cfg.Options.Shards == 0 && cfg.NewScheduler != nil {
+		return nil, fmt.Errorf("core: NewScheduler set but Options.Shards=0 selects the single-engine executor (set Shards >= 1 or drop NewScheduler)")
+	}
 	n := cfg.Dual.N()
 	workload := cfg.Workload
 	if workload == nil {
@@ -133,6 +151,12 @@ func (cfg *RunConfig) resolve() (*Workload, error) {
 	for i, a := range cfg.Automata {
 		if a == nil {
 			return nil, fmt.Errorf("core: nil automaton for node %d", i)
+		}
+		if cfg.Options.Regions > 1 {
+			if _, ok := a.(mac.Resettable); !ok {
+				return nil, fmt.Errorf("core: Options.Regions=%d requires resettable automata (node %d's %T does not implement mac.Resettable; windowed execution replays regions from time zero)",
+					cfg.Options.Regions, i, a)
+			}
 		}
 	}
 	if workload.K() == 0 {
@@ -192,6 +216,14 @@ type Runner struct {
 	compQueue []graph.NodeID
 	st        runState
 	watch     func(sim.TraceEvent)
+	// The G′ component index drives the sharded executor's carve-up. It is
+	// computed lazily on the first sharded Run (legacy runs never pay for
+	// it) and keyed by the dual it was computed for, so Rebind invalidates
+	// it for free. Forks recompute their own rather than sharing.
+	gpFor      *topology.Dual
+	gpCompOf   []int
+	gpCompSize []int
+	gpQueue    []graph.NodeID
 }
 
 // NewRunner returns a warm runner for the given network. It panics on an
@@ -254,6 +286,17 @@ func (r *Runner) Rebind(d *topology.Dual) {
 // equal copy would invalidate the precomputed CSR index anyway).
 func (r *Runner) Run(cfg RunConfig) (*Result, error) {
 	return runWith(cfg, r)
+}
+
+// gprimeIndex returns the component index of G′, computed on first use and
+// recycled across runs until a Rebind re-targets the runner.
+func (r *Runner) gprimeIndex() (compOf, compSizes []int) {
+	if r.gpFor != r.dual {
+		r.gpCompOf, r.gpCompSize, r.gpQueue =
+			componentIndexInto(r.dual.GPrime, r.gpCompOf, r.gpCompSize, r.gpQueue)
+		r.gpFor = r.dual
+	}
+	return r.gpCompOf, r.gpCompSize
 }
 
 // componentIndex maps each node to its G-component index and each component
@@ -388,6 +431,29 @@ func runWith(cfg RunConfig, rn *Runner) (*Result, error) {
 		cfg.StepLimit = uint64(n+1) * uint64(cfg.Horizon/cfg.Fprog+1) * 64
 	}
 
+	// Decomposed executors. Their output is a pure function of the
+	// configuration — independent of Shards beyond the >= 1 switch, and of
+	// how many workers actually run — but it is a different function from
+	// the legacy single-engine execution whenever the network genuinely
+	// decomposes (per-shard scheduler streams replace the one global one).
+	if cfg.Options.Regions > 1 {
+		return runWindowed(cfg, rn)
+	}
+	if cfg.Options.Shards >= 1 {
+		var gpOf, gpSizes []int
+		if rn != nil {
+			gpOf, gpSizes = rn.gprimeIndex()
+		} else {
+			gpOf, gpSizes = componentIndex(cfg.Dual.GPrime)
+		}
+		if len(gpSizes) > 1 {
+			return runSharded(cfg, rn, gpOf, gpSizes)
+		}
+		// Connected in G′: the only shard is the whole network, and the
+		// decomposed semantics coincide exactly with the single-engine
+		// execution below (same scheduler, same streams, same trace).
+	}
+
 	mcfg := mac.Config{
 		Dual:      cfg.Dual,
 		Fack:      cfg.Fack,
@@ -396,10 +462,10 @@ func runWith(cfg RunConfig, rn *Runner) (*Result, error) {
 		Mode:      cfg.Mode,
 		Seed:      cfg.Seed,
 		EpsAbort:  cfg.EpsAbort,
-		NoTrace:   cfg.NoTrace && !cfg.Check,
+		NoTrace:   cfg.Options.Trace == TraceOff,
 	}
-	if !cfg.Check {
-		mcfg.Sink = cfg.Sink
+	if cfg.Options.Trace == TraceStream {
+		mcfg.Sink = cfg.Options.Sink
 	}
 	if rn != nil {
 		mcfg.Arena = rn.arena
@@ -456,7 +522,10 @@ func runWith(cfg RunConfig, rn *Runner) (*Result, error) {
 	res.End = eng.Sim().Now()
 	res.Steps = eng.Sim().Steps()
 	res.Broadcasts = len(eng.Instances())
-	if cfg.Check {
+	if cfg.Options.Trace == TraceMemory {
+		res.Trace = eng.Trace()
+	}
+	if cfg.Options.Check {
 		res.Report = check.All(cfg.Dual, eng.Instances(), check.Params{
 			Fack:     cfg.Fack,
 			Fprog:    cfg.Fprog,

@@ -16,7 +16,7 @@ import (
 func snapshot(res *core.Result) string {
 	return fmt.Sprintf("solved=%v t=%d end=%d delivered=%d required=%d bcasts=%d steps=%d ok=%v\n%s",
 		res.Solved, res.CompletionTime, res.End, res.Delivered, res.Required,
-		res.Broadcasts, res.Steps, res.Report.OK(), res.Engine.Trace().String())
+		res.Broadcasts, res.Steps, res.Report.OK(), res.Trace.String())
 }
 
 // TestRunnerWarmMatchesCold replays the same seeds through fresh core.Run
@@ -41,7 +41,7 @@ func TestRunnerWarmMatchesCold(t *testing.T) {
 			Assignment:       assignment,
 			Automata:         core.NewBMMBFleet(16),
 			HaltOnCompletion: true,
-			Check:            true,
+			Options:          core.RunOptions{Check: true},
 		})
 		if err != nil {
 			t.Fatalf("cold run seed %d: %v", seed, err)
@@ -67,7 +67,7 @@ func TestRunnerWarmMatchesCold(t *testing.T) {
 			Assignment:       assignment,
 			Automata:         fleet,
 			HaltOnCompletion: true,
-			Check:            true,
+			Options:          core.RunOptions{Check: true},
 		})
 		if err != nil {
 			t.Fatalf("warm run seed %d: %v", seed, err)
@@ -122,7 +122,7 @@ func TestRunnerRebindMatchesCold(t *testing.T) {
 			Assignment:       core.SingleSource(d.N(), 0, 2),
 			Automata:         fleet,
 			HaltOnCompletion: true,
-			Check:            true,
+			Options:          core.RunOptions{Check: true},
 		}
 	}
 

@@ -36,7 +36,7 @@ func TestBMMBSpitefulGreyTraffic(t *testing.T) {
 			Assignment:       Singleton(n, origins),
 			Automata:         NewBMMBFleet(n),
 			HaltOnCompletion: true,
-			Check:            true,
+			Options:          RunOptions{Check: true},
 		})
 		if !res.Solved {
 			t.Fatalf("seed %d: not solved (%d/%d)", seed, res.Delivered, res.Required)
@@ -68,7 +68,7 @@ func TestBMMBFlakyLinksEndToEnd(t *testing.T) {
 		Assignment:       Singleton(20, []graph.NodeID{0, 10, 19}),
 		Automata:         NewBMMBFleet(20),
 		HaltOnCompletion: true,
-		Check:            true,
+		Options:          RunOptions{Check: true},
 	})
 	if !res.Solved {
 		t.Fatalf("not solved: %d/%d", res.Delivered, res.Required)
@@ -93,7 +93,7 @@ func TestBMMBSingleNodeNetwork(t *testing.T) {
 		Assignment:       SingleSource(1, 0, 1),
 		Automata:         NewBMMBFleet(1),
 		HaltOnCompletion: false,
-		Check:            true,
+		Options:          RunOptions{Check: true},
 	})
 	if !res.Solved || res.CompletionTime != 0 {
 		t.Fatalf("solved=%v at %v", res.Solved, res.CompletionTime)
@@ -125,7 +125,7 @@ func TestBMMBLargeScale(t *testing.T) {
 		Assignment:       Singleton(256, origins),
 		Automata:         NewBMMBFleet(256),
 		HaltOnCompletion: true,
-		Check:            true,
+		Options:          RunOptions{Check: true},
 	})
 	if !res.Solved {
 		t.Fatalf("not solved: %d/%d by %v", res.Delivered, res.Required, res.End)

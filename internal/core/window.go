@@ -1,0 +1,418 @@
+package core
+
+import (
+	"sort"
+
+	"amac/internal/check"
+	"amac/internal/mac"
+	"amac/internal/par"
+	"amac/internal/sim"
+)
+
+// The windowed executor: Options.Regions > 1, the first rung of the
+// optimistic time-window scheme for single-component giants. The network is
+// partitioned into contiguous node regions, each on its own engine that
+// owns its nodes (mac.Config.Owns); deliveries crossing a region boundary
+// are exported by the sending engine and injected into the receiving one
+// (mac.Engine.InjectRecv). Regions execute one Fprog-sized window at a time
+// in parallel, then exchange exports at a barrier:
+//
+//   - an export landing at or after the receiver's clock is injected into
+//     the live engine, which re-runs to the window edge;
+//   - an export landing before the receiver's clock — or the retraction of
+//     one it already applied — rolls the region back: the pooled engine is
+//     re-acquired (recycled events, reset trace), its automata reset, and
+//     the region replays from time zero with the full accumulated inbox.
+//
+// The exchange repeats until no region's inbox changes (a synchronous
+// fixpoint, so the committed executions are independent of how many workers
+// ran the regions), then the window advances. A window whose fixpoint fails
+// to settle within windowFixpointCap iterations falls back — again
+// deterministically — to a serial single-engine execution.
+//
+// The committed semantics is a pure function of the configuration (for a
+// fixed Regions value): TestWindowedDeterminism pins that traces are
+// byte-identical across Shards values and repeated runs. It is a different
+// interleaving from the legacy serial execution — cross-region ties order
+// by injection instead of global scheduling order — but every model
+// guarantee still holds, which Options.Check verifies per region and across
+// the merged trace.
+
+// windowFixpointCap bounds fixpoint iterations per window. A cap hit (an
+// oscillating cross-region schedule) abandons windowing for the run and
+// re-executes serially, so the result is still deterministic.
+const windowFixpointCap = 64
+
+// extEvent is one exported cross-region delivery. (src, idx) — the
+// exporting region and the position in its export order — make the sort
+// and the applied-inbox comparison total and deterministic.
+type extEvent struct {
+	at      sim.Time
+	to      mac.NodeID
+	inst    mac.InstanceID
+	sender  mac.NodeID
+	payload mac.Payload
+	src     int
+	idx     int
+}
+
+func extLess(a, b extEvent) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.src != b.src {
+		return a.src < b.src
+	}
+	return a.idx < b.idx
+}
+
+// region is the per-region execution state the window loop drives.
+type region struct {
+	lo, hi  mac.NodeID // owned nodes: [lo, hi)
+	nodes   []mac.NodeID
+	arrs    []Arrival
+	arena   *mac.Arena
+	eng     *mac.Engine
+	outbox  []extEvent // exports of the current execution prefix, in order
+	applied []extEvent // the inbox the current execution has incorporated
+	inbox   []extEvent // the inbox the last exchange computed
+	replay  bool       // rebuild from time zero before the next run
+	run     bool       // participate in the next run round
+}
+
+func (rg *region) owns(v mac.NodeID) bool { return v >= rg.lo && v < rg.hi }
+
+func runWindowed(cfg RunConfig, rn *Runner) (*Result, error) {
+	n := cfg.Dual.N()
+	nRegions := cfg.Options.Regions
+	if nRegions > n {
+		nRegions = n
+	}
+
+	var baseArena *mac.Arena
+	if rn != nil {
+		baseArena = rn.arena
+	} else {
+		baseArena = mac.NewArena(cfg.Dual)
+	}
+
+	arrivals := cfg.Workload.Arrivals()
+	regions := make([]region, nRegions)
+	for r := range regions {
+		lo := mac.NodeID(r * n / nRegions)
+		hi := mac.NodeID((r + 1) * n / nRegions)
+		rg := &regions[r]
+		rg.lo, rg.hi = lo, hi
+		rg.nodes = make([]mac.NodeID, 0, hi-lo)
+		for v := lo; v < hi; v++ {
+			rg.nodes = append(rg.nodes, v)
+		}
+		for _, ar := range arrivals {
+			if rg.owns(ar.Node) {
+				rg.arrs = append(rg.arrs, ar)
+			}
+		}
+		// Forks share the CSR position index; each region keeps its own
+		// pooled engine alive across windows.
+		rg.arena = baseArena.Fork()
+		rg.replay, rg.run = true, true
+	}
+
+	workers := par.Workers(cfg.Options.Shards, nRegions)
+	runRound := func(windowEnd sim.Time) {
+		work := make([]int, 0, nRegions)
+		for r := range regions {
+			if regions[r].run {
+				work = append(work, r)
+			}
+		}
+		par.For(workers, len(work), func(i int) {
+			runRegionTo(cfg, &regions[work[i]], work[i], windowEnd)
+		})
+	}
+
+	// exchange recomputes every region's inbox from the current outboxes
+	// and marks the regions whose next round must run (and how). It
+	// returns whether any inbox changed.
+	inboxes := make([][]extEvent, nRegions)
+	exchange := func() bool {
+		for r := range inboxes {
+			inboxes[r] = inboxes[r][:0]
+		}
+		for s := range regions {
+			for _, ev := range regions[s].outbox {
+				r := regionIndexOf(regions, ev.to)
+				inboxes[r] = append(inboxes[r], ev)
+			}
+		}
+		changed := false
+		for r := range regions {
+			rg := &regions[r]
+			sort.Slice(inboxes[r], func(a, b int) bool { return extLess(inboxes[r][a], inboxes[r][b]) })
+			rg.inbox = append(rg.inbox[:0], inboxes[r]...)
+			rg.run, rg.replay = false, false
+			if extEqual(rg.inbox, rg.applied) {
+				continue
+			}
+			changed = true
+			rg.run = true
+			rg.replay = !extIncremental(rg.applied, rg.inbox, rg.eng.Sim().Now())
+		}
+		return changed
+	}
+
+	horizon := cfg.Horizon
+	windowEnd := cfg.Fprog
+	if windowEnd > horizon {
+		windowEnd = horizon
+	}
+	fellBack := false
+	for {
+		converged := false
+		for iter := 0; iter < windowFixpointCap; iter++ {
+			runRound(windowEnd)
+			if !exchange() {
+				converged = true
+				break
+			}
+		}
+		if !converged {
+			fellBack = true
+			break
+		}
+		// Window committed. Done when every region is quiescent or the
+		// horizon is reached; under HaltOnCompletion also when all
+		// required deliveries have happened (the runner may overshoot by
+		// at most one window — completion is detected at the barrier).
+		if windowEnd >= horizon {
+			break
+		}
+		idle := true
+		for r := range regions {
+			if regions[r].eng.Sim().Pending() {
+				idle = false
+				break
+			}
+		}
+		if idle {
+			break
+		}
+		if cfg.HaltOnCompletion && windowedComplete(cfg, regions) {
+			break
+		}
+		windowEnd += cfg.Fprog
+		if windowEnd > horizon {
+			windowEnd = horizon
+		}
+		for r := range regions {
+			rg := &regions[r]
+			rg.run = rg.eng.Sim().Pending() && rg.eng.Sim().NextTime() <= windowEnd
+			rg.replay = false
+		}
+	}
+
+	if fellBack {
+		// Deterministic escape hatch: the automata have been mutated by
+		// the abandoned optimistic executions, so reset them all and run
+		// the whole network serially on a fresh scheduler instance.
+		for _, a := range cfg.Automata {
+			a.(mac.Resettable).Reset()
+		}
+		fcfg := cfg
+		fcfg.Options.Shards = 0
+		fcfg.Options.Regions = 0
+		fcfg.Scheduler = cfg.NewScheduler()
+		fcfg.NewScheduler = nil
+		return runWith(fcfg, rn)
+	}
+
+	return mergeWindowed(cfg, regions)
+}
+
+// regionIndexOf locates the region owning v. Regions partition [0, n) into
+// contiguous ranges, so a binary search over the lower bounds suffices.
+func regionIndexOf(regions []region, v mac.NodeID) int {
+	lo, hi := 0, len(regions)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if regions[mid].lo <= v {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// extEqual reports whether two sorted export lists are identical.
+func extEqual(a, b []extEvent) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// extIncremental reports whether newInbox extends applied only with events
+// at or after clock — the case a live engine can absorb by injection,
+// without rolling back. applied and newInbox are sorted by extLess.
+func extIncremental(applied, newInbox []extEvent, clock sim.Time) bool {
+	i := 0
+	for _, ev := range newInbox {
+		if i < len(applied) && applied[i] == ev {
+			i++
+			continue
+		}
+		if ev.at < clock {
+			return false
+		}
+	}
+	return i == len(applied) // every applied event survived
+}
+
+// runRegionTo brings one region's execution to the window edge: a full
+// replay from time zero when rg.replay is set, otherwise injection of the
+// not-yet-applied inbox suffix into the live engine and a re-run.
+func runRegionTo(cfg RunConfig, rg *region, ri int, windowEnd sim.Time) {
+	if rg.replay || rg.eng == nil {
+		for _, v := range rg.nodes {
+			if res, ok := cfg.Automata[v].(mac.Resettable); ok {
+				res.Reset()
+			}
+		}
+		mcfg := mac.Config{
+			Dual:      cfg.Dual,
+			Fack:      cfg.Fack,
+			Fprog:     cfg.Fprog,
+			Scheduler: cfg.NewScheduler(),
+			Mode:      cfg.Mode,
+			Seed:      cfg.Seed,
+			EpsAbort:  cfg.EpsAbort,
+			NoTrace:   cfg.Options.Trace == TraceOff,
+			Owns:      rg.owns,
+			Export: func(at sim.Time, to mac.NodeID, inst mac.InstanceID, sender mac.NodeID, payload mac.Payload) {
+				rg.outbox = append(rg.outbox, extEvent{
+					at: at, to: to, inst: inst, sender: sender, payload: payload,
+					src: ri, idx: len(rg.outbox),
+				})
+			},
+			Arena: rg.arena,
+		}
+		rg.eng = mac.NewEngine(mcfg, cfg.Automata)
+		rg.eng.Sim().SetHorizon(cfg.Horizon)
+		rg.eng.Sim().SetStepLimit(cfg.StepLimit)
+		rg.eng.StartNodes(rg.nodes)
+		for _, ar := range rg.arrs {
+			rg.eng.Arrive(ar.Node, ar.Msg.Payload(), ar.At)
+		}
+		rg.outbox = rg.outbox[:0]
+		for _, ev := range rg.inbox {
+			rg.eng.InjectRecv(ev.at, ev.to, ev.inst, ev.sender, ev.payload)
+		}
+		rg.applied = append(rg.applied[:0], rg.inbox...)
+	} else {
+		// Inject the new suffix (extIncremental guaranteed every event is
+		// at or after the engine's clock) and absorb it below.
+		i := 0
+		for _, ev := range rg.inbox {
+			if i < len(rg.applied) && rg.applied[i] == ev {
+				i++
+				continue
+			}
+			rg.eng.InjectRecv(ev.at, ev.to, ev.inst, ev.sender, ev.payload)
+		}
+		rg.applied = append(rg.applied[:0], rg.inbox...)
+	}
+	rg.eng.Sim().RunUntil(windowEnd)
+}
+
+// windowedComplete reports whether every required delivery appears in the
+// committed traces — the HaltOnCompletion barrier test. It re-derives the
+// count offline each barrier (traces are replayed wholesale on rollback, so
+// no incremental counter survives).
+func windowedComplete(cfg RunConfig, regions []region) bool {
+	res, _ := windowedAccount(cfg, regions, nil)
+	return res.Solved
+}
+
+// windowedAccount runs the runner's completion accounting over the merged
+// committed trace: Delivered/Solved/CompletionTime and the online MMB
+// violations, exactly as the single-engine watcher observes them.
+func windowedAccount(cfg RunConfig, regions []region, sink sim.TraceSink) (*Result, []int) {
+	compOf, compSizes := componentIndex(cfg.Dual.G)
+	required := 0
+	for _, ar := range cfg.Workload.Arrivals() {
+		required += compSizes[compOf[ar.Msg.Origin]]
+	}
+	res := &Result{Required: required}
+	st := runState{
+		res:      res,
+		compOf:   compOf,
+		required: required,
+		seen:     make(map[deliverKey]bool, required),
+		arrived:  make(map[Msg]bool, cfg.Workload.K()),
+	}
+	results := make([]compResult, len(regions))
+	for r := range regions {
+		results[r].events = regions[r].eng.Trace().Events()
+	}
+	mergeTraces(results, traceFunc(func(ev sim.TraceEvent) {
+		st.onEvent(ev)
+		if sink != nil {
+			sink.Append(ev)
+		}
+	}))
+	return res, compOf
+}
+
+// traceFunc adapts a function to sim.TraceSink.
+type traceFunc func(sim.TraceEvent)
+
+func (f traceFunc) Append(ev sim.TraceEvent) { f(ev) }
+
+// mergeWindowed assembles the final Result from the committed regions.
+func mergeWindowed(cfg RunConfig, regions []region) (*Result, error) {
+	var res *Result
+	switch cfg.Options.Trace {
+	case TraceMemory:
+		tr := &sim.Trace{}
+		res, _ = windowedAccount(cfg, regions, tr)
+		res.Trace = tr
+	case TraceStream:
+		res, _ = windowedAccount(cfg, regions, cfg.Options.Sink)
+	default:
+		res, _ = windowedAccount(cfg, regions, nil)
+	}
+	for r := range regions {
+		rg := &regions[r]
+		res.Steps += rg.eng.Sim().Steps()
+		res.Broadcasts += len(rg.eng.Instances())
+		if end := rg.eng.Sim().Now(); end > res.End {
+			res.End = end
+		}
+	}
+	if cfg.Options.Check {
+		// One checker pass over the concatenated instances: the progress
+		// bound is a cross-instance property (a window at receiver j may be
+		// covered by a rcv from any region's instance), so per-region
+		// reports would fabricate violations.
+		var insts []*mac.Instance
+		for r := range regions {
+			insts = append(insts, regions[r].eng.Instances()...)
+		}
+		res.Report = check.All(cfg.Dual, insts, check.Params{
+			Fack:     cfg.Fack,
+			Fprog:    cfg.Fprog,
+			EpsAbort: cfg.EpsAbort,
+			End:      res.End,
+		})
+		if res.Trace != nil {
+			check.MMB(res.Report, res.Trace.Events(), check.MMBParams{DeliverKind: DeliverKind})
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,106 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	. "amac/internal/core"
+	"amac/internal/mac"
+	"amac/internal/topology"
+)
+
+// fixedAutomaton is a deliberately non-Resettable automaton used to probe
+// the Regions>1 validation path.
+type fixedAutomaton struct{}
+
+func (fixedAutomaton) Wakeup(mac.Context)             {}
+func (fixedAutomaton) Recv(mac.Context, mac.Message)  {}
+func (fixedAutomaton) Acked(mac.Context, mac.Message) {}
+
+// windowedConfig is the shared configuration of the windowed-executor
+// tests: a connected r-restricted line (grey edges reach across region
+// boundaries) split into contiguous time-window regions.
+func windowedConfig(shards, regions int, seed int64) RunConfig {
+	d := topology.LineRRestricted(24, 2, 0.7, rand.New(rand.NewSource(11)))
+	return RunConfig{
+		Dual:             d,
+		Fack:             200,
+		Fprog:            10,
+		Scheduler:        newSync(),
+		NewScheduler:     newSync,
+		Seed:             seed,
+		Assignment:       SingleSource(24, 0, 3),
+		Automata:         NewBMMBFleet(24),
+		HaltOnCompletion: true,
+		Options:          RunOptions{Check: true, Shards: shards, Regions: regions},
+	}
+}
+
+// TestWindowedDeterminism pins the optimistic time-window executor's core
+// guarantee: the merged trace and scalar results are a pure function of the
+// configuration — independent of the worker count driving the regions.
+func TestWindowedDeterminism(t *testing.T) {
+	ref := runSharded(t, windowedConfig(1, 4, 5))
+	refTrace := ref.Trace.String()
+	if refTrace == "" {
+		t.Fatal("empty merged trace")
+	}
+	if ref.Engine != nil {
+		t.Fatal("windowed run should leave Result.Engine nil")
+	}
+	for _, shards := range []int{1, 2, 4, 8} {
+		res := runSharded(t, windowedConfig(shards, 4, 5))
+		if got := res.Trace.String(); got != refTrace {
+			t.Fatalf("shards=%d windowed trace differs from shards=1", shards)
+		}
+		if res.Delivered != ref.Delivered || res.Steps != ref.Steps ||
+			res.Broadcasts != ref.Broadcasts || res.End != ref.End {
+			t.Fatalf("shards=%d windowed result differs: %+v vs %+v", shards, res, ref)
+		}
+	}
+}
+
+// TestWindowedMatchesLegacyOutcome pins that the windowed decomposition
+// reaches the same solution as the legacy single-engine run: every required
+// delivery happens and the checkers hold. (Traces are not byte-compared —
+// the windowed executor assigns instance IDs per region, so its trace is
+// its own deterministic artifact, validated by the checkers instead.)
+func TestWindowedMatchesLegacyOutcome(t *testing.T) {
+	legacy := windowedConfig(0, 0, 5)
+	legacy.NewScheduler = nil
+	lres := runSharded(t, legacy)
+
+	wres := runSharded(t, windowedConfig(2, 4, 5))
+	if wres.Delivered != lres.Delivered || wres.Required != lres.Required {
+		t.Fatalf("windowed delivered %d/%d, legacy %d/%d",
+			wres.Delivered, wres.Required, lres.Delivered, lres.Required)
+	}
+}
+
+// TestWindowedDeterminismProperty sweeps seeds and region counts, asserting
+// for each configuration that two independent executions at different
+// worker counts agree byte-for-byte and satisfy the MMB checkers.
+func TestWindowedDeterminismProperty(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		for _, regions := range []int{2, 3, 6} {
+			a := runSharded(t, windowedConfig(1, regions, seed))
+			b := runSharded(t, windowedConfig(4, regions, seed))
+			if a.Trace.String() != b.Trace.String() {
+				t.Fatalf("seed=%d regions=%d: trace depends on worker count", seed, regions)
+			}
+			if a.Delivered != b.Delivered || a.End != b.End {
+				t.Fatalf("seed=%d regions=%d: results differ: %+v vs %+v", seed, regions, a, b)
+			}
+		}
+	}
+}
+
+// TestWindowedRequiresResettable pins the config-surface rule: region
+// replay needs Reset, so Regions>1 rejects fleets that cannot rewind.
+func TestWindowedRequiresResettable(t *testing.T) {
+	cfg := windowedConfig(2, 4, 5)
+	cfg.Automata[3] = fixedAutomaton{}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("expected an error for a non-Resettable automaton under Regions>1")
+	}
+}

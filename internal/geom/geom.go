@@ -141,8 +141,8 @@ func (e Embedding) VerifyGreyZone(g, gp *graph.Graph, c float64) bool {
 			}
 		}
 	}
-	for _, edge := range gp.Edges() {
-		if e.Dist(edge[0], edge[1]) > c {
+	for u, v := range gp.EdgeSeq() {
+		if e.Dist(u, v) > c {
 			return false
 		}
 	}

@@ -6,6 +6,7 @@ package graph
 
 import (
 	"fmt"
+	"iter"
 	"math"
 	"slices"
 	"sync"
@@ -309,18 +310,32 @@ func (g *Graph) MaxDegree() int {
 }
 
 // Edges returns every edge once, as pairs (u, v) with u < v, in
-// lexicographic order.
+// lexicographic order. Large-graph consumers that only need to walk the
+// edges should range over EdgeSeq instead and skip this materialization.
 func (g *Graph) Edges() [][2]NodeID {
-	g.finalize()
-	out := make([][2]NodeID, 0, g.m)
-	for u := 0; u < g.n; u++ {
-		for _, v := range g.row(NodeID(u)) {
-			if NodeID(u) < v {
-				out = append(out, [2]NodeID{NodeID(u), v})
+	out := make([][2]NodeID, 0, g.M())
+	for u, v := range g.EdgeSeq() {
+		out = append(out, [2]NodeID{u, v})
+	}
+	return out
+}
+
+// EdgeSeq returns an iterator over every edge once, as pairs (u, v) with
+// u < v, in the same lexicographic order Edges returns — streamed straight
+// off the CSR rows, with no intermediate slice. Builders that feed a
+// random stream from the edge order (RRestricted and friends) may switch
+// between Edges and EdgeSeq freely: the visit order is identical.
+func (g *Graph) EdgeSeq() iter.Seq2[NodeID, NodeID] {
+	return func(yield func(NodeID, NodeID) bool) {
+		g.finalize()
+		for u := 0; u < g.n; u++ {
+			for _, v := range g.row(NodeID(u)) {
+				if NodeID(u) < v && !yield(NodeID(u), v) {
+					return
+				}
 			}
 		}
 	}
-	return out
 }
 
 // Clone returns a deep copy of g.
@@ -335,8 +350,8 @@ func Union(g, h *Graph) *Graph {
 		panic("graph: union of graphs with different node counts")
 	}
 	u := g.Clone()
-	for _, e := range h.Edges() {
-		u.AddEdge(e[0], e[1])
+	for a, b := range h.EdgeSeq() {
+		u.AddEdge(a, b)
 	}
 	return u
 }

@@ -408,3 +408,47 @@ func TestPowerIntoMatchesPower(t *testing.T) {
 	}()
 	g.PowerInto(2, g)
 }
+
+// TestEdgeSeqMatchesEdges pins the streaming iterator's contract: EdgeSeq
+// yields exactly the pairs Edges materializes, in the same lexicographic
+// order — the property the randomized builders rely on to keep their rng
+// streams (and hence the golden traces) unchanged after switching.
+func TestEdgeSeqMatchesEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(40)
+		g := New(n)
+		for k := 0; k < n*2; k++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				g.AddEdge(NodeID(u), NodeID(v))
+			}
+		}
+		want := g.Edges()
+		i := 0
+		for u, v := range g.EdgeSeq() {
+			if i >= len(want) || want[i][0] != u || want[i][1] != v {
+				t.Fatalf("trial %d: EdgeSeq[%d] = (%d,%d), want %v", trial, i, u, v, want[i:])
+			}
+			i++
+		}
+		if i != len(want) {
+			t.Fatalf("trial %d: EdgeSeq yielded %d edges, Edges has %d", trial, i, len(want))
+		}
+	}
+}
+
+// TestEdgeSeqEarlyBreak pins that a consumer can stop the stream mid-walk.
+func TestEdgeSeqEarlyBreak(t *testing.T) {
+	g := line(10)
+	count := 0
+	for range g.EdgeSeq() {
+		count++
+		if count == 3 {
+			break
+		}
+	}
+	if count != 3 {
+		t.Fatalf("walked %d edges after break at 3", count)
+	}
+}

@@ -69,7 +69,7 @@ func MessageComplexity(o Options) *Table {
 			Model:     model,
 			Run:       scenario.RunSpec{Check: o.Check},
 		}, seed, built)
-		fmm := metrics.Collect(fm.Built.Dual, fm.Result.Engine.Instances(), fm.Result.Engine.Trace())
+		fmm := metrics.Collect(fm.Built.Dual, fm.Result.Engine.Instances(), fm.Result.Trace)
 		return trial{
 			bB:     float64(bm.Result.Broadcasts),
 			fB:     float64(fmm.TotalInstances),

@@ -27,6 +27,7 @@ func Experiments() []Experiment {
 		{"gather-spread-subroutines", "", SubroutineExperiment},
 		{"ablation-message-complexity", "", MessageComplexity},
 		{"amacd-service-path", "", ServicePath},
+		{"large-n-sharded", "", LargeNSharded},
 		{"large-n-rgg", "large-n", LargeNRGG},
 		{"large-n-grid", "large-n", LargeNGrid},
 	}

@@ -33,7 +33,7 @@ func runSample(t *testing.T) (*core.Result, *topology.Dual) {
 
 func TestCollectCounts(t *testing.T) {
 	res, d := runSample(t)
-	rep := Collect(d, res.Engine.Instances(), res.Engine.Trace())
+	rep := Collect(d, res.Engine.Instances(), res.Trace)
 
 	if rep.TotalInstances != res.Broadcasts {
 		t.Fatalf("instances %d != broadcasts %d", rep.TotalInstances, res.Broadcasts)
@@ -66,7 +66,7 @@ func TestCollectCounts(t *testing.T) {
 
 func TestCollectAckLatencies(t *testing.T) {
 	res, d := runSample(t)
-	rep := Collect(d, res.Engine.Instances(), res.Engine.Trace())
+	rep := Collect(d, res.Engine.Instances(), res.Trace)
 	// Sync scheduler acks at exactly Fack.
 	if rep.MaxAckLatency() != 200 || rep.MedianAckLatency() != 200 {
 		t.Fatalf("ack latencies: median %v max %v, want 200",
@@ -76,7 +76,7 @@ func TestCollectAckLatencies(t *testing.T) {
 
 func TestCollectMessageLatencies(t *testing.T) {
 	res, d := runSample(t)
-	rep := Collect(d, res.Engine.Instances(), res.Engine.Trace())
+	rep := Collect(d, res.Engine.Instances(), res.Trace)
 	if len(rep.Msgs) != 3 {
 		t.Fatalf("msgs = %d, want 3", len(rep.Msgs))
 	}
@@ -117,7 +117,7 @@ func TestCollectAborts(t *testing.T) {
 	if !res.Solved {
 		t.Fatal("FMMB run unsolved")
 	}
-	rep := Collect(d, res.Engine.Instances(), res.Engine.Trace())
+	rep := Collect(d, res.Engine.Instances(), res.Trace)
 	if rep.Aborted == 0 {
 		t.Fatal("FMMB run recorded no aborts — collisions must abort")
 	}
@@ -128,7 +128,7 @@ func TestCollectAborts(t *testing.T) {
 
 func TestReportString(t *testing.T) {
 	res, d := runSample(t)
-	rep := Collect(d, res.Engine.Instances(), res.Engine.Trace())
+	rep := Collect(d, res.Engine.Instances(), res.Trace)
 	s := rep.String()
 	for _, want := range []string{"instances:", "deliveries:", "ack latency:", "busiest node:", "worst message latency:"} {
 		if !strings.Contains(s, want) {
@@ -156,7 +156,7 @@ func TestBusiestNode(t *testing.T) {
 	if !res.Solved {
 		t.Fatal("unsolved")
 	}
-	rep := Collect(s.Dual, res.Engine.Instances(), res.Engine.Trace())
+	rep := Collect(s.Dual, res.Engine.Instances(), res.Trace)
 	hub := int(s.Hub())
 	for i, ns := range rep.Nodes {
 		if i != hub && ns.Receives > rep.Nodes[hub].Receives {

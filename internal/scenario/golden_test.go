@@ -69,20 +69,7 @@ func TestGoldenTraces(t *testing.T) {
 			continue
 		}
 		t.Run(name, func(t *testing.T) {
-			rep, err := scenario.Run(spec)
-			if err != nil {
-				t.Fatalf("run: %v", err)
-			}
-			tr := rep.Trials[0]
-			if !tr.Result.Solved {
-				t.Fatalf("golden scenario unsolved: %d/%d deliveries", tr.Result.Delivered, tr.Result.Required)
-			}
-			if tr.Result.Report != nil && !tr.Result.Report.OK() {
-				t.Fatalf("model violation: %v", tr.Result.Report.Violations[0])
-			}
-			got := fmt.Sprintf("# scheduler=%s solved@%d steps=%d broadcasts=%d\n%s",
-				tr.SchedulerName, tr.Result.CompletionTime, tr.Result.Steps,
-				tr.Result.Broadcasts, tr.Result.Engine.Trace().String())
+			got := goldenRun(t, spec)
 
 			path := filepath.Join("testdata", "golden", name+".trace")
 			if *updateGolden {
@@ -102,6 +89,54 @@ func TestGoldenTraces(t *testing.T) {
 				t.Fatalf("trace diverged from golden %s\n%s", path, firstDiff(string(want), got))
 			}
 		})
+	}
+}
+
+// goldenRun executes spec and renders the golden trace format.
+func goldenRun(t *testing.T, spec scenario.Spec) string {
+	t.Helper()
+	rep, err := scenario.Run(spec)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	tr := rep.Trials[0]
+	if !tr.Result.Solved {
+		t.Fatalf("golden scenario unsolved: %d/%d deliveries", tr.Result.Delivered, tr.Result.Required)
+	}
+	if tr.Result.Report != nil && !tr.Result.Report.OK() {
+		t.Fatalf("model violation: %v", tr.Result.Report.Violations[0])
+	}
+	return fmt.Sprintf("# scheduler=%s solved@%d steps=%d broadcasts=%d\n%s",
+		tr.SchedulerName, tr.Result.CompletionTime, tr.Result.Steps,
+		tr.Result.Broadcasts, tr.Result.Trace.String())
+}
+
+// TestGoldenTracesSharded re-runs every golden scenario through the
+// decomposed executor at shards 1 and 4. The golden networks are connected,
+// where the decomposed semantics coincides with the single-engine execution
+// exactly — so the sharded traces must stay byte-identical to the same
+// golden files, at every shard count.
+func TestGoldenTracesSharded(t *testing.T) {
+	for _, name := range sched.Names() {
+		spec, ok := goldenSpec(name)
+		if !ok {
+			continue
+		}
+		for _, shards := range []int{1, 4} {
+			spec := spec
+			spec.Run.Shards = shards
+			t.Run(fmt.Sprintf("%s/shards=%d", name, shards), func(t *testing.T) {
+				got := goldenRun(t, spec)
+				path := filepath.Join("testdata", "golden", name+".trace")
+				want, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("missing golden file: %v", err)
+				}
+				if got != string(want) {
+					t.Fatalf("sharded trace diverged from golden %s\n%s", path, firstDiff(string(want), got))
+				}
+			})
+		}
 	}
 }
 

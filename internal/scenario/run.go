@@ -35,11 +35,13 @@ type TrialResult struct {
 	// SchedulerName is the resolved scheduler's self-description.
 	SchedulerName string
 	// Result is the execution outcome. When trials reuse a warm arena
-	// (pinned topology, NoArena unset), Result.Engine is recycled by the
-	// next trial on the same worker: with Trials == 1 it stays valid, and
-	// the scalar fields and Report are always safe, but multi-trial
-	// callers that need per-trial traces or instances must either copy
-	// them in a watcher or disable reuse.
+	// (pinned topology, NoArena unset), Result.Engine — and the trace it
+	// backs, Result.Trace — is recycled by the next trial on the same
+	// worker: with Trials == 1 it stays valid, and the scalar fields and
+	// Report are always safe, but multi-trial callers that need per-trial
+	// traces or instances must either copy them in a watcher or disable
+	// reuse. Decomposed runs (shards >= 1 on a multi-component network)
+	// leave Engine nil and return a freshly merged Trace the caller owns.
 	Result *core.Result
 }
 
@@ -766,6 +768,10 @@ func (p *trialPlan) execute(seed int64, automata []mac.Automaton, rn *core.Runne
 	if err != nil {
 		return nil, err
 	}
+	mode, err := r.Run.TraceMode()
+	if err != nil {
+		return nil, err
+	}
 	cfg := core.RunConfig{
 		Dual:             p.built.Dual,
 		Fack:             sim.Time(r.Model.Fack),
@@ -778,9 +784,34 @@ func (p *trialPlan) execute(seed int64, automata []mac.Automaton, rn *core.Runne
 		Horizon:          p.horizon,
 		StepLimit:        p.stepLimit,
 		HaltOnCompletion: !r.Run.ToQuiescence,
-		Check:            r.Run.Check,
-		NoTrace:          r.Run.NoTrace,
-		EpsAbort:         sim.Time(r.Model.EpsAbort),
+		Options: core.RunOptions{
+			Trace:   mode,
+			Check:   r.Run.Check,
+			Shards:  r.Run.Shards,
+			Regions: r.Run.Regions,
+		},
+		EpsAbort: sim.Time(r.Model.EpsAbort),
+	}
+	if r.Run.Shards >= 1 {
+		// Each shard engine needs its own scheduler instance; rebuilding
+		// with the environment that just built the main scheduler cannot
+		// fail differently, so an error here is a registry bug.
+		env := sched.Env{
+			Dual:     p.built.Dual,
+			Artifact: p.built.Artifact,
+			Payloads: p.payloads,
+			Fprog:    sim.Time(r.Model.Fprog),
+			Fack:     sim.Time(r.Model.Fack),
+		}
+		params := r.Scheduler.Params
+		schedName := p.schedName
+		cfg.NewScheduler = func() mac.Scheduler {
+			s, err := sched.Build(schedName, env, params)
+			if err != nil {
+				panic(fmt.Sprintf("scenario: shard scheduler rebuild: %v", err))
+			}
+			return s
+		}
 	}
 	var tw *sim.TraceWriter
 	var tf *os.File
@@ -791,7 +822,7 @@ func (p *trialPlan) execute(seed int64, automata []mac.Automaton, rn *core.Runne
 			return nil, fmt.Errorf("scenario: trace file: %w", err)
 		}
 		tw = sim.NewTraceWriter(tf)
-		cfg.Sink = tw
+		cfg.Options.Sink = tw
 	}
 	var res *core.Result
 	if rn != nil {

@@ -26,6 +26,7 @@ var tinyTopologies = map[string]struct {
 	"rgg":            {topology.Params{"n": 10, "side": 2, "c": 1.6, "p": 0.5}, WorkloadSpec{Kind: WorkloadSingleton, K: 2}},
 	"rline":          {topology.Params{"n": 8, "r": 2, "p": 0.6}, WorkloadSpec{Kind: WorkloadSingleton, K: 2}},
 	"noisy-line":     {topology.Params{"n": 8, "extra": 4}, WorkloadSpec{Kind: WorkloadSingleton, K: 2}},
+	"pods":           {topology.Params{"n": 12, "k": 3, "r": 2, "p": 0.6}, WorkloadSpec{Kind: WorkloadSingleton, K: 3}},
 	"grid-crosstalk": {topology.Params{"rows": 3, "r": 2, "p": 0.5}, WorkloadSpec{Kind: WorkloadSingleton, K: 2}},
 	"parallel-lines": {topology.Params{"d": 3}, WorkloadSpec{Kind: WorkloadConstruction}},
 	"star-choke":     {topology.Params{"k": 3}, WorkloadSpec{Kind: WorkloadConstruction}},

@@ -1,0 +1,145 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"amac/internal/core"
+	"amac/internal/topology"
+)
+
+// TestRunSpecTraceMode walks the normalization table for the "run" block's
+// trace surface: the new explicit "trace" mode, the deprecated no_trace /
+// trace_file keys it replaces, and every illegal combination.
+func TestRunSpecTraceMode(t *testing.T) {
+	cases := []struct {
+		name string
+		run  RunSpec
+		mode core.TraceMode
+		want string // substring of the error, "" = valid
+	}{
+		// New surface.
+		{"default", RunSpec{}, core.TraceMemory, ""},
+		{"explicit memory", RunSpec{Trace: "memory"}, core.TraceMemory, ""},
+		{"explicit off", RunSpec{Trace: "off"}, core.TraceOff, ""},
+		{"explicit stream", RunSpec{Trace: "stream", TraceFile: "t.jsonl"}, core.TraceStream, ""},
+		{"memory+check", RunSpec{Trace: "memory", Check: true}, core.TraceMemory, ""},
+		// Deprecated keys, legacy precedence preserved.
+		{"legacy no_trace", RunSpec{NoTrace: true}, core.TraceOff, ""},
+		{"legacy no_trace yields to check", RunSpec{NoTrace: true, Check: true}, core.TraceMemory, ""},
+		{"legacy trace_file", RunSpec{TraceFile: "t.jsonl"}, core.TraceStream, ""},
+		// Illegal combinations.
+		{"unknown mode", RunSpec{Trace: "ndjson"}, 0, "unknown trace mode"},
+		{"trace conflicts with no_trace", RunSpec{Trace: "off", NoTrace: true}, 0, "no_trace is deprecated"},
+		{"check+off", RunSpec{Trace: "off", Check: true}, 0, "check requires trace=memory"},
+		{"check+stream", RunSpec{Trace: "stream", TraceFile: "t.jsonl", Check: true}, 0, "check requires trace=memory"},
+		{"stream without file", RunSpec{Trace: "stream"}, 0, "requires trace_file"},
+		{"file without stream", RunSpec{Trace: "memory", TraceFile: "t.jsonl"}, 0, "trace_file requires trace=stream"},
+		{"legacy file+check", RunSpec{TraceFile: "t.jsonl", Check: true}, 0, "incompatible with check"},
+		{"legacy file+no_trace", RunSpec{TraceFile: "t.jsonl", NoTrace: true}, 0, "incompatible with no_trace"},
+	}
+	for _, tc := range cases {
+		mode, err := tc.run.TraceMode()
+		if tc.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			} else if mode != tc.mode {
+				t.Errorf("%s: mode %v, want %v", tc.name, mode, tc.mode)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: want error containing %q, got %v", tc.name, tc.want, err)
+		}
+	}
+}
+
+// TestRunSpecParallelKeysRoundTrip pins JSON parity for the new run-block
+// keys: "trace", "shards" and "regions" survive a marshal/parse round trip,
+// so the JSON surface cannot drift from the Go surface.
+func TestRunSpecParallelKeysRoundTrip(t *testing.T) {
+	spec := Spec{
+		Name:      "parallel",
+		Topology:  TopologySpec{Name: "line", Params: topology.Params{"n": 16}},
+		Workload:  WorkloadSpec{Kind: WorkloadSingleton, K: 2},
+		Algorithm: AlgorithmSpec{Name: "bmmb"},
+		Scheduler: SchedulerSpec{Name: "sync", Params: topology.Params{"rel": 0.5}},
+		Run:       RunSpec{Seed: 1, Trace: "off", Shards: 4, Regions: 8},
+	}
+	data, err := spec.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"trace": "off"`, `"shards": 4`, `"regions": 8`} {
+		if !strings.Contains(string(data), key) {
+			t.Errorf("marshaled spec is missing %s:\n%s", key, data)
+		}
+	}
+	back, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Run.Trace != "off" || back.Run.Shards != 4 || back.Run.Regions != 8 {
+		t.Fatalf("round trip lost parallel keys: %+v", back.Run)
+	}
+	if err := back.WithDefaults().Validate(); err != nil {
+		t.Fatalf("round-tripped spec invalid: %v", err)
+	}
+}
+
+// TestRunSpecValidateParallel pins the validation rules for the shards and
+// regions knobs at the scenario surface.
+func TestRunSpecValidateParallel(t *testing.T) {
+	base := Spec{
+		Topology:  TopologySpec{Name: "line", Params: topology.Params{"n": 8}},
+		Workload:  WorkloadSpec{Kind: WorkloadSingleton, K: 1},
+		Algorithm: AlgorithmSpec{Name: "bmmb"},
+		Run:       RunSpec{Seed: 1},
+	}
+	cases := []struct {
+		name string
+		edit func(*Spec)
+		want string
+	}{
+		{"negative shards", func(s *Spec) { s.Run.Shards = -1 }, "negative shards"},
+		{"negative regions", func(s *Spec) { s.Run.Regions = -2 }, "negative regions"},
+		{"regions without shards", func(s *Spec) { s.Run.Regions = 4 }, "requires shards >= 1"},
+	}
+	for _, tc := range cases {
+		spec := base
+		tc.edit(&spec)
+		err := spec.WithDefaults().Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: want error containing %q, got %v", tc.name, tc.want, err)
+		}
+	}
+}
+
+// TestScenarioShardedWarmMatchesCold extends the unpinned warm/cold
+// byte-identity guarantee to shards>1: the decomposed executor behind the
+// scenario surface must agree with the cold Trial path trace-for-trace on
+// warm per-worker state, exactly as the legacy path does.
+func TestScenarioShardedWarmMatchesCold(t *testing.T) {
+	for _, spec := range unpinnedSpecs(1) {
+		spec.Run.Shards = 2
+		t.Run(spec.Name, func(t *testing.T) {
+			r := spec.WithDefaults()
+			warm := newWarmRandRun(r, 1)
+			for seed := int64(1); seed <= 4; seed++ {
+				cold, err := Trial(spec, seed)
+				if err != nil {
+					t.Fatalf("cold trial seed %d: %v", seed, err)
+				}
+				want := trialSnapshot(cold)
+				tr, err := warm.trial(seed, 0, false)
+				if err != nil {
+					t.Fatalf("warm trial seed %d: %v", seed, err)
+				}
+				if got := trialSnapshot(tr); got != want {
+					t.Fatalf("sharded warm trial seed %d diverged from cold:\nwarm:\n%.400s\ncold:\n%.400s",
+						seed, got, want)
+				}
+			}
+		})
+	}
+}

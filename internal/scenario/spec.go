@@ -132,10 +132,26 @@ type RunSpec struct {
 	// Parallelism bounds concurrent trial simulations; results are
 	// seed-keyed and deterministic at any value. 0 selects 1.
 	Parallelism int `json:"parallelism,omitempty"`
-	// Check verifies the model guarantees after every run.
+	// Check verifies the model guarantees after every run. Requires the
+	// memory trace mode.
 	Check bool `json:"check,omitempty"`
+	// Trace selects the trace mode: "memory" (default), "stream" (requires
+	// trace_file) or "off". It mirrors core.RunOptions.Trace; illegal
+	// combinations with check and trace_file fail Validate.
+	Trace string `json:"trace,omitempty"`
 	// NoTrace disables trace recording (throughput runs).
+	//
+	// Deprecated: set "trace": "off" instead. Accepted for one release;
+	// setting both no_trace and trace is an error.
 	NoTrace bool `json:"no_trace,omitempty"`
+	// Shards selects the decomposed executor with at most this many
+	// component shards running concurrently; 0 (default) keeps the legacy
+	// single-engine executor. See core.RunOptions.Shards.
+	Shards int `json:"shards,omitempty"`
+	// Regions splits each run into this many contiguous node regions
+	// executed optimistically in parallel time windows; requires shards
+	// >= 1. See core.RunOptions.Regions.
+	Regions int `json:"regions,omitempty"`
 	// ToQuiescence runs past completion until the network is silent; the
 	// default halts at the moment of the last required delivery.
 	ToQuiescence bool `json:"to_quiescence,omitempty"`
@@ -279,15 +295,60 @@ func (s Spec) Validate() error {
 	if r.Run.Horizon < 0 {
 		return fmt.Errorf("scenario: run: negative horizon %d", r.Run.Horizon)
 	}
-	if r.Run.TraceFile != "" {
-		if r.Run.Check {
-			return fmt.Errorf("scenario: run: trace_file is incompatible with check (the checkers read the in-memory trace)")
-		}
-		if r.Run.NoTrace {
-			return fmt.Errorf("scenario: run: trace_file is incompatible with no_trace")
-		}
+	if _, err := r.Run.TraceMode(); err != nil {
+		return err
+	}
+	if r.Run.Shards < 0 {
+		return fmt.Errorf("scenario: run: negative shards %d", r.Run.Shards)
+	}
+	if r.Run.Regions < 0 {
+		return fmt.Errorf("scenario: run: negative regions %d", r.Run.Regions)
+	}
+	if r.Run.Regions > 1 && r.Run.Shards < 1 {
+		return fmt.Errorf("scenario: run: regions > 1 requires shards >= 1 (windowed execution is part of the decomposed executor)")
 	}
 	return nil
+}
+
+// TraceMode normalizes the trace-related run keys — the new "trace" mode
+// plus the deprecated "no_trace" and the "trace_file" pairing — into the
+// core.TraceMode the execution uses, or an error for an illegal
+// combination. Legacy precedence is preserved exactly for old-key-only
+// specs: trace_file streams, no_trace (without check) turns recording off,
+// and check keeps the in-memory trace even when no_trace is set.
+func (r RunSpec) TraceMode() (core.TraceMode, error) {
+	if r.Trace != "" {
+		m, err := core.ParseTraceMode(r.Trace)
+		if err != nil {
+			return 0, fmt.Errorf("scenario: run: %w", err)
+		}
+		if r.NoTrace {
+			return 0, fmt.Errorf("scenario: run: no_trace is deprecated and conflicts with the explicit trace mode %q (drop no_trace)", r.Trace)
+		}
+		if r.Check && m != core.TraceMemory {
+			return 0, fmt.Errorf("scenario: run: check requires trace=memory (the checkers read the in-memory trace), got trace=%q", r.Trace)
+		}
+		if m == core.TraceStream && r.TraceFile == "" {
+			return 0, fmt.Errorf("scenario: run: trace=stream requires trace_file")
+		}
+		if m != core.TraceStream && r.TraceFile != "" {
+			return 0, fmt.Errorf("scenario: run: trace_file requires trace=stream, got trace=%q", r.Trace)
+		}
+		return m, nil
+	}
+	if r.TraceFile != "" {
+		if r.Check {
+			return 0, fmt.Errorf("scenario: run: trace_file is incompatible with check (the checkers read the in-memory trace)")
+		}
+		if r.NoTrace {
+			return 0, fmt.Errorf("scenario: run: trace_file is incompatible with no_trace")
+		}
+		return core.TraceStream, nil
+	}
+	if r.NoTrace && !r.Check {
+		return core.TraceOff, nil
+	}
+	return core.TraceMemory, nil
 }
 
 func abs64(v int64) int64 {

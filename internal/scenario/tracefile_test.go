@@ -51,7 +51,7 @@ func TestTraceFileMatchesInMemoryTrace(t *testing.T) {
 	if err != nil {
 		t.Fatalf("in-memory run: %v", err)
 	}
-	want := inMem.Trials[0].Result.Engine.Trace().String()
+	want := inMem.Trials[0].Result.Trace.String()
 	if want == "" {
 		t.Fatal("in-memory run recorded no events")
 	}

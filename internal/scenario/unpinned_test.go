@@ -50,7 +50,7 @@ func trialSnapshot(tr *TrialResult) string {
 	return fmt.Sprintf("net=%s sched=%s solved=%v t=%d end=%d del=%d req=%d bcasts=%d steps=%d check=%v\n%s",
 		tr.Built.Dual.Name, tr.SchedulerName, res.Solved, res.CompletionTime, res.End,
 		res.Delivered, res.Required, res.Broadcasts, res.Steps, ok,
-		res.Engine.Trace().String())
+		res.Trace.String())
 }
 
 // TestUnpinnedWarmMatchesCold is the tentpole's acceptance guarantee at

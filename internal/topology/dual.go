@@ -47,9 +47,9 @@ func (d *Dual) Validate() error {
 // UnreliableEdges returns the E′ \ E edges (pairs with u < v).
 func (d *Dual) UnreliableEdges() [][2]graph.NodeID {
 	var out [][2]graph.NodeID
-	for _, e := range d.GPrime.Edges() {
-		if !d.G.HasEdge(e[0], e[1]) {
-			out = append(out, e)
+	for u, v := range d.GPrime.EdgeSeq() {
+		if !d.G.HasEdge(u, v) {
+			out = append(out, [2]graph.NodeID{u, v})
 		}
 	}
 	return out
@@ -169,21 +169,45 @@ func RRestricted(g *graph.Graph, r int, p float64, rng *rand.Rand, name string) 
 }
 
 // RRestrictedInto is RRestricted emitting G′ (and the Gʳ scratch) into ws
-// storage; a nil ws allocates fresh. The candidate edges are enumerated and
-// the rng drawn exactly as RRestricted always has, so equal seeds yield
-// equal duals on both paths.
+// storage; a nil ws allocates fresh. The candidate edges are streamed off
+// the Gʳ scratch's CSR rows (graph.EdgeSeq) in the same lexicographic
+// order the materialized Edges slice was walked in, so the rng is drawn
+// exactly as RRestricted always has and equal seeds yield equal duals on
+// both paths — without the [][2]NodeID intermediate, which at n=10⁵ was
+// the largest single allocation of a build.
 func RRestrictedInto(ws *Workspace, g *graph.Graph, r int, p float64, rng *rand.Rand, name string) *Dual {
 	gp := g.CloneInto(ws.Graph(g.N()))
 	power := g.PowerInto(r, ws.Graph(g.N()))
-	for _, e := range power.Edges() {
-		if g.HasEdge(e[0], e[1]) {
+	for u, v := range power.EdgeSeq() {
+		if g.HasEdge(u, v) {
 			continue
 		}
 		if p >= 1 || rng.Float64() < p {
-			gp.AddEdge(e[0], e[1])
+			gp.AddEdge(u, v)
 		}
 	}
 	return &Dual{G: g, GPrime: gp, Name: name}
+}
+
+// PodsRRestrictedInto builds the multi-component sharding workload: G is k
+// disjoint line "pods" covering n nodes (pod i owns the contiguous range
+// [i·n/k, (i+1)·n/k)), and G′ adds r-restricted noise with probability p.
+// Gʳ never crosses a component, so every G′ edge stays inside its pod and
+// the dual decomposes into exactly k G′-components — the regime where
+// component-sharded execution parallelizes with no cross-shard events.
+func PodsRRestrictedInto(ws *Workspace, n, k, r int, p float64, rng *rand.Rand) *Dual {
+	if k < 1 || k > n {
+		panic("topology: pods needs 1 <= k <= n")
+	}
+	g := ws.Graph(n)
+	for i := 0; i < k; i++ {
+		lo, hi := i*n/k, (i+1)*n/k
+		for v := lo; v < hi-1; v++ {
+			g.AddEdge(graph.NodeID(v), graph.NodeID(v+1))
+		}
+	}
+	return RRestrictedInto(ws, g, r, p, rng,
+		fmt.Sprintf("pods(n=%d,k=%d,r=%d,p=%.2f)", n, k, r, p))
 }
 
 // LineRRestricted is the workload used for the Theorem 3.2 experiments: a

@@ -214,3 +214,30 @@ func TestParallelLinesEdgeCount(t *testing.T) {
 		}
 	}
 }
+
+// TestPodsDecomposition pins the property the sharded executor exploits:
+// a pods dual splits into exactly k G′-components, each a contiguous node
+// range, with every G′ edge inside its pod.
+func TestPodsDecomposition(t *testing.T) {
+	for _, k := range []int{1, 3, 7} {
+		d := PodsRRestrictedInto(nil, 40, k, 2, 0.7, rand.New(rand.NewSource(3)))
+		if err := d.Validate(); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		comps := d.GPrime.Components()
+		if len(comps) != k {
+			t.Fatalf("k=%d: G′ has %d components", k, len(comps))
+		}
+		pod := make([]int, 40)
+		for i := 0; i < k; i++ {
+			for v := i * 40 / k; v < (i+1)*40/k; v++ {
+				pod[v] = i
+			}
+		}
+		for u, v := range d.GPrime.EdgeSeq() {
+			if pod[u] != pod[v] {
+				t.Fatalf("k=%d: G′ edge (%d,%d) crosses a pod boundary", k, u, v)
+			}
+		}
+	}
+}

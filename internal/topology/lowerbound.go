@@ -77,8 +77,8 @@ func NewParallelLinesCInto(ws *Workspace, d int) *ParallelLinesC {
 // network's G′ edges are all within length c under its embedding.
 func (c *ParallelLinesC) GreyZoneConstant() float64 {
 	max := 1.0
-	for _, e := range c.GPrime.Edges() {
-		if l := c.Embed.Dist(e[0], e[1]); l > max {
+	for u, v := range c.GPrime.EdgeSeq() {
+		if l := c.Embed.Dist(u, v); l > max {
 			max = l
 		}
 	}

@@ -282,6 +282,13 @@ func init() {
 		}
 		return &Built{Dual: LineRRestrictedInto(ws, n, r, p.Float("p", 0.6), ws.Rand(seed))}, nil
 	})
+	Register("pods", []string{"n", "k", "r", "p", "seed"}, func(p Params, seed int64, ws *Workspace) (*Built, error) {
+		n, k, r := p.Int("n", 64), p.Int("k", 4), p.Int("r", 2)
+		if n < 1 || k < 1 || k > n || r < 1 {
+			return nil, fmt.Errorf("topology: pods needs n >= 1, 1 <= k <= n, r >= 1, got n=%d k=%d r=%d", n, k, r)
+		}
+		return &Built{Dual: PodsRRestrictedInto(ws, n, k, r, p.Float("p", 0.6), ws.Rand(seed))}, nil
+	})
 	Register("noisy-line", []string{"n", "extra", "seed"}, func(p Params, seed int64, ws *Workspace) (*Built, error) {
 		n := p.Int("n", 32)
 		if n < 1 {

@@ -21,6 +21,7 @@ var buildCases = map[string]Params{
 	"grid":           {"rows": 3, "cols": 4},
 	"rgg":            {"n": 14, "side": 2.4, "c": 1.6, "p": 0.5},
 	"rline":          {"n": 12, "r": 2, "p": 0.6},
+	"pods":           {"n": 18, "k": 3, "r": 2, "p": 0.6},
 	"noisy-line":     {"n": 12, "extra": 6},
 	"grid-crosstalk": {"rows": 3, "cols": 4, "r": 2, "p": 0.5},
 	"parallel-lines": {"d": 5},
@@ -99,6 +100,7 @@ func TestDeterministicFlags(t *testing.T) {
 		"line": true, "ring": true, "star": true, "tree": true, "grid": true,
 		"parallel-lines": true, "star-choke": true,
 		"rgg": false, "rline": false, "noisy-line": false, "grid-crosstalk": false,
+		"pods": false,
 	}
 	for _, name := range Names() {
 		w, ok := want[name]
