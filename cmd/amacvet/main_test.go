@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"amac/internal/lint"
+)
+
+func TestListNamesEveryAnalyzer(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("run(-list) = %d, stderr: %s", code, errb.String())
+	}
+	for _, name := range lint.AnalyzerNames() {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing analyzer %s:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestUnknownAnalyzerIsUsageError(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-run", "nosuch"}, &out, &errb); code != 2 {
+		t.Fatalf("run(-run nosuch) = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown analyzer") {
+		t.Errorf("stderr missing unknown-analyzer message: %s", errb.String())
+	}
+}
+
+// TestTreeIsClean drives the binary's real entry point over the repository:
+// the same invocation CI runs must exit 0 with no output.
+func TestTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the full module and its stdlib closure")
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-C", "../..", "./..."}, &out, &errb); code != 0 {
+		t.Fatalf("amacvet ./... = %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean run produced output:\n%s", out.String())
+	}
+}
+
+func TestJSONOutputIsValidOnCleanRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks packages")
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-json", "-C", "../..", "./internal/lint/..."}, &out, &errb); code != 0 {
+		t.Fatalf("amacvet -json = %d, stderr: %s", code, errb.String())
+	}
+	if got := strings.TrimSpace(out.String()); got != "[]" {
+		t.Errorf("clean -json run = %q, want []", got)
+	}
+}

@@ -1,3 +1,5 @@
 module amac
 
 go 1.24
+
+tool amac/cmd/amacvet

@@ -405,6 +405,7 @@ func (f *FMMB) pickUnsent() *Msg {
 	}
 	var best Msg
 	found := false
+	//lint:mapiter min-scan under the total (ID, Origin) order — Msg has no other fields, so the result is independent of visit order
 	for m := range f.have {
 		if f.sent[m] {
 			continue

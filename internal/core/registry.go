@@ -91,7 +91,15 @@ func ValidateAlgorithmSpec(name string, p topology.Params) error {
 	for _, k := range a.Params {
 		accepted[k] = true
 	}
+	// Sorted so the reported parameter is the same on every run: which key a
+	// map range sees first is randomized, and validation errors end up in
+	// job records and test expectations.
+	keys := make([]string, 0, len(p))
 	for k := range p {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
 		if !accepted[k] {
 			return fmt.Errorf("core: algorithm %q does not accept parameter %q", name, k)
 		}

@@ -1,0 +1,43 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"amac/internal/sched"
+	"amac/internal/topology"
+)
+
+// TestValidateReportsFirstUnknownParam is the regression test for the
+// amacvet mapiter sweep: spec validation used to range the parameter map
+// directly, so with two unknown parameters the reported one depended on
+// Go's randomized map order — validation errors land in job records and
+// test expectations, where the bytes must not flip between runs. All three
+// registries (algorithm, scheduler, topology) now sort the keys, so the
+// lexicographically first unknown parameter is always the one named.
+func TestValidateReportsFirstUnknownParam(t *testing.T) {
+	p := topology.Params{"zzz-bogus": 1, "aaa-bogus": 2}
+	cases := []struct {
+		name     string
+		validate func() error
+	}{
+		{"core", func() error { return ValidateAlgorithmSpec("bmmb", p) }},
+		{"sched", func() error { return sched.ValidateSpec("sync", p) }},
+		{"topology", func() error { return topology.ValidateSpec("rgg", p) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// A handful of repetitions would catch a regression to map order
+			// with high probability; the loop is cheap.
+			for i := 0; i < 32; i++ {
+				err := tc.validate()
+				if err == nil {
+					t.Fatal("expected an unknown-parameter error")
+				}
+				if !strings.Contains(err.Error(), `"aaa-bogus"`) {
+					t.Fatalf("error names %v; want the lexicographically first unknown parameter %q", err, "aaa-bogus")
+				}
+			}
+		})
+	}
+}

@@ -38,6 +38,7 @@ func (g *Graph) Overlay(set []NodeID, maxDist int) (*Graph, []NodeID) {
 	h := New(len(members))
 	for i, v := range members {
 		dist := g.boundedBFS(v, maxDist)
+		//lint:mapiter AddEdge order is invisible: finalize sorts and dedups the CSR arc array, so the built graph is identical for any visit order
 		for u, d := range dist {
 			j, ok := idx[u]
 			if !ok || j == i || d > maxDist {

@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LoadFixture loads analyzer test fixtures laid out GOPATH-style under
+// srcRoot: the package with import path p lives in directory srcRoot/p.
+// Imports resolve against the fixture tree first and the standard library
+// second (type-checked from source, exactly like Load). The named paths
+// become the analysis roots with full type info; fixture dependencies are
+// checked signatures-only.
+//
+// The layout exists so fixtures can impersonate the real engine import
+// paths (amac/internal/sim, amac/internal/mac, ...) that the analyzers'
+// package filters key on, without colliding with the real packages — the
+// fixture universe never mixes with a Load of the module proper.
+func LoadFixture(srcRoot string, paths ...string) (*Result, error) {
+	absRoot, err := filepath.Abs(srcRoot)
+	if err != nil {
+		return nil, err
+	}
+	var (
+		order   []*fixturePkg
+		visited = make(map[string]bool)
+		stdlib  []string
+		stdSeen = make(map[string]bool)
+	)
+	var visit func(path string) error
+	visit = func(path string) error {
+		if visited[path] {
+			return nil
+		}
+		visited[path] = true
+		p, err := readFixturePkg(absRoot, path)
+		if err != nil {
+			return err
+		}
+		for _, imp := range p.imports {
+			if fixtureDirExists(absRoot, imp) {
+				if err := visit(imp); err != nil {
+					return err
+				}
+			} else if !stdSeen[imp] {
+				stdSeen[imp] = true
+				stdlib = append(stdlib, imp)
+			}
+		}
+		order = append(order, p) // post-order: dependencies first
+		return nil
+	}
+	for _, p := range paths {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(stdlib)
+	var listed []listedPackage
+	if len(stdlib) > 0 {
+		listed, err = goList(absRoot, append([]string{"-deps", "-json"}, stdlib...)...)
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, p := range order {
+		listed = append(listed, listedPackage{ImportPath: p.path, Name: p.name, Dir: p.dir, GoFiles: p.files})
+	}
+	isRoot := make(map[string]bool, len(paths))
+	for _, p := range paths {
+		isRoot[p] = true
+	}
+	return typecheck(listed, isRoot)
+}
+
+// fixturePkg is one discovered fixture directory before type checking.
+type fixturePkg struct {
+	path    string
+	name    string
+	dir     string
+	files   []string // base names, sorted
+	imports []string
+}
+
+func fixtureDirExists(root, path string) bool {
+	st, err := os.Stat(filepath.Join(root, filepath.FromSlash(path)))
+	return err == nil && st.IsDir()
+}
+
+// readFixturePkg lists and header-parses one fixture package: file set,
+// package name, and the union of its imports.
+func readFixturePkg(root, path string) (*fixturePkg, error) {
+	dir := filepath.Join(root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("fixture package %s: %v", path, err)
+	}
+	p := &fixturePkg{path: path, dir: dir}
+	seen := make(map[string]bool)
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		p.files = append(p.files, name)
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, fmt.Errorf("fixture package %s: %v", path, err)
+		}
+		p.name = f.Name.Name
+		for _, imp := range f.Imports {
+			ip := strings.Trim(imp.Path.Value, `"`)
+			if !seen[ip] {
+				seen[ip] = true
+				p.imports = append(p.imports, ip)
+			}
+		}
+	}
+	if len(p.files) == 0 {
+		return nil, fmt.Errorf("fixture package %s: no Go files in %s", path, dir)
+	}
+	sort.Strings(p.files)
+	sort.Strings(p.imports)
+	return p, nil
+}

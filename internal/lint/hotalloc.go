@@ -1,0 +1,348 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// HotAlloc guards the warm-trial allocation ceilings (5 allocs pinned /
+// ~22 unpinned, PERFORMANCE.md rounds 6–7): functions that opt in with an
+//
+//	//amac:hotpath
+//
+// line in their doc comment are checked for constructs known to allocate on
+// every execution:
+//
+//   - closures capturing local variables (each capture materializes a
+//     heap-allocated environment);
+//   - any call into package fmt, and non-constant string concatenation;
+//   - make/new in the body (grow-on-demand paths belong behind a cold
+//     function or an annotation);
+//   - composite literals escaping into an interface (the conversion boxes);
+//   - append to a slice declared in the same function without a capacity
+//     hint (growth reallocates under the profiler's nose).
+//
+// Arguments of panic calls are exempt: an invariant-violation panic is a
+// cold branch by definition, and formatting the death message is the one
+// place fmt belongs in hot code. The analyzer is deliberately
+// intraprocedural: it does not chase calls, so annotate the leaf functions
+// the benchmarks actually pin. Remaining justified allocations (lazy grow
+// branches and the like) carry //lint:hotalloc <reason>.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "flags known-allocating constructs in functions annotated //amac:hotpath",
+	Run:  runHotAlloc,
+}
+
+// hotPathMarker is the doc-comment line that opts a function in.
+const hotPathMarker = "amac:hotpath"
+
+// isHotPathDoc reports whether the doc comment contains an //amac:hotpath
+// line (trailing prose after the marker is allowed).
+func isHotPathDoc(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.HasPrefix(strings.TrimSpace(strings.TrimPrefix(c.Text, "//")), hotPathMarker) {
+			return true
+		}
+	}
+	return false
+}
+
+func runHotAlloc(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotPathDoc(fd.Doc) {
+				continue
+			}
+			checkHotBody(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkHotBody(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	panics := panicArgRanges(pass, fd.Body)
+	inPanic := func(n ast.Node) bool {
+		for _, r := range panics {
+			if n.Pos() >= r.from && n.End() <= r.to {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n != nil && inPanic(n) {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if name := capturedVar(pass, fd, n); name != "" {
+				pass.Reportf(n.Pos(), "closure captures %s in hot path %s; captured variables allocate an environment", name, fd.Name.Name)
+			}
+			return true
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringType(info.TypeOf(n)) {
+				if tv, ok := info.Types[n]; !ok || tv.Value == nil {
+					pass.Reportf(n.OpPos, "string concatenation allocates in hot path %s; use a preallocated buffer or operands", fd.Name.Name)
+				}
+			}
+		case *ast.CallExpr:
+			checkHotCall(pass, fd, n)
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i < len(n.Lhs) && len(n.Lhs) == len(n.Rhs) {
+					checkCompositeToInterface(pass, fd, rhs, info.TypeOf(n.Lhs[i]))
+				}
+			}
+		case *ast.ReturnStmt:
+			results := fd.Type.Results
+			if results == nil || len(n.Results) != results.NumFields() {
+				return true // multi-value call return or bare return
+			}
+			i := 0
+			for _, field := range results.List {
+				k := max(1, len(field.Names))
+				for j := 0; j < k && i < len(n.Results); j++ {
+					checkCompositeToInterface(pass, fd, n.Results[i], info.TypeOf(field.Type))
+					i++
+				}
+			}
+		}
+		return true
+	})
+}
+
+// panicArgRanges collects the source ranges of panic(...) arguments: the
+// death-message expression tree is a cold branch and exempt from hot-path
+// allocation checks.
+func panicArgRanges(pass *Pass, body *ast.BlockStmt) []posRange {
+	var out []posRange
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if b, ok := pass.TypesInfo.ObjectOf(id).(*types.Builtin); !ok || b.Name() != "panic" {
+			return true
+		}
+		for _, arg := range call.Args {
+			out = append(out, posRange{arg.Pos(), arg.End()})
+		}
+		return true
+	})
+	return out
+}
+
+// checkHotCall flags fmt calls, make/new, un-hinted append growth, and
+// composite-literal arguments boxed into interface parameters.
+func checkHotCall(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	// Explicit conversion: any(T{...}) / iface(T{...}).
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if isInterfaceType(tv.Type) && len(call.Args) == 1 {
+			checkCompositeToInterface(pass, fd, call.Args[0], tv.Type)
+		}
+		return
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if obj, ok := info.Uses[sel.Sel].(*types.Func); ok && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+			pass.Reportf(call.Pos(), "fmt.%s allocates in hot path %s; format off the hot path or annotate a cold branch", obj.Name(), fd.Name.Name)
+			return
+		}
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, ok := info.ObjectOf(id).(*types.Builtin); ok {
+			switch b.Name() {
+			case "make", "new":
+				pass.Reportf(call.Pos(), "%s allocates in hot path %s; preallocate in setup or annotate a cold grow branch", b.Name(), fd.Name.Name)
+			case "append":
+				checkHotAppend(pass, fd, call)
+			}
+			return
+		}
+	}
+	// Concrete composite literals passed to interface parameters box.
+	sig, ok := typeAsSignature(info.TypeOf(call.Fun))
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		pt := paramType(sig, i, call)
+		if pt != nil {
+			checkCompositeToInterface(pass, fd, arg, pt)
+		}
+	}
+}
+
+// checkHotAppend flags append whose destination slice is declared in this
+// function without a capacity hint: every growth step reallocates, and the
+// hint is always available at the declaration site.
+func checkHotAppend(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	id, ok := call.Args[0].(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj, ok := pass.TypesInfo.ObjectOf(id).(*types.Var)
+	if !ok || obj.IsField() {
+		return
+	}
+	decl, init := findLocalDecl(pass, fd, obj)
+	if !decl {
+		return // parameter, receiver or package state: capacity unknown, give it the benefit of the doubt
+	}
+	if init == nil {
+		pass.Reportf(call.Pos(), "append grows %s, declared without a capacity hint, in hot path %s; preallocate with make(len, cap)", id.Name, fd.Name.Name)
+		return
+	}
+	switch e := init.(type) {
+	case *ast.CompositeLit:
+		pass.Reportf(call.Pos(), "append grows %s, declared as a literal without capacity, in hot path %s; preallocate with make(len, cap)", id.Name, fd.Name.Name)
+	case *ast.CallExpr:
+		if isBuiltin(pass, e.Fun, "make") && len(e.Args) < 3 {
+			pass.Reportf(call.Pos(), "append grows %s, made without a capacity hint, in hot path %s; size the make call for the expected growth", id.Name, fd.Name.Name)
+		}
+	}
+}
+
+// findLocalDecl locates obj's declaration inside fd. It reports whether the
+// variable is declared in the function body, and if so its initializer
+// expression (nil for `var s []T`).
+func findLocalDecl(pass *Pass, fd *ast.FuncDecl, obj *types.Var) (declared bool, init ast.Expr) {
+	if obj.Pos() < fd.Body.Pos() || obj.Pos() > fd.Body.End() {
+		return false, nil
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == obj {
+					declared = true
+					if len(n.Rhs) == len(n.Lhs) {
+						init = n.Rhs[i]
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if pass.TypesInfo.ObjectOf(name) == obj {
+					declared = true
+					if i < len(n.Values) {
+						init = n.Values[i]
+					}
+				}
+			}
+		}
+		return true
+	})
+	return declared, init
+}
+
+// capturedVar returns the name of a variable the function literal captures
+// from the enclosing function, or "" when it captures nothing (captureless
+// literals are static — they do not allocate).
+func capturedVar(pass *Pass, fd *ast.FuncDecl, lit *ast.FuncLit) string {
+	name := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if name != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Captured iff declared within the enclosing function (body,
+		// parameters or receiver) but outside the literal itself.
+		if v.Pos() >= fd.Pos() && v.Pos() < fd.End() && (v.Pos() < lit.Pos() || v.Pos() >= lit.End()) {
+			name = v.Name()
+		}
+		return name == ""
+	})
+	return name
+}
+
+func checkCompositeToInterface(pass *Pass, fd *ast.FuncDecl, expr ast.Expr, target types.Type) {
+	if target == nil || !isInterfaceType(target) {
+		return
+	}
+	inner := ast.Unparen(expr)
+	if u, ok := inner.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		// &T{...} into an interface allocates the struct on the heap.
+		inner = ast.Unparen(u.X)
+	}
+	if _, ok := inner.(*ast.CompositeLit); !ok {
+		return
+	}
+	if t := pass.TypesInfo.TypeOf(expr); t == nil || isInterfaceType(t) {
+		return
+	}
+	pass.Reportf(expr.Pos(), "composite literal escapes into interface %s in hot path %s; boxing allocates — pass a pooled object or typed operands", types.TypeString(target, types.RelativeTo(pass.Pkg)), fd.Name.Name)
+}
+
+func typeAsSignature(t types.Type) (*types.Signature, bool) {
+	if t == nil {
+		return nil, false
+	}
+	sig, ok := t.Underlying().(*types.Signature)
+	return sig, ok
+}
+
+// paramType returns the declared type of argument i, accounting for
+// variadics. Calls with ellipsis pass the slice itself, so the last
+// parameter keeps its slice type there.
+func paramType(sig *types.Signature, i int, call *ast.CallExpr) types.Type {
+	params := sig.Params()
+	if params.Len() == 0 {
+		return nil
+	}
+	last := params.Len() - 1
+	if sig.Variadic() && i >= last {
+		if call.Ellipsis.IsValid() {
+			return params.At(last).Type()
+		}
+		if s, ok := params.At(last).Type().(*types.Slice); ok {
+			return s.Elem()
+		}
+		return nil
+	}
+	if i >= params.Len() {
+		return nil
+	}
+	return params.At(i).Type()
+}
+
+func isInterfaceType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

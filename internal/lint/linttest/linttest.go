@@ -1,0 +1,154 @@
+// Package linttest runs amacvet analyzers over fixture packages laid out
+// GOPATH-style under a testdata/src root and checks every reported
+// diagnostic against // want comments, in the spirit of x/tools'
+// analysistest (which the offline build environment cannot vendor).
+//
+// Expectation syntax, as a comment on the line the diagnostic points at:
+//
+//	// want "regexp"
+//	// want analyzer:"regexp"
+//	// want:+1 "regexp"
+//
+// Several quoted items may follow one want. An analyzer tag restricts the
+// expectation to runs of that analyzer — the pseudo-analyzer name amacvet
+// tags the suppression-hygiene diagnostics, which every run emits — while
+// untagged expectations apply to whichever analyzer the test runs. The
+// :+N/:-N offset anchors the expectation N lines away from the comment; it
+// exists for diagnostics on lines that cannot carry a trailing comment of
+// their own, most notably malformed //lint: suppressions, where the whole
+// line already is a comment.
+package linttest
+
+import (
+	"go/ast"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"amac/internal/lint"
+)
+
+// expectation is one parsed want item, pinned to a file and line.
+type expectation struct {
+	file    string
+	line    int
+	tag     string // "" matches any analyzer
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var (
+	wantRe = regexp.MustCompile(`^want(?::([+-]\d+))?\s+`)
+	itemRe = regexp.MustCompile("^(?:([a-zA-Z0-9_]+):)?(\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`)")
+)
+
+// Run loads the fixture packages named by paths from srcRoot, runs analyzer
+// a over them, and reports every mismatch between the diagnostics and the
+// fixtures' want comments on t.
+func Run(t *testing.T, srcRoot string, a *lint.Analyzer, paths ...string) {
+	t.Helper()
+	res, err := lint.LoadFixture(srcRoot, paths...)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	diags, err := lint.RunAnalyzers(res.Roots, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	wants := collectWants(t, res.Roots, a.Name)
+	for _, d := range diags {
+		if !claim(wants, d) {
+			t.Errorf("%s: unexpected diagnostic: %s (%s)", d.Pos, d.Message, d.Analyzer)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %s", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// claim marks and returns the first unmatched expectation covering d.
+func claim(wants []*expectation, d lint.Diagnostic) bool {
+	for _, w := range wants {
+		if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+			continue
+		}
+		if w.tag != "" && w.tag != d.Analyzer {
+			continue
+		}
+		if !w.re.MatchString(d.Message) {
+			continue
+		}
+		w.matched = true
+		return true
+	}
+	return false
+}
+
+// collectWants parses the want comments of every root package, keeping the
+// expectations that apply to the analyzer under test.
+func collectWants(t *testing.T, roots []*lint.Package, analyzer string) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, pkg := range roots {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					out = append(out, parseWant(t, pkg, c, analyzer)...)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func parseWant(t *testing.T, pkg *lint.Package, c *ast.Comment, analyzer string) []*expectation {
+	t.Helper()
+	text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+	m := wantRe.FindStringSubmatch(text)
+	if m == nil {
+		return nil
+	}
+	pos := pkg.Fset.Position(c.Pos())
+	line := pos.Line
+	if m[1] != "" {
+		off, err := strconv.Atoi(m[1])
+		if err != nil {
+			t.Fatalf("%s: bad want offset %q", pos, m[1])
+		}
+		line += off
+	}
+	rest := strings.TrimSpace(text[len(m[0]):])
+	var out []*expectation
+	for rest != "" {
+		im := itemRe.FindStringSubmatch(rest)
+		if im == nil {
+			t.Fatalf("%s: malformed want item %q", pos, rest)
+		}
+		pat, err := unquote(im[2])
+		if err != nil {
+			t.Fatalf("%s: unquoting %s: %v", pos, im[2], err)
+		}
+		// An expectation tagged for another analyzer belongs to a different
+		// test over the same fixture package; skip it entirely.
+		if tag := im[1]; tag == "" || tag == analyzer || tag == "amacvet" {
+			re, err := regexp.Compile(pat)
+			if err != nil {
+				t.Fatalf("%s: compiling want pattern %s: %v", pos, im[2], err)
+			}
+			out = append(out, &expectation{file: pos.Filename, line: line, tag: tag, re: re, raw: im[2]})
+		}
+		rest = strings.TrimSpace(rest[len(im[0]):])
+	}
+	return out
+}
+
+func unquote(s string) (string, error) {
+	if strings.HasPrefix(s, "`") {
+		return strings.Trim(s, "`"), nil
+	}
+	return strconv.Unquote(s)
+}

@@ -1,0 +1,223 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// Package is one loaded, parsed and type-checked package. Dependency
+// packages carry Types only (checked with IgnoreFuncBodies — their exported
+// API is all the roots need); analysis roots additionally carry Files and a
+// fully populated Info.
+type Package struct {
+	Path     string
+	Name     string
+	Dir      string
+	Standard bool
+
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Result is a loaded analysis universe: the full dependency closure plus the
+// subset the patterns named (the packages analyzers run over).
+type Result struct {
+	Fset  *token.FileSet
+	Pkgs  []*Package // dependency order, closure of Roots
+	Roots []*Package
+}
+
+// listedPackage is the slice of `go list -json` output the loader consumes.
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Standard   bool
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+// goList shells out to the go command in dir. CGO is forced off so every
+// listed package's GoFiles are a self-contained pure-Go build (cgo files
+// would leave undefined references behind for go/types).
+func goList(dir string, args ...string) ([]listedPackage, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %s: decoding output: %v", strings.Join(args, " "), err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// Load loads, parses and type-checks the packages matching patterns (plus
+// their dependency closure, type-checked from source) rooted at dir. The
+// named packages come back as Result.Roots with full type info; their
+// dependencies are checked signatures-only.
+func Load(dir string, patterns ...string) (*Result, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	roots, err := goList(dir, append([]string{"-json=ImportPath,Error"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	isRoot := make(map[string]bool, len(roots))
+	for _, p := range roots {
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		isRoot[p.ImportPath] = true
+	}
+	deps, err := goList(dir, append([]string{"-deps", "-json"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	return typecheck(deps, isRoot)
+}
+
+// typecheck parses and checks listed packages, which must arrive in
+// dependency order (as `go list -deps` guarantees).
+func typecheck(listed []listedPackage, isRoot map[string]bool) (*Result, error) {
+	fset := token.NewFileSet()
+	res := &Result{Fset: fset}
+	byPath := make(map[string]*types.Package, len(listed))
+	importMaps := make(map[string]map[string]string, len(listed))
+	imp := &mapImporter{byPath: byPath, importMaps: importMaps}
+	sizes := types.SizesFor("gc", runtime.GOARCH)
+	for _, lp := range listed {
+		if lp.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if lp.ImportPath == "unsafe" {
+			byPath["unsafe"] = types.Unsafe
+			continue
+		}
+		root := isRoot[lp.ImportPath]
+		files := make([]*ast.File, 0, len(lp.GoFiles))
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, fmt.Errorf("parsing %s: %v", filepath.Join(lp.Dir, name), err)
+			}
+			files = append(files, f)
+		}
+		if len(lp.ImportMap) > 0 {
+			importMaps[lp.Dir] = lp.ImportMap
+		}
+		var info *types.Info
+		if root {
+			info = newTypeInfo()
+		}
+		var firstErr error
+		conf := types.Config{
+			Importer:         imp,
+			Sizes:            sizes,
+			IgnoreFuncBodies: !root,
+			Error: func(err error) {
+				if firstErr == nil {
+					firstErr = err
+				}
+			},
+		}
+		tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+		if firstErr == nil {
+			firstErr = err
+		}
+		if firstErr != nil {
+			if lp.Standard && tpkg != nil {
+				// Best effort on the standard library: a residual error in a
+				// dependency (e.g. a build-context corner the pure-Go file
+				// list leaves ragged) only matters if it breaks a root.
+				tpkg.MarkComplete()
+			} else {
+				return nil, fmt.Errorf("type-checking %s: %v", lp.ImportPath, firstErr)
+			}
+		}
+		byPath[lp.ImportPath] = tpkg
+		pkg := &Package{
+			Path:     lp.ImportPath,
+			Name:     lp.Name,
+			Dir:      lp.Dir,
+			Standard: lp.Standard,
+			Fset:     fset,
+			Types:    tpkg,
+		}
+		if root {
+			pkg.Files = files
+			pkg.Info = info
+			res.Roots = append(res.Roots, pkg)
+		}
+		res.Pkgs = append(res.Pkgs, pkg)
+	}
+	return res, nil
+}
+
+func newTypeInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+// mapImporter resolves imports against the already-checked packages. It
+// implements types.ImporterFrom so vendored standard-library paths (e.g.
+// net/http's golang.org/x/net vendoring) resolve through the importing
+// package's ImportMap, keyed by source directory.
+type mapImporter struct {
+	byPath     map[string]*types.Package
+	importMaps map[string]map[string]string
+}
+
+func (m *mapImporter) Import(path string) (*types.Package, error) {
+	return m.ImportFrom(path, "", 0)
+}
+
+func (m *mapImporter) ImportFrom(path, srcDir string, _ types.ImportMode) (*types.Package, error) {
+	if im := m.importMaps[srcDir]; im != nil {
+		if mapped, ok := im[path]; ok {
+			path = mapped
+		}
+	}
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg := m.byPath[path]; pkg != nil {
+		return pkg, nil
+	}
+	return nil, fmt.Errorf("package %q not in load set (imported from %s)", path, srcDir)
+}

@@ -1,0 +1,339 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapIter flags `range` over a map in determinism-critical packages. Go's
+// map iteration order is randomized per run, so any such loop whose effect
+// depends on visit order can change trace bytes, report ordering or seed
+// consumption between executions — exactly what the golden-trace and
+// shards-N gates exist to forbid, except those only catch the paths a test
+// happens to drive.
+//
+// Two shapes are recognized as safe and pass without annotation:
+//
+//   - collect-then-sort: the body only appends keys/values to one slice,
+//     and the same function later sorts that slice (sort.* or slices.Sort*)
+//     before it is used;
+//   - order-independent bodies: disjoint per-key writes (m2[k] = v,
+//     delete(m2, k)), integer counters (n++, n += v), or a bare
+//     `for range m` that never binds the key.
+//
+// Anything else needs `//lint:mapiter <reason>` on the line.
+var MapIter = &Analyzer{
+	Name: "mapiter",
+	Doc:  "flags nondeterministic map iteration in determinism-critical packages",
+	Run:  runMapIter,
+}
+
+func runMapIter(pass *Pass) error {
+	if !isEnginePkg(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		walkFuncs(f, func(fn ast.Node, body *ast.BlockStmt) {
+			ast.Inspect(body, func(n ast.Node) bool {
+				if _, ok := n.(*ast.FuncLit); ok && n != fn {
+					return false // visited as its own function
+				}
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				t := pass.TypesInfo.TypeOf(rs.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				if !bindsIterationVars(rs) {
+					return true
+				}
+				if orderIndependentBody(pass, rs) {
+					return true
+				}
+				if sortedAfterCollect(pass, rs, body) {
+					return true
+				}
+				pass.Reportf(rs.For, "range over map %s iterates in nondeterministic order; sort the keys before use or annotate //lint:mapiter <reason>", types.ExprString(rs.X))
+				return true
+			})
+		})
+	}
+	return nil
+}
+
+// walkFuncs invokes fn for every function body in the file: declarations and
+// literals, each exactly once.
+func walkFuncs(f *ast.File, visit func(fn ast.Node, body *ast.BlockStmt)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				visit(n, n.Body)
+			}
+		case *ast.FuncLit:
+			visit(n, n.Body)
+		}
+		return true
+	})
+}
+
+// bindsIterationVars reports whether the range statement binds the map key
+// or value to a non-blank variable. `for range m` and `for _, _ = range m`
+// observe only the iteration count, which is deterministic.
+func bindsIterationVars(rs *ast.RangeStmt) bool {
+	nonBlank := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return e != nil && (!ok || id.Name != "_")
+	}
+	return nonBlank(rs.Key) || nonBlank(rs.Value)
+}
+
+// orderIndependentBody reports whether every statement in the loop body is
+// one of the recognized order-independent forms: disjoint per-key writes,
+// per-key deletes, and commutative integer accumulation.
+func orderIndependentBody(pass *Pass, rs *ast.RangeStmt) bool {
+	keyObjs := rangeVarObjs(pass, rs)
+	if len(rs.Body.List) == 0 {
+		return true
+	}
+	for _, stmt := range rs.Body.List {
+		if !orderIndependentStmt(pass, stmt, keyObjs) {
+			return false
+		}
+	}
+	return true
+}
+
+// rangeVarObjs returns the objects bound by the range statement's key/value.
+func rangeVarObjs(pass *Pass, rs *ast.RangeStmt) map[types.Object]bool {
+	objs := make(map[types.Object]bool, 2)
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if o := pass.TypesInfo.ObjectOf(id); o != nil {
+				objs[o] = true
+			}
+		}
+	}
+	return objs
+}
+
+func orderIndependentStmt(pass *Pass, stmt ast.Stmt, keyObjs map[types.Object]bool) bool {
+	switch s := stmt.(type) {
+	case *ast.IncDecStmt:
+		// n++ / n-- on an integer counter commutes.
+		return isIntegerType(pass.TypesInfo.TypeOf(s.X))
+	case *ast.AssignStmt:
+		if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+			return false
+		}
+		switch s.Tok {
+		case token.ADD_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+			// Commutative integer accumulation of a loop-local value.
+			return isIntegerType(pass.TypesInfo.TypeOf(s.Lhs[0])) && onlySimpleOperand(pass, s.Rhs[0], keyObjs)
+		case token.ASSIGN:
+			// Disjoint per-key write: target[k] = <simple>, with k the
+			// iteration key (distinct per iteration, so writes never alias).
+			ix, ok := s.Lhs[0].(*ast.IndexExpr)
+			if !ok {
+				return false
+			}
+			id, ok := ix.Index.(*ast.Ident)
+			if !ok || !keyObjs[pass.TypesInfo.ObjectOf(id)] {
+				return false
+			}
+			return onlySimpleOperand(pass, s.Rhs[0], keyObjs)
+		}
+		return false
+	case *ast.ExprStmt:
+		// delete(target, k): removals at distinct keys commute.
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok || len(call.Args) != 2 {
+			return false
+		}
+		fid, ok := call.Fun.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		if b, ok := pass.TypesInfo.ObjectOf(fid).(*types.Builtin); !ok || b.Name() != "delete" {
+			return false
+		}
+		id, ok := call.Args[1].(*ast.Ident)
+		return ok && keyObjs[pass.TypesInfo.ObjectOf(id)]
+	}
+	return false
+}
+
+// onlySimpleOperand reports whether e is an iteration variable, a constant,
+// or a selector/unary chain over those — expressions whose evaluation cannot
+// observe iteration order.
+func onlySimpleOperand(pass *Pass, e ast.Expr, keyObjs map[types.Object]bool) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if keyObjs[pass.TypesInfo.ObjectOf(e)] {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[e]
+		return ok && tv.Value != nil
+	case *ast.BasicLit:
+		return true
+	case *ast.SelectorExpr:
+		// v.Field of an iteration variable.
+		return onlySimpleOperand(pass, e.X, keyObjs)
+	case *ast.UnaryExpr:
+		return onlySimpleOperand(pass, e.X, keyObjs)
+	case *ast.ParenExpr:
+		return onlySimpleOperand(pass, e.X, keyObjs)
+	}
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}
+
+func isIntegerType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// sortedAfterCollect recognizes the collect-then-sort idiom: the loop body
+// only appends to a single slice, and that slice is later passed to a
+// sort.* / slices.Sort* call in the same function body, before any other
+// use.
+func sortedAfterCollect(pass *Pass, rs *ast.RangeStmt, fnBody *ast.BlockStmt) bool {
+	target := collectTarget(pass, rs.Body.List, nil)
+	if target == nil {
+		return false
+	}
+	// Find the first post-loop mention of target: it must be the argument
+	// of a sorting call (possibly through a conversion like sort.Sort(byX(s))
+	// or an address-of).
+	sorted := false
+	decided := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if decided || n == nil || n.End() <= rs.End() {
+			return !decided
+		}
+		if call, ok := n.(*ast.CallExpr); ok && isSortCall(pass, call) && callMentions(pass, call, target) {
+			sorted = true
+			decided = true
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == target {
+			// First use is not a sort: the unsorted collection escaped.
+			decided = true
+			return false
+		}
+		return true
+	})
+	return sorted
+}
+
+// collectTarget returns the single slice variable every statement appends
+// to, or nil if the body does anything else. Nested if-guards around the
+// append are accepted.
+func collectTarget(pass *Pass, stmts []ast.Stmt, target types.Object) types.Object {
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.AssignStmt:
+			if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+				return nil
+			}
+			id, ok := s.Lhs[0].(*ast.Ident)
+			if !ok {
+				return nil
+			}
+			call, ok := s.Rhs[0].(*ast.CallExpr)
+			if !ok || !isBuiltin(pass, call.Fun, "append") {
+				return nil
+			}
+			obj := pass.TypesInfo.ObjectOf(id)
+			if obj == nil || (target != nil && obj != target) {
+				return nil
+			}
+			if len(call.Args) == 0 {
+				return nil
+			}
+			if aid, ok := call.Args[0].(*ast.Ident); !ok || pass.TypesInfo.ObjectOf(aid) != obj {
+				return nil
+			}
+			target = obj
+		case *ast.IfStmt:
+			if s.Init != nil || s.Else != nil {
+				return nil
+			}
+			target = collectTarget(pass, s.Body.List, target)
+			if target == nil {
+				return nil
+			}
+		default:
+			return nil
+		}
+	}
+	return target
+}
+
+func isBuiltin(pass *Pass, fun ast.Expr, name string) bool {
+	id, ok := fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.ObjectOf(id).(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// isSortCall reports whether call invokes a sorting function: the package
+// sort / slices entry points, or a same-module helper whose name starts
+// with "sort" (e.g. graph.sortNodeIDs) — naming the helper after what it
+// does is the convention that keeps the analyzer readable at call sites.
+func isSortCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		if id, ok := call.Fun.(*ast.Ident); ok {
+			if fn, ok := pass.TypesInfo.Uses[id].(*types.Func); ok {
+				lower := strings.ToLower(fn.Name())
+				return strings.HasPrefix(lower, "sort")
+			}
+		}
+		return false
+	}
+	obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() {
+	case "sort":
+		switch obj.Name() {
+		case "Strings", "Ints", "Float64s", "Sort", "Stable", "Slice", "SliceStable":
+			return true
+		}
+	case "slices":
+		switch obj.Name() {
+		case "Sort", "SortFunc", "SortStableFunc":
+			return true
+		}
+	}
+	return false
+}
+
+// callMentions reports whether any argument of call references obj, looking
+// through conversions, address-of and field selections.
+func callMentions(pass *Pass, call *ast.CallExpr, obj types.Object) bool {
+	found := false
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == obj {
+				found = true
+			}
+			return !found
+		})
+	}
+	return found
+}

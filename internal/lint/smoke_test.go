@@ -1,0 +1,28 @@
+package lint_test
+
+import (
+	"testing"
+
+	"amac/internal/lint"
+)
+
+// TestTreeClean pins the repository-wide acceptance gate: running the whole
+// amacvet suite over the real tree reports nothing. Any diagnostic here
+// means either a fresh violation slipped in or an analyzer grew a false
+// positive — both are this test's business.
+func TestTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the full module and its stdlib closure")
+	}
+	res, err := lint.Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading tree: %v", err)
+	}
+	diags, err := lint.RunAnalyzers(res.Roots, lint.Analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

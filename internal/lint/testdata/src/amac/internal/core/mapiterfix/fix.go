@@ -1,0 +1,75 @@
+// Package mapiterfix exercises the mapiter analyzer at an engine package
+// path: map ranges must be sorted, order-independent, or annotated.
+package mapiterfix
+
+import "sort"
+
+// firstKey is flagged: the loop's effect depends on visit order (the early
+// comparisons steer which keys are even considered).
+func firstKey(m map[string]int) string {
+	best := ""
+	for k := range m { // want "range over map m iterates in nondeterministic order"
+		if best == "" || k < best {
+			best = k
+		}
+	}
+	return best
+}
+
+// sortedKeys passes: collect-then-sort, the canonical repair.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// accumulate passes: integer accumulation and disjoint per-key writes
+// commute across any visit order.
+func accumulate(m map[string]int, out map[string]int) int {
+	n := 0
+	for k, v := range m {
+		n += v
+		out[k] = v
+	}
+	return n
+}
+
+// count passes: a bare range observes only the iteration count.
+func count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// anyKey passes via the escape hatch: the suppression line above the loop
+// carries its reason.
+func anyKey(m map[string]int) string {
+	//lint:mapiter fixture: any key will do, the caller treats them all alike
+	for k := range m {
+		return k
+	}
+	return ""
+}
+
+// bareSuppression shows a reasonless suppression being rejected: it does
+// not take effect (the range is still flagged) and is itself diagnosed.
+func bareSuppression(m map[string]int) int {
+	s := 0
+	// want:+1 amacvet:"suppression requires a reason"
+	//lint:mapiter
+	for k := range m { // want "range over map m iterates in nondeterministic order"
+		s += len(k)
+	}
+	return s
+}
+
+// typoSuppression documents that a misspelled analyzer name is surfaced
+// rather than silently ignored.
+// want:+1 amacvet:"does not name an amacvet analyzer"
+//lint:nosuchcheck the analyzer name is misspelled on purpose
+func typoSuppression() {}

@@ -1,0 +1,46 @@
+// Package wallclockfix exercises the wallclock analyzer at an engine
+// package path: no ambient time, randomness or environment.
+package wallclockfix
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// stamp is flagged: wall-clock read.
+func stamp() int64 {
+	t := time.Now() // want "wall-clock read time.Now in engine package"
+	return t.UnixNano()
+}
+
+// elapsed is flagged: Since reads the wall clock too.
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "wall-clock read time.Since in engine package"
+}
+
+// debugEnabled is flagged: configuration must not come from the ambient
+// environment.
+func debugEnabled() bool {
+	return os.Getenv("AMAC_DEBUG") != "" // want "environment read os.Getenv in engine package"
+}
+
+// draw is flagged: the process-global generator is unseeded shared state.
+func draw() int64 {
+	return rand.Int63() // want "global math/rand.Int63 draws from process-global state"
+}
+
+// seeded passes: constructing and using a locally seeded generator is the
+// discipline, not a violation.
+func seeded(seed int64) int64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Int63()
+}
+
+// plus passes: time.Time arithmetic never reads the clock.
+func plus(t time.Time) time.Time { return t.Add(time.Second) }
+
+// bootNote passes via the escape hatch, reason attached.
+func bootNote() string {
+	return time.Now().Format(time.RFC3339) //lint:wallclock fixture: log preamble, never reaches a trace byte
+}

@@ -1,0 +1,121 @@
+// Package hotallocfix exercises the hotalloc analyzer: functions opt in
+// with an //amac:hotpath doc line; each bad case below is one allocating
+// construct the analyzer recognizes.
+package hotallocfix
+
+import "fmt"
+
+type item struct{ id, score int }
+
+type sink interface{ accept(v any) }
+
+// sum is a clean hot function: indexing, field reads and integer math.
+//
+//amac:hotpath
+func sum(items []item, out []int) int {
+	total := 0
+	for i, it := range items {
+		out[i] = it.score
+		total += it.score
+	}
+	return total
+}
+
+// closureCapture is flagged: the literal captures n, so every call
+// materializes a heap environment.
+//
+//amac:hotpath
+func closureCapture() func() int {
+	n := 0
+	return func() int { // want "closure captures n in hot path closureCapture"
+		n++
+		return n
+	}
+}
+
+// format is flagged: fmt always allocates.
+//
+//amac:hotpath
+func format(it item) string {
+	return fmt.Sprintf("item-%d", it.id) // want "fmt.Sprintf allocates in hot path format"
+}
+
+// concat is flagged: non-constant string concatenation allocates the
+// result.
+//
+//amac:hotpath
+func concat(name, suffix string) string {
+	return name + suffix // want "string concatenation allocates in hot path concat"
+}
+
+// grow is flagged twice: make and new both allocate per call.
+//
+//amac:hotpath
+func grow(n int) []int {
+	p := new(item) // want "new allocates in hot path grow"
+	_ = p
+	return make([]int, n) // want "make allocates in hot path grow"
+}
+
+// collect is flagged: the slice is declared here without a capacity hint,
+// so append reallocates as it grows.
+//
+//amac:hotpath
+func collect(items []item) []int {
+	var ids []int
+	for _, it := range items {
+		ids = append(ids, it.id) // want "append grows ids, declared without a capacity hint, in hot path collect"
+	}
+	return ids
+}
+
+// collectHinted passes: appending into caller-provided scratch is the
+// pooled discipline.
+//
+//amac:hotpath
+func collectHinted(items []item, scratch []int) []int {
+	ids := scratch[:0]
+	for _, it := range items {
+		ids = append(ids, it.id)
+	}
+	return ids
+}
+
+// box is flagged: the composite literal converts to the interface
+// parameter, which boxes it onto the heap.
+//
+//amac:hotpath
+func box(s sink, id int) {
+	s.accept(item{id: id}) // want "composite literal escapes into interface"
+}
+
+// guarded passes: panic arguments are cold branches, the one place fmt
+// belongs in hot code.
+//
+//amac:hotpath
+func guarded(items []item, i int) item {
+	if i >= len(items) {
+		panic(fmt.Sprintf("index %d out of range", i))
+	}
+	return items[i]
+}
+
+// lazyGrow passes via the escape hatch: the grow branch runs once per size
+// change and carries its reason.
+//
+//amac:hotpath
+func lazyGrow(buf []int, n int) []int {
+	if cap(buf) < n {
+		buf = make([]int, n) //lint:hotalloc fixture: lazy grow, runs once per size change
+	}
+	return buf[:n]
+}
+
+// cold is identical to collect but unannotated: no opt-in, no diagnostics.
+func cold(items []item) []int {
+	var ids []int
+	for _, it := range items {
+		ids = append(ids, it.id)
+	}
+	return ids
+}

@@ -1,0 +1,47 @@
+// Package sim is a miniature stand-in for the real simulator core: just
+// enough API surface (Payload and its boxers, the pooled event queue) for
+// the analyzer fixtures to exercise amacvet's package-path matching at the
+// exact import paths the real analyzers key on.
+package sim
+
+// Time is the virtual clock.
+type Time int64
+
+// Payload mirrors the real typed-operand struct: three integer operands, a
+// kind tag, and the Ext escape hatch. Boxing happens only in Value.
+type Payload struct {
+	Kind    int32
+	A, B, C int64
+	Ext     any
+}
+
+// Value re-boxes the payload into the dynamic value it encodes — the one
+// legal boxing point, reached post-run.
+func (p Payload) Value() any {
+	if p.Kind < 0 {
+		return p.Ext
+	}
+	return boxers[p.Kind](p)
+}
+
+// TraceEvent is one rendered trace record.
+type TraceEvent struct {
+	At Time
+	P  Payload
+}
+
+// Value re-boxes the trace event's payload.
+func (t TraceEvent) Value() any { return t.P.Value() }
+
+var boxers []func(Payload) any
+
+// RegisterPayloadKind registers the boxer for one payload kind and returns
+// the kind tag.
+func RegisterPayloadKind(boxer func(Payload) any) int32 {
+	boxers = append(boxers, boxer)
+	return int32(len(boxers) - 1)
+}
+
+// Ext wraps an arbitrary already-boxed value — the escape hatch for tests
+// and bespoke automata.
+func Ext(v any) Payload { return Payload{Kind: -1, Ext: v} }

@@ -1,0 +1,14 @@
+package sim
+
+// latestPending is the mapiter fixture inside the sim package itself,
+// pinning the acceptance criterion that a range over an unsorted map in
+// amac/internal/sim is flagged.
+func latestPending(pending map[int64]Time) Time {
+	var latest Time
+	for _, t := range pending { // want mapiter:"range over map pending iterates in nondeterministic order"
+		if t > latest {
+			latest = t
+		}
+	}
+	return latest
+}

@@ -1,0 +1,64 @@
+package sim
+
+// This file is the pooledhandle fixture: each function is one shape of the
+// pooled-event tenancy protocol, good or bad.
+
+// useAfterRelease reads a field after the event went back to the pool.
+func useAfterRelease(q *eventQueue) Time {
+	ev := q.alloc()
+	q.release(ev)
+	return ev.when // want pooledhandle:"pooled event ev used after release"
+}
+
+// copyThenRelease is the engine's Step discipline: copy out, then release.
+func copyThenRelease(q *eventQueue) Payload {
+	ev := q.alloc()
+	p := ev.p
+	q.release(ev)
+	return p
+}
+
+// releaseAndBail releases only on the early-out branch; the branch returns,
+// so the kill never reaches the fall-through use.
+func releaseAndBail(q *eventQueue, stop bool) Time {
+	ev := q.alloc()
+	if stop {
+		q.release(ev)
+		return 0
+	}
+	return ev.when
+}
+
+// killAcrossFallThrough releases on a branch that falls through: every path
+// after the if must assume the event is gone.
+func killAcrossFallThrough(q *eventQueue, done bool) Time {
+	ev := q.alloc()
+	if done {
+		q.release(ev)
+	}
+	return ev.when // want pooledhandle:"pooled event ev used after release"
+}
+
+// writeAfterRelease stores through the released pointer — scribbling on the
+// next tenancy.
+func writeAfterRelease(q *eventQueue) {
+	ev := q.alloc()
+	q.release(ev)
+	ev.when = 1 // want pooledhandle:"pooled event ev used after release"
+}
+
+// reassignRevives allocates a fresh event into the same variable: the
+// assignment target is a revival, not a read.
+func reassignRevives(q *eventQueue) Time {
+	ev := q.alloc()
+	q.release(ev)
+	ev = q.alloc()
+	return ev.when
+}
+
+// suppressedRetention documents a justified retention with its reason.
+func suppressedRetention(q *eventQueue) Time {
+	ev := q.alloc()
+	q.release(ev)
+	return ev.when //lint:pooledhandle fixture: exercising the escape hatch, not a real retention
+}

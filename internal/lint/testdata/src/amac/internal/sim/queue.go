@@ -1,0 +1,27 @@
+package sim
+
+// event is a pooled scheduling record: release hands the struct to the next
+// tenancy immediately.
+type event struct {
+	when Time
+	p    Payload
+}
+
+// eventQueue pools events on a free list.
+type eventQueue struct {
+	free []*event
+}
+
+func (q *eventQueue) alloc() *event {
+	if n := len(q.free); n > 0 {
+		ev := q.free[n-1]
+		q.free = q.free[:n-1]
+		return ev
+	}
+	return &event{}
+}
+
+func (q *eventQueue) release(ev *event) {
+	*ev = event{}
+	q.free = append(q.free, ev)
+}

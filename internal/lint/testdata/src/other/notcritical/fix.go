@@ -1,0 +1,26 @@
+// Package notcritical sits outside the engine package set: code that would
+// be flagged under amac/internal/... draws no diagnostics here, pinning the
+// analyzers' package scoping.
+package notcritical
+
+import (
+	"os"
+	"time"
+)
+
+// anyKey ranges a map order-dependently — fine outside the engine set.
+func anyKey(m map[string]int) string {
+	for k := range m {
+		return k
+	}
+	return ""
+}
+
+// stamp reads the wall clock and the environment — fine outside the engine
+// set.
+func stamp() string {
+	if os.Getenv("TZ") == "" {
+		return time.Now().String()
+	}
+	return ""
+}

@@ -205,6 +205,7 @@ func (a *Arena) reset() {
 // no allocation. The old contents are not copied: previously handed-out
 // rows keep aliasing their original backing for the rest of the run, and
 // the fresh block arrives pre-zeroed.
+//amac:hotpath
 func (a *Arena) row(deg int) []sim.Time {
 	if need := a.used + deg; need > len(a.block) {
 		newLen := 2 * len(a.block)
@@ -214,7 +215,7 @@ func (a *Arena) row(deg int) []sim.Time {
 		if newLen < need {
 			newLen = need
 		}
-		a.block = make([]sim.Time, newLen)
+		a.block = make([]sim.Time, newLen) //lint:hotalloc doubling grow: amortized O(1) and absent entirely in warm trials, where the block is sized from the first run
 	}
 	r := a.block[a.used : a.used+deg : a.used+deg]
 	a.used += deg
@@ -226,6 +227,7 @@ func (a *Arena) row(deg int) []sim.Time {
 // neighbor row plus its base offset come straight off the graph's shared
 // arc array, giving Deliver its slot and reliability bit with one binary
 // search over the row.
+//amac:hotpath
 func (a *Arena) instance(id InstanceID, sender NodeID, payload Payload, start sim.Time) *Instance {
 	base := a.csr.off[sender]
 	row := a.csr.arcs[base:a.csr.off[sender+1]:a.csr.off[sender+1]]
@@ -250,7 +252,7 @@ func (a *Arena) instance(id InstanceID, sender NodeID, payload Payload, start si
 	}
 	// new + copy rather than &fresh: taking fresh's address would force it
 	// to the heap on every call, including the pooled path above.
-	b := new(Instance)
+	b := new(Instance) //lint:hotalloc pool miss: only the first run of a fleet reaches this; warm trials always hit the pooled path above
 	*b = fresh
 	a.insts = append(a.insts, b)
 	a.next++

@@ -288,6 +288,7 @@ func (e *Engine) recording() bool {
 	return !e.cfg.NoTrace || len(e.watchers) > 0
 }
 
+//amac:hotpath
 func (e *Engine) emit(kind string, node NodeID, arg Payload) {
 	if !e.recording() {
 		return
@@ -341,6 +342,7 @@ func (e *Engine) Arrive(v NodeID, payload Payload, t sim.Time) {
 // Dispatch implements sim.Dispatcher: the typed-event switch at the bottom
 // of the run loop. Each case mirrors exactly the closure the corresponding
 // call site used to schedule, so executions are unchanged event for event.
+//amac:hotpath
 func (e *Engine) Dispatch(kind sim.EventKind, op sim.Op) {
 	switch kind {
 	case evWakeup:
@@ -440,11 +442,13 @@ func (e *Engine) Rand() *rand.Rand {
 func (e *Engine) At(t sim.Time, fn func()) sim.Handle { return e.sim.At(t, fn) }
 
 // ScheduleDeliver posts a guarded single delivery (see API).
+//amac:hotpath
 func (e *Engine) ScheduleDeliver(t sim.Time, b *Instance, to NodeID) {
 	e.sim.Post(t, evDeliverOne, b, int64(to), 0)
 }
 
 // ScheduleReliableDeliveries posts the batched reliable delivery (see API).
+//amac:hotpath
 func (e *Engine) ScheduleReliableDeliveries(t sim.Time, b *Instance) {
 	e.sim.Post(t, evDeliverReliable, b, 0, 0)
 }
@@ -453,6 +457,7 @@ func (e *Engine) ScheduleReliableDeliveries(t sim.Time, b *Instance) {
 // targets slice is parked on the instance until the batch fires, and is
 // retained afterwards as the instance's grey scratch buffer (GreyBuf), so
 // recycled instances redraw into warm storage.
+//amac:hotpath
 func (e *Engine) ScheduleGreyDeliveries(t sim.Time, b *Instance, targets []NodeID) {
 	if b.grey != nil {
 		panic(fmt.Sprintf("mac: instance %d already has a grey batch pending", b.ID))
@@ -463,6 +468,7 @@ func (e *Engine) ScheduleGreyDeliveries(t sim.Time, b *Instance, targets []NodeI
 }
 
 // ScheduleAck posts the guarded acknowledgment (see API).
+//amac:hotpath
 func (e *Engine) ScheduleAck(t sim.Time, b *Instance) {
 	e.sim.Post(t, evAck, b, 0, 0)
 }
@@ -482,6 +488,7 @@ func (e *Engine) ScheduleTimer(t sim.Time, obj any, a, b int64) sim.Handle {
 // of the sender, must not have received this instance already, the
 // instance must not be acked, and deliveries after an abort must fall
 // within EpsAbort.
+//amac:hotpath
 func (e *Engine) Deliver(b *Instance, to NodeID) {
 	if to == b.Sender {
 		panic(fmt.Sprintf("mac: delivery of instance %d to its own sender", b.ID))
@@ -532,6 +539,7 @@ func (e *Engine) Deliver(b *Instance, to NodeID) {
 
 // checkDeliveryTerm enforces the termination-related receive-correctness
 // conditions shared by both Deliver paths.
+//amac:hotpath
 func (e *Engine) checkDeliveryTerm(b *Instance, now sim.Time) {
 	switch b.Term {
 	case Acked:
@@ -547,6 +555,7 @@ func (e *Engine) checkDeliveryTerm(b *Instance, now sim.Time) {
 // Ack performs the acknowledgment for b. The engine enforces
 // acknowledgment correctness (every G-neighbor of the sender has received
 // b) and the acknowledgment bound (now ≤ start + Fack).
+//amac:hotpath
 func (e *Engine) Ack(b *Instance) {
 	if b.Term != Active {
 		panic(fmt.Sprintf("mac: double termination of instance %d", b.ID))

@@ -37,7 +37,7 @@ type Payload = sim.Payload
 
 // Ext wraps an arbitrary value as an escape-hatch payload (boxes like the
 // old any path; hot paths use registered kinds).
-func Ext(v any) Payload { return sim.Ext(v) }
+func Ext(v any) Payload { return sim.Ext(v) } //lint:payloadbox re-export of the documented escape hatch for tests and bespoke automata
 
 // Int wraps a bare integer payload.
 func Int(v int64) Payload { return sim.Int(v) }

@@ -1,6 +1,8 @@
 package sched
 
 import (
+	"math/rand"
+
 	"amac/internal/mac"
 	"amac/internal/sim"
 )
@@ -41,31 +43,34 @@ func (r *Random) Reset(Env) bool {
 func (r *Random) Attach(api mac.API) { r.api = api }
 
 // OnBcast implements mac.Scheduler.
+//amac:hotpath
 func (r *Random) OnBcast(b *mac.Instance) {
 	api := r.api
 	rng := api.Rand()
 	now := api.Now()
 
-	uniform := func(lo, hi sim.Time) sim.Time {
-		if hi <= lo {
-			return lo
-		}
-		return lo + sim.Time(rng.Int63n(int64(hi-lo+1)))
-	}
-
 	maxRecv := sim.Time(1)
 	for _, j := range api.Dual().G.Neighbors(b.Sender) {
-		d := uniform(1, api.Fprog())
+		d := uniformTime(rng, 1, api.Fprog())
 		if d > maxRecv {
 			maxRecv = d
 		}
 		api.ScheduleDeliver(now+d, b, j)
 	}
-	ackDelay := uniform(maxRecv, api.Fack())
+	ackDelay := uniformTime(rng, maxRecv, api.Fack())
 	for _, j := range greyTargets(api, b, r.Rel) {
-		api.ScheduleDeliver(now+uniform(1, ackDelay), b, j)
+		api.ScheduleDeliver(now+uniformTime(rng, 1, ackDelay), b, j)
 	}
 	api.ScheduleAck(now+ackDelay, b)
+}
+
+// uniformTime draws a uniform delay in [lo, hi], collapsing to lo when the
+// interval is empty.
+func uniformTime(rng *rand.Rand, lo, hi sim.Time) sim.Time {
+	if hi <= lo {
+		return lo
+	}
+	return lo + sim.Time(rng.Int63n(int64(hi-lo+1)))
 }
 
 // OnAbort implements mac.Scheduler.

@@ -76,6 +76,7 @@ func (s *Slot) Attach(api mac.API) {
 }
 
 // OnBcast implements mac.Scheduler.
+//amac:hotpath
 func (s *Slot) OnBcast(b *mac.Instance) {
 	s.live = append(s.live, b)
 	s.armSlot()
@@ -87,6 +88,7 @@ func (s *Slot) OnAbort(*mac.Instance) {}
 
 // armSlot schedules the end-of-slot handler for the current slot if not
 // already armed.
+//amac:hotpath
 func (s *Slot) armSlot() {
 	fprog := s.api.Fprog()
 	now := s.api.Now()
@@ -112,6 +114,7 @@ func (s *Slot) OnTimer(_ any, a, _ int64) {
 
 // handleSlot performs all deliveries and acks for the slot ending just
 // after fire.
+//amac:hotpath
 func (s *Slot) handleSlot(fire sim.Time) {
 	api := s.api
 	d := api.Dual()
@@ -130,7 +133,7 @@ func (s *Slot) handleSlot(fire sim.Time) {
 	// slot allocates nothing once the per-receiver slices have grown.
 	n := d.N()
 	if cap(s.contenders) < n {
-		s.contenders = make([][]*mac.Instance, n)
+		s.contenders = make([][]*mac.Instance, n) //lint:hotalloc lazy grow: sized once per network size, then reused slot after slot
 	}
 	contenders := s.contenders[:n]
 	for j := range contenders {

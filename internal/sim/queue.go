@@ -44,6 +44,7 @@ func (q *eventQueue) Len() int { return len(q.items) }
 
 // alloc returns a recycled event or a fresh one when the pool is empty. The
 // caller fills in the payload (kind + operands, or fn).
+//amac:hotpath
 func (q *eventQueue) alloc(at Time, seq uint64) *event {
 	if n := len(q.free); n > 0 {
 		ev := q.free[n-1]
@@ -61,6 +62,7 @@ func (q *eventQueue) alloc(at Time, seq uint64) *event {
 // event count for the rest of the run, so whenever the free list exceeds
 // twice the live queue (plus a small floor), the excess structs are dropped
 // for the collector.
+//amac:hotpath
 func (q *eventQueue) release(ev *event) {
 	ev.fn = nil
 	ev.obj = nil
@@ -108,11 +110,13 @@ func (q *eventQueue) swap(i, j int) {
 	q.items[i], q.items[j] = q.items[j], q.items[i]
 }
 
+//amac:hotpath
 func (q *eventQueue) push(e *event) {
 	q.items = append(q.items, e)
 	q.up(len(q.items) - 1)
 }
 
+//amac:hotpath
 func (q *eventQueue) pop() *event {
 	n := len(q.items)
 	if n == 0 {

@@ -138,7 +138,15 @@ func ValidateSpec(name string, p Params) error {
 	if !ok {
 		return fmt.Errorf("topology: unknown topology %q (registered: %v)", name, Names())
 	}
+	// Sorted so the reported parameter is the same on every run: which key a
+	// map range sees first is randomized, and validation errors end up in
+	// job records and test expectations.
+	keys := make([]string, 0, len(p))
 	for k := range p {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
 		if !reg.params[k] {
 			return fmt.Errorf("topology: %q does not accept parameter %q (accepted: %v)",
 				name, k, sortedKeys(reg.params))
